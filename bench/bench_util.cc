@@ -1,0 +1,93 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "edge/common/stopwatch.h"
+#include "edge/common/string_util.h"
+#include "edge/eval/metrics.h"
+
+namespace edge::bench {
+
+BenchSizes ScaledSizes() {
+  BenchSizes sizes;
+  const char* env = std::getenv("EDGE_BENCH_SCALE");
+  if (env != nullptr) {
+    double scale = std::atof(env);
+    if (scale > 0.0) {
+      sizes.nyma = static_cast<size_t>(sizes.nyma * scale);
+      sizes.lama = static_cast<size_t>(sizes.lama * scale);
+      sizes.covid = static_cast<size_t>(sizes.covid * scale);
+    }
+  }
+  return sizes;
+}
+
+namespace {
+
+BenchDataset Build(const std::string& label, data::WorldConfig world, size_t tweets,
+                   const std::vector<std::string>* keywords) {
+  BenchDataset out;
+  out.label = label;
+  out.generator = std::make_unique<data::TweetGenerator>(std::move(world));
+  out.raw = keywords == nullptr
+                ? out.generator->Generate(tweets)
+                : out.generator->GenerateWithKeywords(tweets, *keywords);
+  data::Pipeline pipeline(out.generator->BuildGazetteer());
+  out.processed = pipeline.Process(out.raw);
+  return out;
+}
+
+}  // namespace
+
+BenchDataset BuildNyma(size_t tweets) {
+  return Build("New York Metropolitan Area (2014)", data::MakeNymaWorld(), tweets,
+               nullptr);
+}
+
+BenchDataset BuildLama(size_t tweets) {
+  // LAMA is the paper's smallest crawl (17k tweets); keep the modeled venue
+  // count proportional so per-entity statistics match that regime.
+  data::WorldPresetOptions options;
+  options.num_fine_pois = 220;
+  options.num_chains = 22;
+  options.num_topics = 90;
+  options.num_coarse_areas = 10;
+  return Build("Los Angeles Metropolitan Area (2020)", data::MakeLamaWorld(options),
+               tweets, nullptr);
+}
+
+BenchDataset BuildCovid(size_t tweets) {
+  return Build("COVID-19 (New York, 2020)", data::MakeNy2020World(), tweets,
+               &data::CovidKeywords());
+}
+
+std::vector<BenchDataset> BuildAllDatasets(const BenchSizes& sizes) {
+  std::vector<BenchDataset> datasets;
+  datasets.push_back(BuildNyma(sizes.nyma));
+  datasets.push_back(BuildLama(sizes.lama));
+  datasets.push_back(BuildCovid(sizes.covid));
+  return datasets;
+}
+
+std::vector<std::string> RunMethodRow(eval::Geolocator* method,
+                                      const data::ProcessedDataset& dataset) {
+  Stopwatch watch;
+  method->Fit(dataset);
+  double fit_seconds = watch.ElapsedSeconds();
+  watch.Restart();
+  eval::MetricResults r = eval::EvaluateGeolocator(method, dataset);
+  std::fprintf(stderr, "  %-22s fit %6.1fs  eval %5.1fs  mean %6.2f median %6.2f\n",
+               method->name().c_str(), fit_seconds, watch.ElapsedSeconds(), r.mean_km,
+               r.median_km);
+
+  auto with_coverage = [&r](const std::string& value) {
+    if (r.abstained == 0) return value;
+    return value + " (" + FormatDouble(100.0 * r.Coverage(), 1) + "%)";
+  };
+  return {with_coverage(FormatDouble(r.mean_km, 2)),
+          with_coverage(FormatDouble(r.median_km, 2)), FormatDouble(r.at_3km, 4),
+          FormatDouble(r.at_5km, 4)};
+}
+
+}  // namespace edge::bench

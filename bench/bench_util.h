@@ -1,0 +1,56 @@
+#ifndef EDGE_BENCH_BENCH_UTIL_H_
+#define EDGE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edge/data/generator.h"
+#include "edge/data/pipeline.h"
+#include "edge/data/worlds.h"
+#include "edge/eval/geolocator.h"
+
+namespace edge::bench {
+
+/// Default tweet counts for the three simulated datasets. The paper's crawls
+/// are 367k / 17k / 14k tweets; these are scaled so the whole bench suite
+/// finishes in minutes on a laptop (DESIGN.md §1). Override with the
+/// EDGE_BENCH_SCALE environment variable (a multiplier, e.g. "0.25" for a
+/// smoke run or "4" for a longer, more faithful run).
+struct BenchSizes {
+  size_t nyma = 12000;
+  size_t lama = 5000;
+  size_t covid = 4000;
+};
+
+/// Returns the sizes after applying EDGE_BENCH_SCALE.
+BenchSizes ScaledSizes();
+
+/// One ready-to-evaluate dataset plus its generator (kept for gazetteer and
+/// world introspection in the use-case figures).
+struct BenchDataset {
+  std::string label;
+  std::unique_ptr<data::TweetGenerator> generator;
+  data::Dataset raw;
+  data::ProcessedDataset processed;
+};
+
+/// Builds the simulated NYMA (New York 2014) dataset.
+BenchDataset BuildNyma(size_t tweets);
+/// Builds the simulated LAMA (Los Angeles 2020) dataset.
+BenchDataset BuildLama(size_t tweets);
+/// Builds the simulated COVID-19 dataset (New York 2020, keyword-filtered).
+BenchDataset BuildCovid(size_t tweets);
+/// All three, in the paper's table order.
+std::vector<BenchDataset> BuildAllDatasets(const BenchSizes& sizes);
+
+/// Evaluates a method on a dataset and prints one progress line; returns the
+/// Table III metric row values as strings (Mean, Median, @3km, @5km), with
+/// Hyper-local-style coverage annotations when a method abstains.
+std::vector<std::string> RunMethodRow(eval::Geolocator* method,
+                                      const data::ProcessedDataset& dataset);
+
+}  // namespace edge::bench
+
+#endif  // EDGE_BENCH_BENCH_UTIL_H_

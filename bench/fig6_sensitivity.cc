@@ -1,0 +1,87 @@
+/// Regenerates Fig. 6: parameter sensitivity of EDGE on the NYMA-sim
+/// dataset. Three sweeps: mixture components M, entity2vec embedding length,
+/// and GCN depth (0 layers = NoGCN). Also reports the identity-features
+/// ablation called out in DESIGN.md section 4 (entity2vec vs memorization).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "edge/common/string_util.h"
+#include "edge/common/table_writer.h"
+#include "edge/core/edge_model.h"
+#include "edge/eval/metrics.h"
+
+namespace {
+
+using namespace edge;
+
+void RunSweep(const char* title, const data::ProcessedDataset& dataset,
+              const std::vector<std::pair<std::string, core::EdgeConfig>>& configs) {
+  TableWriter table({"Setting", "Mean(km)", "Median(km)", "@3km", "@5km"});
+  for (const auto& [label, config] : configs) {
+    core::EdgeModel model(config);
+    model.Fit(dataset);
+    eval::MetricResults r = eval::EvaluateGeolocator(&model, dataset);
+    table.AddRow({label, FormatDouble(r.mean_km, 2), FormatDouble(r.median_km, 2),
+                  FormatDouble(r.at_3km, 4), FormatDouble(r.at_5km, 4)});
+    std::fprintf(stderr, "  %s done (mean %.2f)\n", label.c_str(), r.mean_km);
+  }
+  std::printf("%s\n%s\n", title, table.ToAscii().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchSizes sizes = bench::ScaledSizes();
+  // Sensitivity runs many configs; use a half-size NYMA to keep the sweep
+  // fast while preserving the ordering.
+  bench::BenchDataset dataset = bench::BuildNyma(sizes.nyma / 2);
+  std::printf("FIG 6: parameter sensitivity on %s (n=%zu)\n\n", dataset.raw.name.c_str(),
+              dataset.raw.tweets.size());
+
+  {
+    std::vector<std::pair<std::string, core::EdgeConfig>> configs;
+    for (size_t m : {1u, 2u, 4u, 6u, 8u}) {
+      core::EdgeConfig config;
+      config.num_components = m;
+      configs.emplace_back("M=" + std::to_string(m), config);
+    }
+    RunSweep("Sweep (a): number of Gaussian components M", dataset.processed, configs);
+  }
+  {
+    std::vector<std::pair<std::string, core::EdgeConfig>> configs;
+    for (size_t dim : {16u, 32u, 64u, 128u}) {
+      core::EdgeConfig config;
+      config.auto_dim = false;
+      config.embedding_dim = dim;
+      config.gcn_hidden = {dim, dim};
+      configs.emplace_back("dim=" + std::to_string(dim), config);
+    }
+    RunSweep("Sweep (b): entity2vec embedding length", dataset.processed, configs);
+  }
+  {
+    std::vector<std::pair<std::string, core::EdgeConfig>> configs;
+    for (size_t layers : {0u, 1u, 2u, 3u}) {
+      core::EdgeConfig config;
+      config.gcn_hidden.assign(layers, config.embedding_dim);
+      configs.emplace_back("gcn_layers=" + std::to_string(layers), config);
+    }
+    RunSweep("Sweep (c): GCN depth (0 = NoGCN)", dataset.processed, configs);
+  }
+  {
+    std::vector<std::pair<std::string, core::EdgeConfig>> configs;
+    core::EdgeConfig e2v;
+    configs.emplace_back("entity2vec features", e2v);
+    core::EdgeConfig identity;
+    identity.feature_mode = core::EdgeConfig::FeatureMode::kIdentity;
+    configs.emplace_back("identity features", identity);
+    RunSweep("Sweep (d): node-feature ablation (DESIGN.md section 4)",
+             dataset.processed, configs);
+  }
+  std::printf(
+      "Shape to check: quality degrades at M=1 (NoMixture regime) and recovers by\n"
+      "M=4; very small embeddings underfit; 2 GCN layers beat 0; identity features\n"
+      "upper-bound what better semantic embeddings could buy.\n");
+  return 0;
+}

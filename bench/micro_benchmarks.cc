@@ -1,0 +1,149 @@
+/// Engineering micro-benchmarks (not a paper table): throughput of the
+/// substrate pieces every experiment leans on — dense/sparse linear algebra,
+/// the fused MDN loss, KDE queries, the tweet generator and the NER — plus
+/// the DESIGN.md section 4 ablation of full GCN forward+backward cost.
+
+#include <benchmark/benchmark.h>
+
+#include "edge/common/rng.h"
+#include "edge/data/generator.h"
+#include "edge/data/worlds.h"
+#include "edge/geo/kde.h"
+#include "edge/geo/mixture.h"
+#include "edge/graph/entity_graph.h"
+#include "edge/graph/gcn.h"
+#include "edge/nn/init.h"
+#include "edge/nn/mdn.h"
+#include "edge/text/ner.h"
+
+namespace {
+
+using namespace edge;
+
+void BM_MatMul(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  nn::Matrix a = nn::GaussianInit(n, n, 1.0, &rng);
+  nn::Matrix b = nn::GaussianInit(n, n, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Haversine(benchmark::State& state) {
+  geo::LatLon a{40.7580, -73.9855};
+  geo::LatLon b{40.6413, -73.7781};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::HaversineKm(a, b));
+    b.lat += 1e-9;  // Defeat CSE.
+  }
+}
+BENCHMARK(BM_Haversine);
+
+graph::EntityGraph BuildRandomGraph(size_t nodes, size_t tweets, Rng* rng) {
+  std::vector<std::vector<std::string>> entity_sets(tweets);
+  for (auto& set : entity_sets) {
+    size_t k = 2 + rng->UniformInt(3);
+    for (size_t i = 0; i < k; ++i) {
+      set.push_back("e" + std::to_string(rng->UniformInt(nodes)));
+    }
+  }
+  return graph::EntityGraph::Build(entity_sets);
+}
+
+void BM_GcnForwardBackward(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  graph::EntityGraph g = BuildRandomGraph(nodes, nodes * 6, &rng);
+  nn::CsrMatrix s = g.NormalizedAdjacency();
+  size_t dim = 64;
+  nn::Matrix features = nn::GaussianInit(g.num_nodes(), dim, 0.1, &rng);
+  graph::GcnStack stack({dim, dim, dim}, &rng);
+  for (auto _ : state) {
+    nn::Var x = nn::Constant(features);
+    nn::Var h = stack.Forward(&s, x);
+    nn::Var loss = nn::MeanAll(nn::Mul(h, h));
+    nn::Backward(loss);
+    benchmark::DoNotOptimize(loss->value.At(0, 0));
+  }
+}
+BENCHMARK(BM_GcnForwardBackward)->Arg(200)->Arg(800);
+
+void BM_MdnLossForwardBackward(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  nn::MdnOptions options;
+  options.num_components = 4;
+  Rng rng(3);
+  nn::Matrix theta_values = nn::GaussianInit(batch, 6 * options.num_components, 0.5, &rng);
+  nn::Matrix targets = nn::GaussianInit(batch, 2, 1.0, &rng);
+  for (auto _ : state) {
+    nn::Var theta = nn::Param(theta_values);
+    nn::Var loss = nn::BivariateMdnLoss(theta, targets, options);
+    nn::Backward(loss);
+    benchmark::DoNotOptimize(theta->grad.At(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MdnLossForwardBackward)->Arg(128)->Arg(512);
+
+void BM_KdeQuery(benchmark::State& state) {
+  size_t points = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<geo::PlanePoint> data;
+  for (size_t i = 0; i < points; ++i) {
+    data.push_back({rng.Uniform(-20, 20), rng.Uniform(-20, 20)});
+  }
+  geo::Kde2d kde(data, 1.0);
+  geo::PlanePoint q{0.0, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kde.Density(q));
+    q.x += 1e-9;
+  }
+  state.SetItemsProcessed(state.iterations() * points);
+}
+BENCHMARK(BM_KdeQuery)->Arg(1000)->Arg(10000);
+
+void BM_TweetGeneration(benchmark::State& state) {
+  data::WorldPresetOptions options;
+  data::TweetGenerator generator(data::MakeNymaWorld(options));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(1000));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TweetGeneration);
+
+void BM_NerExtract(benchmark::State& state) {
+  data::TweetGenerator generator(data::MakeNymaWorld({}));
+  data::Dataset ds = generator.Generate(500);
+  text::TweetNer ner(generator.BuildGazetteer());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ner.Extract(ds.tweets[i % ds.tweets.size()].text));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NerExtract);
+
+void BM_MixtureModeFinding(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<geo::Gaussian2d> components;
+  std::vector<double> weights;
+  for (int m = 0; m < 4; ++m) {
+    components.push_back(geo::Gaussian2d::Isotropic(
+        {rng.Uniform(-15, 15), rng.Uniform(-15, 15)}, rng.Uniform(0.5, 3.0)));
+    weights.push_back(rng.Uniform(0.1, 1.0));
+  }
+  geo::GaussianMixture2d mixture(components, weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mixture.FindMode());
+  }
+}
+BENCHMARK(BM_MixtureModeFinding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

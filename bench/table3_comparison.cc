@@ -1,0 +1,74 @@
+/// Regenerates Table III: performance comparison of EDGE against the seven
+/// published baselines on the three (simulated) datasets, reporting Mean km,
+/// Median km, @3km and @5km; Hyper-local rows carry their coverage
+/// percentage, as in the paper. Relative ordering — EDGE best on all
+/// metrics, UnicodeCNN weakest at fine granularity, Hyper-local competitive
+/// but partial — is the reproduction target, not absolute numbers.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench_util.h"
+#include "edge/baselines/grid_models.h"
+#include "edge/baselines/hyperlocal.h"
+#include "edge/baselines/lockde.h"
+#include "edge/baselines/unicode_cnn.h"
+#include "edge/common/table_writer.h"
+#include "edge/core/edge_model.h"
+
+namespace {
+
+using namespace edge;
+
+std::vector<std::pair<std::string,
+                      std::function<std::unique_ptr<eval::Geolocator>()>>>
+MethodFactories() {
+  using baselines::GridBaselineOptions;
+  GridBaselineOptions counts;
+  GridBaselineOptions kde;
+  kde.use_kde = true;
+  return {
+      {"LocKDE", [] { return std::make_unique<baselines::LocKde>(); }},
+      {"UnicodeCNN", [] { return std::make_unique<baselines::UnicodeCnn>(); }},
+      {"NAIVEBAYES",
+       [counts] { return std::make_unique<baselines::NaiveBayesGrid>(counts); }},
+      {"KULLBACK-LEIBLER",
+       [counts] { return std::make_unique<baselines::KullbackLeiblerGrid>(counts); }},
+      {"NAIVEBAYES_kde2d",
+       [kde] { return std::make_unique<baselines::NaiveBayesGrid>(kde); }},
+      {"KULLBACK-LEIBLER_kde2d",
+       [kde] { return std::make_unique<baselines::KullbackLeiblerGrid>(kde); }},
+      {"Hyper-local", [] { return std::make_unique<baselines::HyperLocal>(); }},
+      {"EDGE", [] { return std::make_unique<core::EdgeModel>(core::EdgeConfig()); }},
+  };
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchSizes sizes = bench::ScaledSizes();
+  std::printf("TABLE III: Performance comparison (simulated datasets)\n\n");
+  std::vector<std::function<bench::BenchDataset()>> builders = {
+      [&sizes] { return bench::BuildNyma(sizes.nyma); },
+      [&sizes] { return bench::BuildLama(sizes.lama); },
+      [&sizes] { return bench::BuildCovid(sizes.covid); }};
+  for (auto& builder : builders) {
+    bench::BenchDataset dataset = builder();
+    std::fprintf(stderr, "%s:\n", dataset.label.c_str());
+    TableWriter table({"Algorithm", "Mean(km)", "Median(km)", "@3km", "@5km"});
+    for (auto& [name, factory] : MethodFactories()) {
+      std::unique_ptr<eval::Geolocator> method = factory();
+      std::vector<std::string> row = bench::RunMethodRow(method.get(),
+                                                         dataset.processed);
+      table.AddRow({name, row[0], row[1], row[2], row[3]});
+    }
+    std::printf("%s\n%s\n", dataset.label.c_str(), table.ToAscii().c_str());
+    std::fflush(stdout);
+  }
+  std::printf(
+      "Paper shape to check: EDGE wins every metric on every dataset; UnicodeCNN is\n"
+      "far behind at this granularity; Hyper-local is competitive but only covers\n"
+      "~81-84%% of tweets; kde2d smoothing helps the count-based grid methods.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// Regenerates Table IV: ablation study. BOW removes entity2vec + GCN +
+/// attention; NoGCN removes the diffusion; SUM replaces attention with
+/// summation; NoMixture learns a single Gaussian. The reproduction target is
+/// that removing any component degrades EDGE, with NoMixture and BOW hurting
+/// the most (Observations O1 / entity-level modelling).
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench_util.h"
+#include "edge/baselines/bow_mdn.h"
+#include "edge/common/table_writer.h"
+#include "edge/core/edge_model.h"
+
+int main() {
+  using namespace edge;
+  bench::BenchSizes sizes = bench::ScaledSizes();
+  std::printf("TABLE IV: Ablation study (simulated datasets)\n\n");
+  std::vector<std::function<bench::BenchDataset()>> builders = {
+      [&sizes] { return bench::BuildNyma(sizes.nyma); },
+      [&sizes] { return bench::BuildLama(sizes.lama); },
+      [&sizes] { return bench::BuildCovid(sizes.covid); }};
+  for (auto& builder : builders) {
+    bench::BenchDataset dataset = builder();
+    std::fprintf(stderr, "%s:\n", dataset.label.c_str());
+    TableWriter table({"Method", "Mean(km)", "Median(km)", "@3km", "@5km"});
+
+    std::vector<std::function<std::unique_ptr<eval::Geolocator>()>> factories = {
+        [] { return std::make_unique<baselines::BowMdn>(); },
+        [] { return std::make_unique<core::EdgeModel>(core::EdgeConfig::NoGcn()); },
+        [] {
+          return std::make_unique<core::EdgeModel>(core::EdgeConfig::SumAggregation());
+        },
+        [] { return std::make_unique<core::EdgeModel>(core::EdgeConfig::NoMixture()); },
+        [] { return std::make_unique<core::EdgeModel>(core::EdgeConfig()); },
+    };
+    for (auto& factory : factories) {
+      std::unique_ptr<eval::Geolocator> method = factory();
+      std::vector<std::string> row = bench::RunMethodRow(method.get(),
+                                                         dataset.processed);
+      table.AddRow({method->name(), row[0], row[1], row[2], row[3]});
+    }
+    std::printf("%s\n%s\n", dataset.label.c_str(), table.ToAscii().c_str());
+    std::fflush(stdout);
+  }
+  std::printf(
+      "Paper shape to check: replacing any component degrades EDGE; BOW and\n"
+      "NoMixture degrade most.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// Use case V-B + Fig. 1: event-dynamics analysis from predicted locations.
+/// Trains EDGE on the simulated New York 2020 COVID stream and compares the
+/// geographic distribution of "quarantine" tweets in two periods —
+/// March 12-22 vs March 22-April 2 — reproducing the paper's observation of
+/// COVID chatter spreading out from the Manhattan hospitals across the
+/// boroughs.
+
+#include <cstdio>
+
+#include "edge/core/edge_model.h"
+#include "edge/data/generator.h"
+#include "edge/data/pipeline.h"
+#include "edge/data/worlds.h"
+#include "edge/eval/heatmap.h"
+
+int main() {
+  using namespace edge;
+
+  data::TweetGenerator generator(data::MakeNy2020World());
+  data::Dataset raw = generator.GenerateWithKeywords(5000, data::CovidKeywords());
+  data::Pipeline pipeline(generator.BuildGazetteer());
+  data::ProcessedDataset dataset = pipeline.Process(raw);
+
+  core::EdgeModel model{core::EdgeConfig()};
+  model.Fit(dataset);
+
+  auto predicted_in_window = [&](double start_day, double end_day,
+                                 const std::string& keyword) {
+    std::vector<geo::LatLon> points;
+    auto scan = [&](const std::vector<data::ProcessedTweet>& tweets) {
+      for (const data::ProcessedTweet& t : tweets) {
+        if (t.time_days < start_day || t.time_days >= end_day) continue;
+        if (t.text.find(keyword) == std::string::npos &&
+            t.text.find("Quarantine") == std::string::npos) {
+          continue;
+        }
+        points.push_back(model.Predict(t).point);
+      }
+    };
+    scan(dataset.train);
+    scan(dataset.test);
+    return points;
+  };
+
+  std::printf("Fig. 1 reproduction: predicted locations of 'quarantine' tweets\n\n");
+  std::vector<geo::LatLon> early = predicted_in_window(0.0, 10.0, "quarantine");
+  std::vector<geo::LatLon> late = predicted_in_window(10.0, 22.0, "quarantine");
+
+  std::printf("(a) 03/12 - 03/22: %zu tweets\n%s\n", early.size(),
+              eval::AsciiHeatmap(early, raw.region, 64, 24).c_str());
+  std::printf("(b) 03/22 - 04/02: %zu tweets\n%s\n", late.size(),
+              eval::AsciiHeatmap(late, raw.region, 64, 24).c_str());
+  std::printf("densest cells early:\n%s\ndensest cells late:\n%s\n",
+              eval::TopCells(early, raw.region, 64, 24, 3).c_str(),
+              eval::TopCells(late, raw.region, 64, 24, 3).c_str());
+  std::printf("shape to check: the early mass hugs Presbyterian Hospital\n"
+              "(40.7644, -73.9546) / Lower Manhattan; the late mass also covers\n"
+              "Brooklyn (Kings County Hospital at 40.6554, -73.9449) — the\n"
+              "\"spreading\" pattern of Fig. 1.\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "edge/baselines/bow_mdn.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "edge/common/math_util.h"
+#include "edge/common/rng.h"
+#include "edge/nn/init.h"
+#include "edge/nn/optimizer.h"
+
+namespace edge::baselines {
+
+BowMdn::BowMdn(BowMdnOptions options) : options_(options) {
+  EDGE_CHECK_GT(options_.hidden, 0u);
+  EDGE_CHECK_GT(options_.num_components, 0u);
+}
+
+const geo::LocalProjection& BowMdn::projection() const {
+  EDGE_CHECK(projection_ != nullptr) << "Fit() not called";
+  return *projection_;
+}
+
+nn::Matrix BowMdn::Featurize(const std::vector<std::string>& tokens) const {
+  nn::Matrix features(1, vocab_.size());
+  for (const std::string& token : tokens) {
+    size_t id = vocab_.Lookup(token);
+    if (id != text::Vocabulary::kNotFound) features.At(0, id) += 1.0;
+  }
+  return features;
+}
+
+void BowMdn::Fit(const data::ProcessedDataset& dataset) {
+  EDGE_CHECK(!fitted_) << "Fit() may only be called once";
+  EDGE_CHECK(!dataset.train.empty());
+  fitted_ = true;
+  Rng rng(options_.seed);
+
+  // Vocabulary with a count floor.
+  std::unordered_map<std::string, int64_t> counts;
+  for (const data::ProcessedTweet& t : dataset.train) {
+    for (const std::string& token : t.words) counts[token] += 1;
+  }
+  for (const data::ProcessedTweet& t : dataset.train) {
+    for (const std::string& token : t.words) {
+      if (counts[token] >= options_.min_count) vocab_.Add(token);
+    }
+  }
+  EDGE_CHECK_GT(vocab_.size(), 0u);
+
+  projection_ = std::make_unique<geo::LocalProjection>(dataset.region.Center());
+  std::vector<geo::PlanePoint> targets;
+  targets.reserve(dataset.train.size());
+  for (const data::ProcessedTweet& t : dataset.train) {
+    targets.push_back(projection_->ToPlane(t.location));
+  }
+  // Same standardized-coordinate trick as EdgeModel (fair ablation).
+  {
+    double mx = 0.0, my = 0.0;
+    for (const geo::PlanePoint& p : targets) {
+      mx += p.x;
+      my += p.y;
+    }
+    mx /= static_cast<double>(targets.size());
+    my /= static_cast<double>(targets.size());
+    double var = 0.0;
+    for (const geo::PlanePoint& p : targets) {
+      var += (p.x - mx) * (p.x - mx) + (p.y - my) * (p.y - my);
+    }
+    coord_scale_km_ =
+        std::max(1.0, std::sqrt(var / (2.0 * static_cast<double>(targets.size()))));
+    for (geo::PlanePoint& p : targets) {
+      p.x /= coord_scale_km_;
+      p.y /= coord_scale_km_;
+    }
+  }
+
+  size_t theta_dim = 6 * options_.num_components;
+  w1_ = nn::Param(nn::XavierUniform(vocab_.size(), options_.hidden, &rng));
+  b1_ = nn::Param(nn::Matrix::Zeros(1, options_.hidden));
+  w2_ = nn::Param(nn::XavierUniform(options_.hidden, theta_dim, &rng));
+  b2_ = nn::Param(nn::Matrix::Zeros(1, theta_dim));
+  {
+    double min_x = targets[0].x, max_x = targets[0].x;
+    double min_y = targets[0].y, max_y = targets[0].y;
+    for (const geo::PlanePoint& p : targets) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+    size_t mc = options_.num_components;
+    for (size_t m = 0; m < mc; ++m) {
+      b2_->value.At(0, m) = rng.Uniform(min_x, max_x);
+      b2_->value.At(0, mc + m) = rng.Uniform(min_y, max_y);
+      b2_->value.At(0, 2 * mc + m) = SoftplusInverse(2.0 / coord_scale_km_);
+      b2_->value.At(0, 3 * mc + m) = SoftplusInverse(2.0 / coord_scale_km_);
+    }
+  }
+
+  std::vector<nn::Var> params = {w1_, b1_, w2_, b2_};
+  nn::AdamOptions adam_options;
+  adam_options.learning_rate = options_.learning_rate;
+  adam_options.weight_decay = options_.weight_decay;
+  nn::Adam adam(params, adam_options);
+
+  nn::MdnOptions mdn_options;
+  mdn_options.num_components = options_.num_components;
+  mdn_options.sigma_min = options_.sigma_min_km / coord_scale_km_;
+
+  std::vector<size_t> order(dataset.train.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size(); start += options_.batch_size) {
+      size_t end = std::min(order.size(), start + options_.batch_size);
+      size_t batch = end - start;
+      nn::Matrix features(batch, vocab_.size());
+      nn::Matrix batch_targets(batch, 2);
+      for (size_t b = 0; b < batch; ++b) {
+        const data::ProcessedTweet& t = dataset.train[order[start + b]];
+        for (const std::string& token : t.words) {
+          size_t id = vocab_.Lookup(token);
+          if (id != text::Vocabulary::kNotFound) features.At(b, id) += 1.0;
+        }
+        batch_targets.At(b, 0) = targets[order[start + b]].x;
+        batch_targets.At(b, 1) = targets[order[start + b]].y;
+      }
+      nn::Var x = nn::Constant(std::move(features));
+      nn::Var hidden = nn::Relu(nn::AddRowBroadcast(nn::MatMul(x, w1_), b1_));
+      nn::Var theta = nn::AddRowBroadcast(nn::MatMul(hidden, w2_), b2_);
+      nn::Var loss = nn::BivariateMdnLoss(theta, batch_targets, mdn_options);
+      nn::Backward(loss);
+      nn::ClipGradientNorm(params, 5.0);
+      adam.Step();
+    }
+  }
+}
+
+geo::GaussianMixture2d BowMdn::PredictMixture(const data::ProcessedTweet& tweet) const {
+  EDGE_CHECK(fitted_) << "Fit() not called";
+  nn::Var x = nn::Constant(Featurize(tweet.words));
+  nn::Var hidden = nn::Relu(nn::AddRowBroadcast(nn::MatMul(x, w1_), b1_));
+  nn::Var theta = nn::AddRowBroadcast(nn::MatMul(hidden, w2_), b2_);
+  nn::MdnOptions mdn_options;
+  mdn_options.num_components = options_.num_components;
+  mdn_options.sigma_min = options_.sigma_min_km / coord_scale_km_;
+  nn::MdnMixture mix = nn::ActivateMdnRow(theta->value.row_data(0), mdn_options);
+  for (size_t m = 0; m < mix.num_components(); ++m) {
+    mix.mean_x[m] *= coord_scale_km_;
+    mix.mean_y[m] *= coord_scale_km_;
+    mix.sigma_x[m] *= coord_scale_km_;
+    mix.sigma_y[m] *= coord_scale_km_;
+  }
+  std::vector<geo::Gaussian2d> components;
+  std::vector<double> weights;
+  for (size_t m = 0; m < mix.num_components(); ++m) {
+    components.emplace_back(geo::PlanePoint{mix.mean_x[m], mix.mean_y[m]},
+                            mix.sigma_x[m], mix.sigma_y[m], mix.rho[m]);
+    weights.push_back(std::max(mix.weight[m], 1e-12));
+  }
+  return geo::GaussianMixture2d(std::move(components), std::move(weights));
+}
+
+bool BowMdn::PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) {
+  EDGE_CHECK(out != nullptr);
+  geo::GaussianMixture2d mixture = PredictMixture(tweet);
+  *out = projection_->ToLatLon(mixture.FindMode());
+  return true;
+}
+
+}  // namespace edge::baselines

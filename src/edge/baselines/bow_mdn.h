@@ -1,0 +1,61 @@
+#ifndef EDGE_BASELINES_BOW_MDN_H_
+#define EDGE_BASELINES_BOW_MDN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edge/eval/geolocator.h"
+#include "edge/geo/mixture.h"
+#include "edge/geo/projection.h"
+#include "edge/nn/autodiff.h"
+#include "edge/nn/mdn.h"
+#include "edge/text/vocabulary.h"
+
+namespace edge::baselines {
+
+/// Options for the BOW ablation.
+struct BowMdnOptions {
+  int64_t min_count = 2;     ///< Vocabulary floor.
+  size_t hidden = 64;        ///< Dense layer width.
+  size_t num_components = 4; ///< Same M as EDGE.
+  int epochs = 12;
+  size_t batch_size = 128;
+  double learning_rate = 0.01;
+  double weight_decay = 0.01;
+  double sigma_min_km = 0.05;
+  uint64_t seed = 99;
+};
+
+/// The Table IV "BOW" ablation: a tweet is a bag-of-words count vector fed
+/// through a dense layer directly into the same Gaussian-mixture head EDGE
+/// uses — no entity2vec, no graph diffusion, no attention. Words (not
+/// entities) are the unit, so multi-word entities fragment, which is the
+/// failure mode the ablation isolates.
+class BowMdn : public eval::Geolocator {
+ public:
+  explicit BowMdn(BowMdnOptions options = {});
+
+  std::string name() const override { return "BOW"; }
+  void Fit(const data::ProcessedDataset& dataset) override;
+  bool PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) override;
+
+  /// Full mixture prediction (plane coordinates via projection()).
+  geo::GaussianMixture2d PredictMixture(const data::ProcessedTweet& tweet) const;
+
+  const geo::LocalProjection& projection() const;
+
+ private:
+  nn::Matrix Featurize(const std::vector<std::string>& tokens) const;
+
+  BowMdnOptions options_;
+  text::Vocabulary vocab_;
+  std::unique_ptr<geo::LocalProjection> projection_;
+  nn::Var w1_, b1_, w2_, b2_;
+  double coord_scale_km_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace edge::baselines
+
+#endif  // EDGE_BASELINES_BOW_MDN_H_

@@ -1,0 +1,138 @@
+#include "edge/baselines/grid_models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "edge/common/check.h"
+
+namespace edge::baselines {
+
+GridClassifierBase::GridClassifierBase(GridBaselineOptions options)
+    : options_(options) {
+  EDGE_CHECK_GT(options_.grid_nx, 0u);
+  EDGE_CHECK_GT(options_.grid_ny, 0u);
+  EDGE_CHECK_GT(options_.alpha, 0.0);
+}
+
+const std::vector<double>& GridClassifierBase::TokenMass(const std::string& token) const {
+  if (options_.use_kde) {
+    return index_->GridMass(token, options_.kde_bandwidth_km);
+  }
+  // Count variant: exact per-cell occurrence counts, cached per term.
+  auto it = count_cache_.find(token);
+  if (it != count_cache_.end()) return it->second;
+  std::vector<double> mass(grid_->num_cells(), 0.0);
+  for (const geo::PlanePoint& p : index_->Occurrences(token)) {
+    mass[grid_->CellOf(index_->projection().ToLatLon(p))] += 1.0;
+  }
+  return count_cache_.emplace(token, std::move(mass)).first->second;
+}
+
+double GridClassifierBase::LogWordGivenCell(const std::string& token, size_t cell) const {
+  const std::vector<double>& mass = TokenMass(token);
+  double numerator = mass[cell] + options_.alpha;
+  double denominator =
+      cell_total_mass_[cell] + options_.alpha * static_cast<double>(vocab_size_);
+  return std::log(numerator / denominator);
+}
+
+void GridClassifierBase::Fit(const data::ProcessedDataset& dataset) {
+  grid_ = std::make_unique<geo::GeoGrid>(dataset.region, options_.grid_nx,
+                                         options_.grid_ny);
+  index_ = std::make_unique<TermDensityIndex>(dataset, *grid_, options_.min_count);
+  vocab_size_ = index_->num_terms();
+
+  // Cell totals: sum of per-term mass, consistent with TokenMass's estimator.
+  cell_total_mass_.assign(grid_->num_cells(), 0.0);
+  for (const std::string& term : index_->Terms()) {
+    const std::vector<double>& mass = TokenMass(term);
+    for (size_t c = 0; c < mass.size(); ++c) cell_total_mass_[c] += mass[c];
+  }
+
+  // Cell priors from tweet counts (additively smoothed).
+  std::vector<double> tweet_counts(grid_->num_cells(), 0.0);
+  for (const data::ProcessedTweet& t : dataset.train) {
+    tweet_counts[grid_->CellOf(t.location)] += 1.0;
+  }
+  cell_log_prior_.resize(grid_->num_cells());
+  double denom = static_cast<double>(dataset.train.size()) +
+                 options_.alpha * static_cast<double>(grid_->num_cells());
+  for (size_t c = 0; c < grid_->num_cells(); ++c) {
+    cell_log_prior_[c] = std::log((tweet_counts[c] + options_.alpha) / denom);
+  }
+  fallback_cell_ = static_cast<size_t>(
+      std::max_element(tweet_counts.begin(), tweet_counts.end()) - tweet_counts.begin());
+}
+
+bool GridClassifierBase::PredictPoint(const data::ProcessedTweet& tweet,
+                                      geo::LatLon* out) {
+  EDGE_CHECK(out != nullptr);
+  EDGE_CHECK(grid_ != nullptr) << "Fit() not called";
+  std::vector<std::string> known;
+  for (const std::string& token : tweet.words) {
+    if (index_->HasTerm(token)) known.push_back(token);
+  }
+  if (known.empty()) {
+    *out = grid_->CellCenter(fallback_cell_);
+    return true;
+  }
+  std::vector<double> scores;
+  ScoreCells(known, &scores);
+  EDGE_CHECK_EQ(scores.size(), grid_->num_cells());
+  size_t best = static_cast<size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+  *out = grid_->CellCenter(best);
+  return true;
+}
+
+NaiveBayesGrid::NaiveBayesGrid(GridBaselineOptions options)
+    : GridClassifierBase(options) {}
+
+std::string NaiveBayesGrid::name() const {
+  return options_.use_kde ? "NAIVEBAYES_kde2d" : "NAIVEBAYES";
+}
+
+void NaiveBayesGrid::ScoreCells(const std::vector<std::string>& tokens,
+                                std::vector<double>* scores) const {
+  scores->assign(grid_->num_cells(), 0.0);
+  for (size_t c = 0; c < grid_->num_cells(); ++c) (*scores)[c] = cell_log_prior_[c];
+  for (const std::string& token : tokens) {
+    const std::vector<double>& mass = TokenMass(token);
+    for (size_t c = 0; c < grid_->num_cells(); ++c) {
+      double numerator = mass[c] + options_.alpha;
+      double denominator =
+          cell_total_mass_[c] + options_.alpha * static_cast<double>(vocab_size_);
+      (*scores)[c] += std::log(numerator / denominator);
+    }
+  }
+}
+
+KullbackLeiblerGrid::KullbackLeiblerGrid(GridBaselineOptions options)
+    : GridClassifierBase(options) {}
+
+std::string KullbackLeiblerGrid::name() const {
+  return options_.use_kde ? "KULLBACK-LEIBLER_kde2d" : "KULLBACK-LEIBLER";
+}
+
+void KullbackLeiblerGrid::ScoreCells(const std::vector<std::string>& tokens,
+                                     std::vector<double>* scores) const {
+  // Document distribution q(w); minimizing KL(q || theta_c) over cells is
+  // maximizing sum_w q(w) log theta_c(w).
+  std::unordered_map<std::string, double> q;
+  for (const std::string& token : tokens) q[token] += 1.0;
+  double total = static_cast<double>(tokens.size());
+  scores->assign(grid_->num_cells(), 0.0);
+  for (const auto& [token, count] : q) {
+    double weight = count / total;
+    const std::vector<double>& mass = TokenMass(token);
+    for (size_t c = 0; c < grid_->num_cells(); ++c) {
+      double numerator = mass[c] + options_.alpha;
+      double denominator =
+          cell_total_mass_[c] + options_.alpha * static_cast<double>(vocab_size_);
+      (*scores)[c] += weight * std::log(numerator / denominator);
+    }
+  }
+}
+
+}  // namespace edge::baselines

@@ -1,0 +1,85 @@
+#ifndef EDGE_BASELINES_GRID_MODELS_H_
+#define EDGE_BASELINES_GRID_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "edge/baselines/term_density.h"
+#include "edge/eval/geolocator.h"
+#include "edge/geo/grid.h"
+
+namespace edge::baselines {
+
+/// Options shared by the grid classifiers of Hulden et al. [12]. The paper's
+/// experiments divide each region into 100 x 100 uniform cells.
+struct GridBaselineOptions {
+  size_t grid_nx = 100;
+  size_t grid_ny = 100;
+  /// Additive smoothing for per-cell word distributions.
+  double alpha = 0.1;
+  /// Tokens rarer than this are ignored.
+  int64_t min_count = 2;
+  /// Replace raw counts with 2-D spherical Gaussian kernel mass (the
+  /// NAIVEBAYES_kde2d / KULLBACK-LEIBLER_kde2d variants).
+  bool use_kde = false;
+  double kde_bandwidth_km = 1.0;
+};
+
+/// Common machinery of the four Hulden-style grid baselines: per-cell word
+/// mass (count-based or kernel-smoothed), cell priors, and the argmax-cell
+/// decision returning the winning cell centre.
+class GridClassifierBase : public eval::Geolocator {
+ public:
+  explicit GridClassifierBase(GridBaselineOptions options);
+
+  void Fit(const data::ProcessedDataset& dataset) override;
+  bool PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) override;
+
+ protected:
+  /// Scores every cell for a tweet; the base adds the winning-cell logic.
+  virtual void ScoreCells(const std::vector<std::string>& tokens,
+                          std::vector<double>* scores) const = 0;
+
+  /// Per-cell mass of a token (counts or KDE mass depending on options).
+  const std::vector<double>& TokenMass(const std::string& token) const;
+  /// Smoothed log P(token | cell).
+  double LogWordGivenCell(const std::string& token, size_t cell) const;
+
+  GridBaselineOptions options_;
+  std::unique_ptr<geo::GeoGrid> grid_;
+  std::unique_ptr<TermDensityIndex> index_;
+  std::vector<double> cell_total_mass_;   ///< Denominator of P(w|c).
+  std::vector<double> cell_log_prior_;    ///< log P(c) from tweet counts.
+  size_t vocab_size_ = 0;
+  size_t fallback_cell_ = 0;              ///< Densest cell, for empty tweets.
+  mutable std::unordered_map<std::string, std::vector<double>> count_cache_;
+};
+
+/// NAIVEBAYES [12]: argmax_c log P(c) + sum_w log P(w|c).
+class NaiveBayesGrid : public GridClassifierBase {
+ public:
+  explicit NaiveBayesGrid(GridBaselineOptions options = {});
+  std::string name() const override;
+
+ protected:
+  void ScoreCells(const std::vector<std::string>& tokens,
+                  std::vector<double>* scores) const override;
+};
+
+/// KULLBACK-LEIBLER [12]: argmin_c KL(doc || cell), equivalently
+/// argmax_c sum_w q(w) log P(w|c) with q the document distribution.
+class KullbackLeiblerGrid : public GridClassifierBase {
+ public:
+  explicit KullbackLeiblerGrid(GridBaselineOptions options = {});
+  std::string name() const override;
+
+ protected:
+  void ScoreCells(const std::vector<std::string>& tokens,
+                  std::vector<double>* scores) const override;
+};
+
+}  // namespace edge::baselines
+
+#endif  // EDGE_BASELINES_GRID_MODELS_H_

@@ -1,0 +1,79 @@
+#include "edge/baselines/hyperlocal.h"
+
+#include <cmath>
+
+#include "edge/common/check.h"
+
+namespace edge::baselines {
+
+HyperLocal::HyperLocal(HyperLocalOptions options) : options_(options) {
+  EDGE_CHECK_GE(options_.max_ngram, 1u);
+  EDGE_CHECK_GE(options_.min_count, 2);
+  EDGE_CHECK_GT(options_.geo_specific_spread_km, 0.0);
+}
+
+std::vector<std::string> HyperLocal::Ngrams(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> ngrams;
+  for (size_t n = 1; n <= options_.max_ngram; ++n) {
+    if (tokens.size() < n) break;
+    for (size_t i = 0; i + n <= tokens.size(); ++i) {
+      std::string gram = tokens[i];
+      for (size_t j = 1; j < n; ++j) gram += " " + tokens[i + j];
+      ngrams.push_back(std::move(gram));
+    }
+  }
+  return ngrams;
+}
+
+void HyperLocal::Fit(const data::ProcessedDataset& dataset) {
+  projection_ = std::make_unique<geo::LocalProjection>(dataset.region.Center());
+
+  std::unordered_map<std::string, std::vector<geo::PlanePoint>> occurrences;
+  for (const data::ProcessedTweet& t : dataset.train) {
+    geo::PlanePoint p = projection_->ToPlane(t.location);
+    for (const std::string& gram : Ngrams(t.words)) occurrences[gram].push_back(p);
+  }
+
+  for (const auto& [gram, points] : occurrences) {
+    if (static_cast<int64_t>(points.size()) < options_.min_count) continue;
+    double mx = 0.0;
+    double my = 0.0;
+    for (const geo::PlanePoint& p : points) {
+      mx += p.x;
+      my += p.y;
+    }
+    mx /= static_cast<double>(points.size());
+    my /= static_cast<double>(points.size());
+    double ss = 0.0;
+    for (const geo::PlanePoint& p : points) {
+      ss += (p.x - mx) * (p.x - mx) + (p.y - my) * (p.y - my);
+    }
+    double spread = std::sqrt(ss / static_cast<double>(points.size()));
+    if (spread <= options_.geo_specific_spread_km) {
+      models_[gram] = {{mx, my}, spread};
+    }
+  }
+}
+
+bool HyperLocal::PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) {
+  EDGE_CHECK(out != nullptr);
+  EDGE_CHECK(projection_ != nullptr) << "Fit() not called";
+  double wx = 0.0;
+  double wy = 0.0;
+  double total = 0.0;
+  for (const std::string& gram : Ngrams(tweet.words)) {
+    auto it = models_.find(gram);
+    if (it == models_.end()) continue;
+    // Precision weighting: tighter n-grams dominate the centroid.
+    double weight = 1.0 / (it->second.spread_km * it->second.spread_km + 0.25);
+    wx += weight * it->second.mean.x;
+    wy += weight * it->second.mean.y;
+    total += weight;
+  }
+  if (total == 0.0) return false;  // Not covered: no geo-specific n-gram.
+  *out = projection_->ToLatLon({wx / total, wy / total});
+  return true;
+}
+
+}  // namespace edge::baselines

@@ -1,0 +1,67 @@
+#include "edge/baselines/lockde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edge/common/check.h"
+#include "edge/common/math_util.h"
+
+namespace edge::baselines {
+
+LocKde::LocKde(LocKdeOptions options) : options_(options) {
+  EDGE_CHECK_GT(options_.min_bandwidth_km, 0.0);
+  EDGE_CHECK_GE(options_.max_bandwidth_km, options_.min_bandwidth_km);
+}
+
+void LocKde::Fit(const data::ProcessedDataset& dataset) {
+  grid_ = std::make_unique<geo::GeoGrid>(dataset.region, options_.grid_nx,
+                                         options_.grid_ny);
+  index_ = std::make_unique<TermDensityIndex>(dataset, *grid_, options_.min_count);
+
+  std::vector<double> tweet_counts(grid_->num_cells(), 0.0);
+  for (const data::ProcessedTweet& t : dataset.train) {
+    tweet_counts[grid_->CellOf(t.location)] += 1.0;
+  }
+  fallback_cell_ = static_cast<size_t>(
+      std::max_element(tweet_counts.begin(), tweet_counts.end()) - tweet_counts.begin());
+}
+
+double LocKde::TermBandwidthKm(const std::string& term) const {
+  EDGE_CHECK(index_ != nullptr);
+  double spread = index_->SpatialSpreadKm(term);
+  double n = static_cast<double>(index_->Occurrences(term).size());
+  double h = spread * std::pow(n, -1.0 / 6.0);
+  return Clamp(h, options_.min_bandwidth_km, options_.max_bandwidth_km);
+}
+
+double LocKde::TermWeight(const std::string& term) const {
+  EDGE_CHECK(index_ != nullptr);
+  return 1.0 / (1.0 + index_->SpatialSpreadKm(term));
+}
+
+bool LocKde::PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) {
+  EDGE_CHECK(out != nullptr);
+  EDGE_CHECK(grid_ != nullptr) << "Fit() not called";
+  std::vector<double> scores(grid_->num_cells(), 0.0);
+  bool any = false;
+  for (const std::string& token : tweet.words) {
+    if (!index_->HasTerm(token)) continue;
+    any = true;
+    double weight = TermWeight(token);
+    double n = static_cast<double>(index_->Occurrences(token).size());
+    const std::vector<double>& mass = index_->GridMass(token, TermBandwidthKm(token));
+    for (size_t c = 0; c < scores.size(); ++c) {
+      scores[c] += weight * mass[c] / n;  // Normalized per-term density.
+    }
+  }
+  if (!any) {
+    *out = grid_->CellCenter(fallback_cell_);
+    return true;
+  }
+  size_t best = static_cast<size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+  *out = grid_->CellCenter(best);
+  return true;
+}
+
+}  // namespace edge::baselines

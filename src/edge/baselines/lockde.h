@@ -1,0 +1,52 @@
+#ifndef EDGE_BASELINES_LOCKDE_H_
+#define EDGE_BASELINES_LOCKDE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edge/baselines/term_density.h"
+#include "edge/eval/geolocator.h"
+#include "edge/geo/grid.h"
+
+namespace edge::baselines {
+
+/// Options for LocKDE (Ozdikis et al. [23]).
+struct LocKdeOptions {
+  size_t grid_nx = 100;
+  size_t grid_ny = 100;
+  int64_t min_count = 2;
+  /// Per-term bandwidth bounds (km). A term's bandwidth is its spatial
+  /// spread scaled by n^{-1/6} (rule of thumb), clamped into this range, so
+  /// location-indicative (spatially tight) terms get sharp kernels.
+  double min_bandwidth_km = 0.3;
+  double max_bandwidth_km = 3.0;
+};
+
+/// LocKDE [23]: per-term kernel density estimates over the region, with each
+/// term's kernel bandwidth chosen from its location indicativeness; a
+/// tweet's cell score is the indicativeness-weighted sum of its terms'
+/// densities, and the winning cell centre is returned.
+class LocKde : public eval::Geolocator {
+ public:
+  explicit LocKde(LocKdeOptions options = {});
+
+  std::string name() const override { return "LocKDE"; }
+  void Fit(const data::ProcessedDataset& dataset) override;
+  bool PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) override;
+
+  /// Bandwidth assigned to a term (exposed for tests).
+  double TermBandwidthKm(const std::string& term) const;
+  /// Indicativeness weight of a term: 1 / (1 + spatial spread).
+  double TermWeight(const std::string& term) const;
+
+ private:
+  LocKdeOptions options_;
+  std::unique_ptr<geo::GeoGrid> grid_;
+  std::unique_ptr<TermDensityIndex> index_;
+  size_t fallback_cell_ = 0;
+};
+
+}  // namespace edge::baselines
+
+#endif  // EDGE_BASELINES_LOCKDE_H_

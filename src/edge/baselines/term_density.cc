@@ -1,0 +1,111 @@
+#include "edge/baselines/term_density.h"
+
+#include <cmath>
+
+#include "edge/common/check.h"
+#include "edge/common/math_util.h"
+
+namespace edge::baselines {
+
+TermDensityIndex::TermDensityIndex(const data::ProcessedDataset& dataset,
+                                   const geo::GeoGrid& grid, int64_t min_count)
+    : grid_(grid), projection_(dataset.region.Center()) {
+  EDGE_CHECK_GE(min_count, 1);
+  cell_centers_.reserve(grid_.num_cells());
+  for (size_t c = 0; c < grid_.num_cells(); ++c) {
+    cell_centers_.push_back(projection_.ToPlane(grid_.CellCenter(c)));
+  }
+
+  std::unordered_map<std::string, int64_t> counts;
+  for (const data::ProcessedTweet& t : dataset.train) {
+    for (const std::string& token : t.words) counts[token] += 1;
+  }
+  for (const data::ProcessedTweet& t : dataset.train) {
+    geo::PlanePoint p = projection_.ToPlane(t.location);
+    for (const std::string& token : t.words) {
+      if (counts[token] >= min_count) occurrences_[token].push_back(p);
+    }
+  }
+}
+
+bool TermDensityIndex::HasTerm(const std::string& term) const {
+  return occurrences_.count(term) > 0;
+}
+
+const std::vector<geo::PlanePoint>& TermDensityIndex::Occurrences(
+    const std::string& term) const {
+  auto it = occurrences_.find(term);
+  EDGE_CHECK(it != occurrences_.end()) << "unknown term" << term;
+  return it->second;
+}
+
+const std::vector<double>& TermDensityIndex::GridMass(const std::string& term,
+                                                      double bandwidth_km) const {
+  EDGE_CHECK_GT(bandwidth_km, 0.0);
+  auto cached = mass_cache_.find(term);
+  if (cached != mass_cache_.end()) return cached->second;
+
+  const std::vector<geo::PlanePoint>& points = Occurrences(term);
+  std::vector<double> mass(grid_.num_cells(), 0.0);
+  double inv_two_h_sq = 1.0 / (2.0 * bandwidth_km * bandwidth_km);
+  double cutoff_km = 3.0 * bandwidth_km;
+  // Cell extents in km for window truncation.
+  geo::PlanePoint c00 = cell_centers_[grid_.CellAt(0, 0)];
+  geo::PlanePoint c10 = grid_.nx() > 1 ? cell_centers_[grid_.CellAt(1, 0)] : c00;
+  geo::PlanePoint c01 = grid_.ny() > 1 ? cell_centers_[grid_.CellAt(0, 1)] : c00;
+  double cell_w = grid_.nx() > 1 ? std::fabs(c10.x - c00.x) : 1.0;
+  double cell_h = grid_.ny() > 1 ? std::fabs(c01.y - c00.y) : 1.0;
+  long win_x = static_cast<long>(std::ceil(cutoff_km / cell_w));
+  long win_y = static_cast<long>(std::ceil(cutoff_km / cell_h));
+
+  for (const geo::PlanePoint& p : points) {
+    // Locate the cell under the point, then sweep the truncated window.
+    geo::LatLon ll = projection_.ToLatLon(p);
+    size_t center_cell = grid_.CellOf(ll);
+    long col0 = static_cast<long>(grid_.CellCol(center_cell));
+    long row0 = static_cast<long>(grid_.CellRow(center_cell));
+    for (long dr = -win_y; dr <= win_y; ++dr) {
+      long row = row0 + dr;
+      if (row < 0 || row >= static_cast<long>(grid_.ny())) continue;
+      for (long dc = -win_x; dc <= win_x; ++dc) {
+        long col = col0 + dc;
+        if (col < 0 || col >= static_cast<long>(grid_.nx())) continue;
+        size_t cell = grid_.CellAt(static_cast<size_t>(col), static_cast<size_t>(row));
+        double dx = cell_centers_[cell].x - p.x;
+        double dy = cell_centers_[cell].y - p.y;
+        double d_sq = dx * dx + dy * dy;
+        if (d_sq > cutoff_km * cutoff_km) continue;
+        mass[cell] += std::exp(-d_sq * inv_two_h_sq);
+      }
+    }
+  }
+  auto [it, inserted] = mass_cache_.emplace(term, std::move(mass));
+  return it->second;
+}
+
+std::vector<std::string> TermDensityIndex::Terms() const {
+  std::vector<std::string> terms;
+  terms.reserve(occurrences_.size());
+  for (const auto& [term, _] : occurrences_) terms.push_back(term);
+  return terms;
+}
+
+double TermDensityIndex::SpatialSpreadKm(const std::string& term) const {
+  const std::vector<geo::PlanePoint>& points = Occurrences(term);
+  if (points.size() < 2) return 0.0;
+  double mx = 0.0;
+  double my = 0.0;
+  for (const geo::PlanePoint& p : points) {
+    mx += p.x;
+    my += p.y;
+  }
+  mx /= static_cast<double>(points.size());
+  my /= static_cast<double>(points.size());
+  double ss = 0.0;
+  for (const geo::PlanePoint& p : points) {
+    ss += (p.x - mx) * (p.x - mx) + (p.y - my) * (p.y - my);
+  }
+  return std::sqrt(ss / static_cast<double>(points.size()));
+}
+
+}  // namespace edge::baselines

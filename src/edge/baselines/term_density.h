@@ -1,0 +1,60 @@
+#ifndef EDGE_BASELINES_TERM_DENSITY_H_
+#define EDGE_BASELINES_TERM_DENSITY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "edge/data/pipeline.h"
+#include "edge/geo/grid.h"
+#include "edge/geo/projection.h"
+
+namespace edge::baselines {
+
+/// Shared substrate of the density-based baselines (LocKDE and the kde2d
+/// grid variants): per-term occurrence locations over the training split and
+/// Gaussian-kernel-smoothed per-term mass over a uniform grid.
+class TermDensityIndex {
+ public:
+  /// Collects, for every token with count >= min_count, the plane-projected
+  /// training locations of its occurrences.
+  TermDensityIndex(const data::ProcessedDataset& dataset, const geo::GeoGrid& grid,
+                   int64_t min_count);
+
+  /// True when the term passed the count threshold.
+  bool HasTerm(const std::string& term) const;
+
+  /// Occurrence locations (km plane) of a known term.
+  const std::vector<geo::PlanePoint>& Occurrences(const std::string& term) const;
+
+  /// Per-cell kernel mass of a term: sum over its occurrences of a Gaussian
+  /// kernel with standard deviation `bandwidth_km`, truncated at 3 sigma and
+  /// evaluated at cell centres. Cached per (term, bandwidth is fixed at first
+  /// call per term), so repeated queries are cheap.
+  const std::vector<double>& GridMass(const std::string& term, double bandwidth_km) const;
+
+  /// Spatial dispersion of a term: root-mean-square distance of its
+  /// occurrences from their centroid, in km (the location-indicativeness
+  /// statistic LocKDE derives bandwidths from).
+  double SpatialSpreadKm(const std::string& term) const;
+
+  const geo::GeoGrid& grid() const { return grid_; }
+  const geo::LocalProjection& projection() const { return projection_; }
+
+  /// Number of indexed terms.
+  size_t num_terms() const { return occurrences_.size(); }
+
+  /// All indexed terms (unspecified order).
+  std::vector<std::string> Terms() const;
+
+ private:
+  geo::GeoGrid grid_;
+  geo::LocalProjection projection_;
+  std::vector<geo::PlanePoint> cell_centers_;
+  std::unordered_map<std::string, std::vector<geo::PlanePoint>> occurrences_;
+  mutable std::unordered_map<std::string, std::vector<double>> mass_cache_;
+};
+
+}  // namespace edge::baselines
+
+#endif  // EDGE_BASELINES_TERM_DENSITY_H_

@@ -1,0 +1,157 @@
+#include "edge/baselines/unicode_cnn.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "edge/common/math_util.h"
+#include "edge/common/rng.h"
+#include "edge/nn/conv.h"
+#include "edge/nn/init.h"
+#include "edge/nn/mdn.h"
+#include "edge/nn/optimizer.h"
+
+namespace edge::baselines {
+
+namespace {
+
+constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789 .,!?'#@-_:/&";
+constexpr size_t kAlphabetSize = sizeof(kAlphabet);  // Last slot: other chars.
+constexpr double kEarthRadiusKm = 6371.0088;
+
+size_t CharIndex(char c) {
+  const char* pos = std::strchr(kAlphabet, std::tolower(static_cast<unsigned char>(c)));
+  if (pos == nullptr || *pos == '\0') return kAlphabetSize - 1;
+  return static_cast<size_t>(pos - kAlphabet);
+}
+
+}  // namespace
+
+UnicodeCnn::UnicodeCnn(UnicodeCnnOptions options) : options_(options) {
+  EDGE_CHECK_GE(options_.max_chars, options_.kernel_width);
+  EDGE_CHECK_GT(options_.mvmf_grid, 0u);
+  EDGE_CHECK_GT(options_.component_sigma_km, 0.0);
+  kappa_ = (kEarthRadiusKm / options_.component_sigma_km) *
+           (kEarthRadiusKm / options_.component_sigma_km);
+}
+
+std::array<double, 3> UnicodeCnn::ToUnitVector(const geo::LatLon& loc) {
+  double lat = loc.lat * kPi / 180.0;
+  double lon = loc.lon * kPi / 180.0;
+  return {std::cos(lat) * std::cos(lon), std::cos(lat) * std::sin(lon), std::sin(lat)};
+}
+
+nn::Matrix UnicodeCnn::Encode(const std::string& text) const {
+  size_t length = std::max(options_.kernel_width,
+                           std::min(options_.max_chars, text.size()));
+  nn::Matrix one_hot(length, kAlphabetSize);
+  for (size_t i = 0; i < length; ++i) {
+    char c = i < text.size() ? text[i] : ' ';  // Pad with spaces.
+    one_hot.At(i, CharIndex(c)) = 1.0;
+  }
+  return one_hot;
+}
+
+std::vector<double> UnicodeCnn::ComponentLogDensities(const geo::LatLon& loc) const {
+  std::array<double, 3> x = ToUnitVector(loc);
+  std::vector<double> logdens(center_vectors_.size());
+  for (size_t m = 0; m < center_vectors_.size(); ++m) {
+    const std::array<double, 3>& mu = center_vectors_[m];
+    double dot = mu[0] * x[0] + mu[1] * x[1] + mu[2] * x[2];
+    // log vMF(x; mu, kappa) = kappa * mu.x + log C(kappa); the constant is
+    // shared by all components (same kappa), so we keep only the varying
+    // part, shifted by -kappa for numeric headroom.
+    logdens[m] = kappa_ * (dot - 1.0);
+  }
+  return logdens;
+}
+
+nn::Var UnicodeCnn::ForwardLogits(const std::string& text) const {
+  nn::Var input = nn::Constant(Encode(text));
+  nn::Var conv = nn::Conv1d(input, conv_kernel_, options_.kernel_width);
+  nn::Var activated = nn::Relu(nn::AddRowBroadcast(conv, conv_bias_));
+  nn::Var pooled = nn::MaxOverTime(activated);  // 1 x channels.
+  return nn::AddRowBroadcast(nn::MatMul(pooled, dense_w_), dense_b_);
+}
+
+void UnicodeCnn::Fit(const data::ProcessedDataset& dataset) {
+  EDGE_CHECK(!fitted_) << "Fit() may only be called once";
+  EDGE_CHECK(!dataset.train.empty());
+  fitted_ = true;
+  Rng rng(options_.seed);
+
+  // Fixed vMF centres: uniform grid over the region (paper: 100 components
+  // uniformly distributed in the region).
+  const geo::BoundingBox& box = dataset.region;
+  for (size_t gy = 0; gy < options_.mvmf_grid; ++gy) {
+    for (size_t gx = 0; gx < options_.mvmf_grid; ++gx) {
+      double fy = (static_cast<double>(gy) + 0.5) / static_cast<double>(options_.mvmf_grid);
+      double fx = (static_cast<double>(gx) + 0.5) / static_cast<double>(options_.mvmf_grid);
+      geo::LatLon center{box.min_lat + fy * (box.max_lat - box.min_lat),
+                         box.min_lon + fx * (box.max_lon - box.min_lon)};
+      centers_.push_back(center);
+      center_vectors_.push_back(ToUnitVector(center));
+    }
+  }
+
+  size_t m_count = centers_.size();
+  conv_kernel_ = nn::Param(
+      nn::XavierUniform(options_.kernel_width * kAlphabetSize, options_.channels, &rng));
+  conv_bias_ = nn::Param(nn::Matrix::Zeros(1, options_.channels));
+  dense_w_ = nn::Param(nn::XavierUniform(options_.channels, m_count, &rng));
+  dense_b_ = nn::Param(nn::Matrix::Zeros(1, m_count));
+  std::vector<nn::Var> params = {conv_kernel_, conv_bias_, dense_w_, dense_b_};
+  nn::AdamOptions adam_options;
+  adam_options.learning_rate = options_.learning_rate;
+  adam_options.weight_decay = 0.0;
+  nn::Adam adam(params, adam_options);
+
+  // Precompute per-tweet component log densities.
+  std::vector<std::vector<double>> logdens(dataset.train.size());
+  for (size_t i = 0; i < dataset.train.size(); ++i) {
+    logdens[i] = ComponentLogDensities(dataset.train[i].location);
+  }
+
+  std::vector<size_t> order(dataset.train.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size(); start += options_.batch_size) {
+      size_t end = std::min(order.size(), start + options_.batch_size);
+      std::vector<nn::Var> logits_rows;
+      nn::Matrix batch_logdens(end - start, m_count);
+      for (size_t b = start; b < end; ++b) {
+        size_t i = order[b];
+        logits_rows.push_back(ForwardLogits(dataset.train[i].text));
+        for (size_t m = 0; m < m_count; ++m) {
+          batch_logdens.At(b - start, m) = logdens[i][m];
+        }
+      }
+      nn::Var logits = nn::ConcatRows(logits_rows);
+      nn::Var loss = nn::FixedComponentMixtureLoss(logits, batch_logdens);
+      nn::Backward(loss);
+      nn::ClipGradientNorm(params, 5.0);
+      adam.Step();
+    }
+  }
+}
+
+bool UnicodeCnn::PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) {
+  EDGE_CHECK(out != nullptr);
+  EDGE_CHECK(fitted_) << "Fit() not called";
+  nn::Var logits = ForwardLogits(tweet.text);
+  size_t best = 0;
+  double best_value = logits->value.At(0, 0);
+  for (size_t m = 1; m < centers_.size(); ++m) {
+    if (logits->value.At(0, m) > best_value) {
+      best_value = logits->value.At(0, m);
+      best = m;
+    }
+  }
+  *out = centers_[best];
+  return true;
+}
+
+}  // namespace edge::baselines

@@ -1,0 +1,73 @@
+#ifndef EDGE_BASELINES_UNICODE_CNN_H_
+#define EDGE_BASELINES_UNICODE_CNN_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edge/eval/geolocator.h"
+#include "edge/geo/latlon.h"
+#include "edge/nn/autodiff.h"
+
+namespace edge::baselines {
+
+/// Options for the UnicodeCNN baseline (Izbicki et al. [13]).
+struct UnicodeCnnOptions {
+  /// Characters consumed per tweet (tweets are truncated/padded).
+  size_t max_chars = 140;
+  /// Convolution taps and output channels.
+  size_t kernel_width = 7;
+  size_t channels = 64;
+  /// Mixture-of-von-Mises-Fisher components, laid out on a uniform grid over
+  /// the region (the paper uses 100 uniformly distributed components).
+  size_t mvmf_grid = 10;  ///< mvmf_grid^2 components.
+  /// Concentration expressed as a km-scale spread: kappa = (R_earth/sigma)^2.
+  double component_sigma_km = 3.0;
+  int epochs = 4;
+  size_t batch_size = 64;
+  double learning_rate = 0.005;
+  uint64_t seed = 77;
+};
+
+/// UnicodeCNN [13]: a character-level convolutional network over the raw
+/// text (one-hot characters -> 1-D conv -> max-over-time -> dense) whose
+/// output weights a mixture of von Mises-Fisher distributions with fixed
+/// centres on the unit sphere. Character-level features carry little
+/// fine-grained signal inside a single-city, single-language corpus, which
+/// is exactly the weakness Table III exposes.
+class UnicodeCnn : public eval::Geolocator {
+ public:
+  explicit UnicodeCnn(UnicodeCnnOptions options = {});
+
+  std::string name() const override { return "UnicodeCNN"; }
+  void Fit(const data::ProcessedDataset& dataset) override;
+  bool PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) override;
+
+  size_t num_components() const { return centers_.size(); }
+
+ private:
+  /// One-hot character matrix (>= kernel_width rows).
+  nn::Matrix Encode(const std::string& text) const;
+  /// Per-component vMF log densities (up to a constant) for a location.
+  std::vector<double> ComponentLogDensities(const geo::LatLon& loc) const;
+  /// Unit 3-vector of a lat/lon point.
+  static std::array<double, 3> ToUnitVector(const geo::LatLon& loc);
+  /// Forward pass to mixture logits for one tweet (shared by train/predict).
+  nn::Var ForwardLogits(const std::string& text) const;
+
+  UnicodeCnnOptions options_;
+  std::vector<geo::LatLon> centers_;
+  std::vector<std::array<double, 3>> center_vectors_;
+  double kappa_ = 0.0;
+
+  nn::Var conv_kernel_;
+  nn::Var conv_bias_;
+  nn::Var dense_w_;
+  nn::Var dense_b_;
+  bool fitted_ = false;
+};
+
+}  // namespace edge::baselines
+
+#endif  // EDGE_BASELINES_UNICODE_CNN_H_

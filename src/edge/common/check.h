@@ -1,0 +1,64 @@
+#ifndef EDGE_COMMON_CHECK_H_
+#define EDGE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// \file
+/// Invariant-checking macros. `EDGE_CHECK` is always on; `EDGE_DCHECK` compiles
+/// away in NDEBUG builds. Failures print file:line plus an optional streamed
+/// message and abort, RocksDB-assert style: internal invariants are not
+/// recoverable errors, so no exception machinery is involved.
+
+namespace edge::internal {
+
+/// Collects a streamed message and aborts the process when destroyed.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "EDGE_CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  /// Appends extra context to the failure message.
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace edge::internal
+
+#define EDGE_CHECK(expr)                                             \
+  if (expr) {                                                        \
+  } else                                                             \
+    ::edge::internal::CheckFailure(__FILE__, __LINE__, #expr)
+
+#define EDGE_CHECK_EQ(a, b) EDGE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define EDGE_CHECK_NE(a, b) EDGE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define EDGE_CHECK_LT(a, b) EDGE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define EDGE_CHECK_LE(a, b) EDGE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define EDGE_CHECK_GT(a, b) EDGE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define EDGE_CHECK_GE(a, b) EDGE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#ifdef NDEBUG
+#define EDGE_DCHECK(expr) \
+  if (true) {             \
+  } else                  \
+    ::edge::internal::CheckFailure(__FILE__, __LINE__, #expr)
+#else
+#define EDGE_DCHECK(expr) EDGE_CHECK(expr)
+#endif
+
+#endif  // EDGE_COMMON_CHECK_H_

@@ -1,0 +1,91 @@
+#include "edge/common/math_util.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "edge/common/check.h"
+
+namespace edge {
+
+double LogSumExp(const std::vector<double>& xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  double max_x = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(max_x)) return max_x;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - max_x);
+  return max_x + std::log(sum);
+}
+
+double LogAddExp(double a, double b) {
+  if (a < b) std::swap(a, b);
+  if (!std::isfinite(a)) return a;
+  return a + std::log1p(std::exp(b - a));
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double Softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double SoftplusInverse(double y) {
+  EDGE_CHECK_GT(y, 0.0);
+  if (y > 30.0) return y;
+  return std::log(std::expm1(y));
+}
+
+double Softsign(double x) { return x / (1.0 + std::fabs(x)); }
+
+void SoftmaxInPlace(std::vector<double>* xs) {
+  EDGE_CHECK(xs != nullptr);
+  EDGE_CHECK(!xs->empty());
+  double max_x = *std::max_element(xs->begin(), xs->end());
+  double sum = 0.0;
+  for (double& x : *xs) {
+    x = std::exp(x - max_x);
+    sum += x;
+  }
+  EDGE_CHECK_GT(sum, 0.0);
+  for (double& x : *xs) x /= sum;
+}
+
+double Clamp(double x, double lo, double hi) {
+  EDGE_CHECK_LE(lo, hi);
+  return std::min(std::max(x, lo), hi);
+}
+
+double Mean(const std::vector<double>& xs) {
+  EDGE_CHECK(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Median(std::vector<double> xs) {
+  EDGE_CHECK(!xs.empty());
+  size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double upper = xs[mid];
+  if (xs.size() % 2 == 1) return upper;
+  double lower = *std::max_element(xs.begin(), xs.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mean = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace edge

@@ -1,0 +1,46 @@
+#ifndef EDGE_COMMON_MATH_UTIL_H_
+#define EDGE_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <vector>
+
+namespace edge {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Numerically stable log(sum_i exp(x_i)); returns -inf for an empty input.
+double LogSumExp(const std::vector<double>& xs);
+
+/// Numerically stable log(exp(a) + exp(b)).
+double LogAddExp(double a, double b);
+
+/// Logistic sigmoid, stable for large |x|.
+double Sigmoid(double x);
+
+/// softplus(x) = ln(1 + e^x), stable for large |x| (Eq. 10 activation).
+double Softplus(double x);
+
+/// Inverse of Softplus on (0, inf); used to seed MDN biases at a target sigma.
+double SoftplusInverse(double y);
+
+/// softsign(x) = x / (1 + |x|), range (-1, 1) (Eq. 11 activation).
+double Softsign(double x);
+
+/// In-place softmax of an unnormalized score vector (Eq. 3 / Eq. 12).
+void SoftmaxInPlace(std::vector<double>* xs);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Mean of a non-empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Median of a non-empty vector (copies and sorts).
+double Median(std::vector<double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for size < 2.
+double StdDev(const std::vector<double>& xs);
+
+}  // namespace edge
+
+#endif  // EDGE_COMMON_MATH_UTIL_H_

@@ -1,0 +1,104 @@
+#include "edge/common/rng.h"
+
+#include <cmath>
+
+namespace edge {
+
+namespace {
+
+/// SplitMix64 step used to expand one user seed into PCG state + stream.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  state_ = SplitMix64(&sm);
+  inc_ = SplitMix64(&sm) | 1ULL;  // Stream selector must be odd.
+  has_spare_normal_ = false;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+double Rng::Uniform() {
+  // 53 random bits -> [0, 1) with full double precision.
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  EDGE_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  EDGE_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0ULL - n) % n;
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  double u2 = Uniform();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * M_PI * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  EDGE_CHECK_GE(stddev, 0.0);
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) {
+  EDGE_CHECK_GE(p, 0.0);
+  EDGE_CHECK_LE(p, 1.0);
+  return Uniform() < p;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  EDGE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    EDGE_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  EDGE_CHECK_GT(total, 0.0);
+  double target = Uniform() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace edge

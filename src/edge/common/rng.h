@@ -1,0 +1,69 @@
+#ifndef EDGE_COMMON_RNG_H_
+#define EDGE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "edge/common/check.h"
+
+namespace edge {
+
+/// Deterministic, seedable PCG32 pseudo-random generator plus the sampling
+/// helpers the library needs (uniform, normal, categorical). We own the
+/// implementation rather than using std::mt19937 so that streams are
+/// reproducible across standard libraries and platforms — experiment tables
+/// must be regenerable bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds give identical streams.
+  void Seed(uint64_t seed);
+
+  /// Next raw 32-bit draw.
+  uint32_t NextU32();
+
+  /// Next raw 64-bit draw.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller (cached spare deviate).
+  double Normal();
+
+  /// Normal with given mean and standard deviation (stddev >= 0).
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Index draw from unnormalized non-negative weights; requires a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    EDGE_CHECK(values != nullptr);
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace edge
+
+#endif  // EDGE_COMMON_RNG_H_

@@ -1,0 +1,83 @@
+#ifndef EDGE_COMMON_STATUS_H_
+#define EDGE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "edge/common/check.h"
+
+namespace edge {
+
+/// Lightweight RocksDB-style status for fallible public operations
+/// (configuration validation, dataset construction, model I/O). Internal
+/// invariant violations use EDGE_CHECK instead.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(Code::kNotFound, std::move(msg)); }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable one-liner, e.g. "InvalidArgument: mixture size must be > 0".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Minimal StatusOr: either a value or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value / status mirrors absl::StatusOr ergonomics.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                  // NOLINT
+    EDGE_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EDGE_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    EDGE_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    EDGE_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace edge
+
+#endif  // EDGE_COMMON_STATUS_H_

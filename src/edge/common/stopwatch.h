@@ -1,0 +1,29 @@
+#ifndef EDGE_COMMON_STOPWATCH_H_
+#define EDGE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace edge {
+
+/// Wall-clock stopwatch for coarse experiment timing (bench tables report
+/// training seconds alongside quality metrics).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace edge
+
+#endif  // EDGE_COMMON_STOPWATCH_H_

@@ -1,0 +1,74 @@
+#include "edge/common/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "edge/common/check.h"
+
+namespace edge {
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view s, std::string_view delims) {
+  std::vector<std::string> pieces;
+  std::string current;
+  for (char c : s) {
+    if (delims.find(c) != std::string_view::npos) {
+      if (!current.empty()) {
+        pieces.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) pieces.push_back(current);
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to) {
+  EDGE_CHECK(!from.empty());
+  std::string out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out += s.substr(pos);
+      break;
+    }
+    out += s.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int decimals) {
+  EDGE_CHECK_GE(decimals, 0);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace edge

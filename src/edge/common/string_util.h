@@ -1,0 +1,30 @@
+#ifndef EDGE_COMMON_STRING_UTIL_H_
+#define EDGE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edge {
+
+/// ASCII lowercase copy (tweet corpora in this project are ASCII-rendered).
+std::string ToLowerAscii(std::string_view s);
+
+/// Splits on any of the given delimiter characters, dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view s, std::string_view delims);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+/// printf-style double formatting helper for table output, e.g. Format(3.14159, 2).
+std::string FormatDouble(double value, int decimals);
+
+}  // namespace edge
+
+#endif  // EDGE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,64 @@
+#include "edge/common/table_writer.h"
+
+#include <algorithm>
+
+#include "edge/common/check.h"
+
+namespace edge {
+
+TableWriter::TableWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  EDGE_CHECK(!header_.empty());
+}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  EDGE_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::vector<size_t> TableWriter::ColumnWidths() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  return widths;
+}
+
+std::string TableWriter::ToAscii() const {
+  std::vector<size_t> widths = ColumnWidths();
+  auto rule = [&widths] {
+    std::string line = "+";
+    for (size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = rule() + render_row(header_) + rule();
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule();
+  return out;
+}
+
+std::string TableWriter::ToMarkdown() const {
+  std::vector<size_t> widths = ColumnWidths();
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  out += "|";
+  for (size_t w : widths) out += std::string(w + 2, '-') + "|";
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace edge

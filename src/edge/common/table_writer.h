@@ -1,0 +1,36 @@
+#ifndef EDGE_COMMON_TABLE_WRITER_H_
+#define EDGE_COMMON_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace edge {
+
+/// Accumulates rows of strings and renders an aligned ASCII / Markdown table.
+/// Every bench binary prints its paper table through this class so the output
+/// format matches across experiments.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with padded columns and +---+ rules.
+  std::string ToAscii() const;
+
+  /// Renders as GitHub-flavored Markdown.
+  std::string ToMarkdown() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<size_t> ColumnWidths() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace edge
+
+#endif  // EDGE_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,439 @@
+#include "edge/core/edge_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "edge/common/math_util.h"
+#include "edge/common/rng.h"
+#include "edge/nn/autodiff.h"
+#include "edge/nn/init.h"
+#include "edge/nn/mdn.h"
+#include "edge/nn/optimizer.h"
+
+namespace edge::core {
+
+namespace {
+
+/// Converts activated MDN parameters (already in the km plane) into the geo
+/// mixture object.
+geo::GaussianMixture2d ToGeoMixture(const nn::MdnMixture& mix) {
+  std::vector<geo::Gaussian2d> components;
+  std::vector<double> weights;
+  for (size_t m = 0; m < mix.num_components(); ++m) {
+    components.emplace_back(geo::PlanePoint{mix.mean_x[m], mix.mean_y[m]},
+                            mix.sigma_x[m], mix.sigma_y[m], mix.rho[m]);
+    weights.push_back(std::max(mix.weight[m], 1e-12));
+  }
+  return geo::GaussianMixture2d(std::move(components), std::move(weights));
+}
+
+}  // namespace
+
+EdgeModel::EdgeModel(EdgeConfig config) : config_(std::move(config)) {
+  Status status = config_.Validate();
+  EDGE_CHECK(status.ok()) << status.ToString();
+}
+
+const geo::LocalProjection& EdgeModel::projection() const {
+  EDGE_CHECK(projection_ != nullptr) << "model not fitted";
+  return *projection_;
+}
+
+std::vector<size_t> EdgeModel::GraphIds(const data::ProcessedTweet& tweet) const {
+  std::vector<size_t> ids;
+  for (const text::Entity& e : tweet.entities) {
+    size_t id = graph_.NodeId(e.name);
+    if (id != graph::EntityGraph::kNotFound) ids.push_back(id);
+  }
+  return ids;
+}
+
+void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
+  EDGE_CHECK(!fitted_) << "Fit() may only be called once";
+  EDGE_CHECK(!dataset.train.empty()) << "empty training split";
+  fitted_ = true;
+  Rng rng(config_.seed);
+
+  if (config_.auto_dim) {
+    // Scale capacity with the entity vocabulary (see EdgeConfig::auto_dim).
+    size_t width = dataset.train_entity_names.size() >= 300 ? 96 : 64;
+    config_.embedding_dim = width;
+    for (size_t& layer_width : config_.gcn_hidden) layer_width = width;
+  }
+
+  // --- Stage 1: entity2vec semantic embeddings (§III-A1). ---
+  embedding::Entity2VecOptions e2v_options = config_.entity2vec;
+  e2v_options.dim = config_.embedding_dim;
+  e2v_options.seed = config_.seed ^ 0x9e3779b97f4a7c15ULL;
+  entity2vec_ = std::make_unique<embedding::Entity2Vec>(e2v_options);
+  {
+    std::vector<std::vector<std::string>> corpus;
+    corpus.reserve(dataset.train.size());
+    for (const data::ProcessedTweet& t : dataset.train) corpus.push_back(t.tokens);
+    entity2vec_->Train(corpus);
+  }
+
+  // --- Stage 2: co-occurrence entity graph (§III-A2). ---
+  {
+    std::vector<std::vector<std::string>> entity_sets;
+    entity_sets.reserve(dataset.train.size());
+    for (const data::ProcessedTweet& t : dataset.train) {
+      std::vector<std::string> names;
+      names.reserve(t.entities.size());
+      for (const text::Entity& e : t.entities) names.push_back(e.name);
+      entity_sets.push_back(std::move(names));
+    }
+    graph_ = graph::EntityGraph::Build(entity_sets);
+  }
+  normalized_adjacency_ = graph_.NormalizedAdjacency();
+
+  // Node features: entity2vec rows (the paper's design) or one-hot identity
+  // (the kIdentity ablation). Entities the embedder never saw (e.g.
+  // capitalization-chunked names outside the token stream) get small noise.
+  size_t feature_dim = config_.feature_mode == EdgeConfig::FeatureMode::kIdentity
+                           ? graph_.num_nodes()
+                           : config_.embedding_dim;
+  nn::Matrix features(graph_.num_nodes(), feature_dim);
+  if (config_.feature_mode == EdgeConfig::FeatureMode::kIdentity) {
+    for (size_t node = 0; node < graph_.num_nodes(); ++node) {
+      features.At(node, node) = 1.0;
+    }
+  } else {
+    for (size_t node = 0; node < graph_.num_nodes(); ++node) {
+      std::vector<double> emb = entity2vec_->EmbeddingOf(graph_.NodeName(node));
+      if (emb.empty()) {
+        for (size_t d = 0; d < feature_dim; ++d) {
+          features.At(node, d) = rng.Normal(0.0, 0.01);
+        }
+      } else {
+        for (size_t d = 0; d < feature_dim; ++d) features.At(node, d) = emb[d];
+      }
+    }
+  }
+
+  // --- Stage 3: targets in the local km plane. ---
+  projection_ = std::make_unique<geo::LocalProjection>(dataset.region.Center());
+  std::vector<geo::PlanePoint> targets;
+  targets.reserve(dataset.train.size());
+  for (const data::ProcessedTweet& t : dataset.train) {
+    targets.push_back(projection_->ToPlane(t.location));
+  }
+  {
+    double sx = 0.0;
+    double sy = 0.0;
+    for (const geo::PlanePoint& p : targets) {
+      sx += p.x;
+      sy += p.y;
+    }
+    fallback_mean_ = {sx / static_cast<double>(targets.size()),
+                      sy / static_cast<double>(targets.size())};
+    double var = 0.0;
+    for (const geo::PlanePoint& p : targets) {
+      var += (p.x - fallback_mean_.x) * (p.x - fallback_mean_.x) +
+             (p.y - fallback_mean_.y) * (p.y - fallback_mean_.y);
+    }
+    fallback_sigma_km_ =
+        std::max(1.0, std::sqrt(var / (2.0 * static_cast<double>(targets.size()))));
+    // Standardize: train the MDN in units of the data spread (see header).
+    coord_scale_km_ = fallback_sigma_km_;
+    for (geo::PlanePoint& p : targets) {
+      p.x /= coord_scale_km_;
+      p.y /= coord_scale_km_;
+    }
+  }
+
+  // --- Stage 4: trainable parameters. ---
+  std::vector<size_t> dims = {feature_dim};
+  for (size_t width : config_.gcn_hidden) dims.push_back(width);
+  graph::GcnStack gcn(dims, &rng);
+  size_t hidden = dims.back();
+  size_t theta_dim = 6 * config_.num_components;
+
+  nn::Var attn_q = nn::Param(nn::XavierUniform(hidden, 1, &rng));
+  nn::Var attn_b = nn::Param(nn::Matrix::Zeros(1, 1));
+  nn::Var head_w = nn::Param(nn::XavierUniform(hidden, theta_dim, &rng));
+  nn::Var head_b = nn::Param(nn::Matrix::Zeros(1, theta_dim));
+  {
+    // Spread initial component means over the training extent and start the
+    // spreads at ~2 km so early responsibilities are informative.
+    double min_x = targets[0].x, max_x = targets[0].x;
+    double min_y = targets[0].y, max_y = targets[0].y;
+    for (const geo::PlanePoint& p : targets) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+    size_t mc = config_.num_components;
+    double sigma_init = SoftplusInverse(2.0 / coord_scale_km_);
+    for (size_t m = 0; m < mc; ++m) {
+      head_b->value.At(0, m) = rng.Uniform(min_x, max_x);
+      head_b->value.At(0, mc + m) = rng.Uniform(min_y, max_y);
+      head_b->value.At(0, 2 * mc + m) = sigma_init;
+      head_b->value.At(0, 3 * mc + m) = sigma_init;
+      // rho and pi raw parameters start at zero.
+    }
+  }
+
+  std::vector<nn::Var> params = gcn.Params();
+  if (config_.use_attention) {
+    // The SUM ablation never puts q/b on the tape; handing the optimizer
+    // parameters that receive no gradients would trip its safety check.
+    params.push_back(attn_q);
+    params.push_back(attn_b);
+  }
+  params.push_back(head_w);
+  params.push_back(head_b);
+  nn::Adam adam(params, config_.adam);
+
+  nn::MdnOptions mdn_options;
+  mdn_options.num_components = config_.num_components;
+  mdn_options.sigma_min = config_.sigma_min_km / coord_scale_km_;
+  mdn_options.rho_max = config_.rho_max;
+
+  // Precompute each tweet's in-graph node ids (training tweets always have
+  // at least one entity by the §IV-A filter).
+  std::vector<std::vector<size_t>> tweet_ids(dataset.train.size());
+  for (size_t i = 0; i < dataset.train.size(); ++i) {
+    tweet_ids[i] = GraphIds(dataset.train[i]);
+    EDGE_CHECK(!tweet_ids[i].empty()) << "training tweet with no graph entity";
+  }
+
+  // --- Stage 5: end-to-end training (Eq. 13). ---
+  std::vector<size_t> order(dataset.train.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.lr_decay) {
+      double progress = static_cast<double>(epoch) / static_cast<double>(config_.epochs);
+      adam.set_learning_rate(config_.adam.learning_rate * (1.0 - 0.9 * progress));
+    }
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < order.size(); start += config_.batch_size) {
+      size_t end = std::min(order.size(), start + config_.batch_size);
+      size_t batch = end - start;
+
+      nn::Var x = nn::Constant(features);
+      nn::Var h = gcn.Forward(&normalized_adjacency_, x);
+
+      std::vector<nn::Var> tweet_vectors;
+      tweet_vectors.reserve(batch);
+      nn::Matrix batch_targets(batch, 2);
+      for (size_t b = 0; b < batch; ++b) {
+        size_t tweet = order[start + b];
+        nn::Var hk = nn::GatherRows(h, tweet_ids[tweet]);
+        nn::Var z;
+        if (config_.use_attention) {
+          nn::Var scores = nn::Relu(nn::AddRowBroadcast(nn::MatMul(hk, attn_q), attn_b));
+          nn::Var weights = nn::SoftmaxCol(scores);
+          z = nn::MatMul(nn::Transpose(weights), hk);
+        } else {
+          z = nn::MatMul(nn::Constant(nn::Matrix::Constant(1, tweet_ids[tweet].size(), 1.0)),
+                         hk);
+        }
+        tweet_vectors.push_back(z);
+        batch_targets.At(b, 0) = targets[tweet].x;
+        batch_targets.At(b, 1) = targets[tweet].y;
+      }
+      nn::Var z_batch = nn::ConcatRows(tweet_vectors);
+      nn::Var theta = nn::AddRowBroadcast(nn::MatMul(z_batch, head_w), head_b);
+      nn::Var loss = nn::BivariateMdnLoss(theta, batch_targets, mdn_options);
+      nn::Backward(loss);
+      nn::ClipGradientNorm(params, config_.grad_clip_norm);
+      adam.Step();
+      epoch_loss += loss->value.At(0, 0);
+      ++batches;
+    }
+    loss_history_.push_back(epoch_loss / static_cast<double>(batches));
+  }
+
+  // --- Stage 6: cache dense inference state. ---
+  {
+    nn::Var x = nn::Constant(features);
+    nn::Var h = gcn.Forward(&normalized_adjacency_, x);
+    smoothed_embeddings_ = h->value;
+  }
+  attention_q_ = attn_q->value;
+  attention_b_ = attn_b->value.At(0, 0);
+  head_w_ = head_w->value;
+  head_b_ = head_b->value;
+}
+
+EdgePrediction EdgeModel::PredictFromIds(const std::vector<size_t>& ids,
+                                         const std::vector<std::string>& names) const {
+  EdgePrediction prediction;
+  if (ids.empty()) {
+    prediction.used_fallback = true;
+    prediction.mixture = geo::GaussianMixture2d(
+        {geo::Gaussian2d::Isotropic(fallback_mean_, fallback_sigma_km_)}, {1.0});
+    prediction.point = projection_->ToLatLon(fallback_mean_);
+    return prediction;
+  }
+
+  size_t hidden = smoothed_embeddings_.cols();
+  size_t k_count = ids.size();
+
+  // Attention scores (Eq. 2-3) over cached smoothed embeddings.
+  std::vector<double> weights(k_count, 1.0);
+  if (config_.use_attention) {
+    for (size_t k = 0; k < k_count; ++k) {
+      double s = attention_b_;
+      const double* row = smoothed_embeddings_.row_data(ids[k]);
+      for (size_t d = 0; d < hidden; ++d) s += row[d] * attention_q_.At(d, 0);
+      weights[k] = std::max(s, 0.0);
+    }
+    SoftmaxInPlace(&weights);
+  }
+
+  // Aggregated tweet embedding (Eq. 4) and MDN head (Eq. 7).
+  std::vector<double> z(hidden, 0.0);
+  for (size_t k = 0; k < k_count; ++k) {
+    const double* row = smoothed_embeddings_.row_data(ids[k]);
+    for (size_t d = 0; d < hidden; ++d) z[d] += weights[k] * row[d];
+  }
+  size_t theta_dim = head_b_.cols();
+  std::vector<double> theta(theta_dim);
+  for (size_t j = 0; j < theta_dim; ++j) {
+    double v = head_b_.At(0, j);
+    for (size_t d = 0; d < hidden; ++d) v += z[d] * head_w_.At(d, j);
+    theta[j] = v;
+  }
+
+  nn::MdnOptions mdn_options;
+  mdn_options.num_components = config_.num_components;
+  mdn_options.sigma_min = config_.sigma_min_km / coord_scale_km_;
+  mdn_options.rho_max = config_.rho_max;
+  nn::MdnMixture mix = nn::ActivateMdnRow(theta.data(), mdn_options);
+  // Rescale from standardized training units back to kilometres.
+  for (size_t m = 0; m < mix.num_components(); ++m) {
+    mix.mean_x[m] *= coord_scale_km_;
+    mix.mean_y[m] *= coord_scale_km_;
+    mix.sigma_x[m] *= coord_scale_km_;
+    mix.sigma_y[m] *= coord_scale_km_;
+  }
+  prediction.mixture = ToGeoMixture(mix);
+  prediction.point = projection_->ToLatLon(prediction.mixture.FindMode());
+  prediction.attention.reserve(k_count);
+  for (size_t k = 0; k < k_count; ++k) {
+    prediction.attention.push_back({names[k], weights[k]});
+  }
+  return prediction;
+}
+
+EdgePrediction EdgeModel::Predict(const data::ProcessedTweet& tweet) const {
+  EDGE_CHECK(fitted_) << "Predict() before Fit()";
+  std::vector<size_t> ids;
+  std::vector<std::string> names;
+  for (const text::Entity& e : tweet.entities) {
+    size_t id = graph_.NodeId(e.name);
+    if (id != graph::EntityGraph::kNotFound) {
+      ids.push_back(id);
+      names.push_back(e.name);
+    }
+  }
+  return PredictFromIds(ids, names);
+}
+
+bool EdgeModel::PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) {
+  EDGE_CHECK(out != nullptr);
+  *out = Predict(tweet).point;
+  return true;
+}
+
+Status EdgeModel::SaveInference(std::ostream* out) const {
+  EDGE_CHECK(out != nullptr);
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  std::ostream& os = *out;
+  os.precision(17);
+  os << "EDGE-INFERENCE v1\n";
+  os << config_.display_name << "\n";
+  os << config_.num_components << " " << config_.sigma_min_km << " " << config_.rho_max
+     << " " << (config_.use_attention ? 1 : 0) << "\n";
+  os << projection_->origin().lat << " " << projection_->origin().lon << "\n";
+  os << graph_.num_nodes() << " " << smoothed_embeddings_.cols() << "\n";
+  for (size_t n = 0; n < graph_.num_nodes(); ++n) os << graph_.NodeName(n) << "\n";
+  auto write_matrix = [&os](const nn::Matrix& m) {
+    os << m.rows() << " " << m.cols() << "\n";
+    for (size_t r = 0; r < m.rows(); ++r) {
+      for (size_t c = 0; c < m.cols(); ++c) {
+        os << m.At(r, c) << (c + 1 == m.cols() ? '\n' : ' ');
+      }
+    }
+  };
+  write_matrix(smoothed_embeddings_);
+  write_matrix(attention_q_);
+  os << attention_b_ << "\n";
+  write_matrix(head_w_);
+  write_matrix(head_b_);
+  os << fallback_mean_.x << " " << fallback_mean_.y << " " << fallback_sigma_km_ << "\n";
+  os << coord_scale_km_ << "\n";
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<EdgeModel>> EdgeModel::LoadInference(std::istream* in) {
+  EDGE_CHECK(in != nullptr);
+  std::istream& is = *in;
+  std::string magic, version;
+  is >> magic >> version;
+  if (magic != "EDGE-INFERENCE" || version != "v1") {
+    return Status::InvalidArgument("bad header: " + magic + " " + version);
+  }
+  EdgeConfig config;
+  int use_attention = 1;
+  is >> config.display_name;
+  is >> config.num_components >> config.sigma_min_km >> config.rho_max >> use_attention;
+  config.use_attention = use_attention != 0;
+  double lat = 0.0, lon = 0.0;
+  is >> lat >> lon;
+  size_t num_nodes = 0, hidden = 0;
+  is >> num_nodes >> hidden;
+  if (!is.good()) return Status::InvalidArgument("truncated header");
+
+  auto model = std::make_unique<EdgeModel>(config);
+  model->fitted_ = true;
+  model->projection_ = std::make_unique<geo::LocalProjection>(geo::LatLon{lat, lon});
+
+  std::vector<std::vector<std::string>> singleton_sets;
+  singleton_sets.reserve(num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    std::string name;
+    is >> name;
+    singleton_sets.push_back({name});
+  }
+  model->graph_ = graph::EntityGraph::Build(singleton_sets);
+  if (model->graph_.num_nodes() != num_nodes) {
+    return Status::InvalidArgument("duplicate node names in stream");
+  }
+
+  auto read_matrix = [&is](nn::Matrix* m) {
+    size_t rows = 0, cols = 0;
+    is >> rows >> cols;
+    *m = nn::Matrix(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) is >> m->At(r, c);
+    }
+  };
+  read_matrix(&model->smoothed_embeddings_);
+  read_matrix(&model->attention_q_);
+  is >> model->attention_b_;
+  read_matrix(&model->head_w_);
+  read_matrix(&model->head_b_);
+  is >> model->fallback_mean_.x >> model->fallback_mean_.y >> model->fallback_sigma_km_;
+  is >> model->coord_scale_km_;
+  if (is.fail()) return Status::InvalidArgument("truncated body");
+  if (model->coord_scale_km_ <= 0.0) {
+    return Status::InvalidArgument("non-positive coordinate scale");
+  }
+  if (model->smoothed_embeddings_.rows() != num_nodes ||
+      model->smoothed_embeddings_.cols() != hidden) {
+    return Status::InvalidArgument("embedding shape mismatch");
+  }
+  return model;
+}
+
+}  // namespace edge::core

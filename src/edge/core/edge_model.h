@@ -1,0 +1,126 @@
+#ifndef EDGE_CORE_EDGE_MODEL_H_
+#define EDGE_CORE_EDGE_MODEL_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edge/core/edge_config.h"
+#include "edge/data/pipeline.h"
+#include "edge/embedding/entity2vec.h"
+#include "edge/eval/geolocator.h"
+#include "edge/geo/mixture.h"
+#include "edge/geo/projection.h"
+#include "edge/graph/entity_graph.h"
+#include "edge/graph/gcn.h"
+#include "edge/nn/layers.h"
+
+namespace edge::core {
+
+/// One entity's learned attention weight in a prediction — the
+/// interpretability signal of Eq. 2-3 (which entities drove the location).
+struct EntityAttention {
+  std::string entity;
+  double weight = 0.0;
+};
+
+/// EDGE's prediction for one tweet: a full bivariate Gaussian mixture in the
+/// local km plane (convert coordinates with the model's projection()), the
+/// Eq. 14 single-point conversion in lat/lon, and the per-entity attention.
+struct EdgePrediction {
+  geo::GaussianMixture2d mixture;  ///< In the model's local km plane.
+  geo::LatLon point;               ///< argmax of the mixture density (Eq. 14).
+  std::vector<EntityAttention> attention;
+  /// True when no tweet entity was in the entity graph and the model fell
+  /// back to its training-set prior (such tweets are excluded from the
+  /// paper's evaluation; the fallback keeps the API total).
+  bool used_fallback = false;
+};
+
+/// The Entity-Diffusion Gaussian Ensemble model (§III): entity2vec semantic
+/// embeddings, diffused over the co-occurrence entity graph by a GCN
+/// (Eq. 1), aggregated per tweet by learned attention (Eq. 2-4), mapped by a
+/// fully-connected head (Eq. 7) to the parameters of a bivariate Gaussian
+/// mixture (Eq. 8-12), trained end-to-end by maximizing the likelihood of
+/// the ground-truth locations (Eq. 13).
+class EdgeModel : public eval::Geolocator {
+ public:
+  explicit EdgeModel(EdgeConfig config);
+
+  EdgeModel(const EdgeModel&) = delete;
+  EdgeModel& operator=(const EdgeModel&) = delete;
+
+  std::string name() const override { return config_.display_name; }
+
+  /// Trains the full pipeline on the dataset's training split:
+  /// entity2vec -> entity graph -> GCN+attention+MDN end-to-end.
+  void Fit(const data::ProcessedDataset& dataset) override;
+
+  /// Eq. 14 single-point conversion (always succeeds; see used_fallback).
+  bool PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) override;
+
+  /// Full mixture prediction with attention interpretability.
+  EdgePrediction Predict(const data::ProcessedTweet& tweet) const;
+
+  /// Mean training NLL per epoch (Eq. 13), for convergence tests/plots.
+  const std::vector<double>& loss_history() const { return loss_history_; }
+
+  /// The co-occurrence entity graph built during Fit.
+  const graph::EntityGraph& entity_graph() const { return graph_; }
+
+  /// The km-plane projection the mixture lives in.
+  const geo::LocalProjection& projection() const;
+
+  /// The trained entity2vec embeddings.
+  const embedding::Entity2Vec& entity2vec() const { return *entity2vec_; }
+
+  const EdgeConfig& config() const { return config_; }
+
+  /// Writes the inference state (smoothed embeddings, attention and head
+  /// parameters, projection, fallback prior) in a versioned text format.
+  Status SaveInference(std::ostream* out) const;
+
+  /// Restores a Predict()-capable model saved by SaveInference. The restored
+  /// model cannot be Fit() again.
+  static Result<std::unique_ptr<EdgeModel>> LoadInference(std::istream* in);
+
+ private:
+  /// Node ids of a tweet's in-graph entities.
+  std::vector<size_t> GraphIds(const data::ProcessedTweet& tweet) const;
+  EdgePrediction PredictFromIds(const std::vector<size_t>& ids,
+                                const std::vector<std::string>& names) const;
+
+  EdgeConfig config_;
+  bool fitted_ = false;
+
+  std::unique_ptr<embedding::Entity2Vec> entity2vec_;
+  graph::EntityGraph graph_;
+  nn::CsrMatrix normalized_adjacency_;
+  std::unique_ptr<geo::LocalProjection> projection_;
+
+  // Trained parameters (dense copies used for inference).
+  nn::Matrix smoothed_embeddings_;  ///< H after the last GCN layer, |V| x d.
+  nn::Matrix attention_q_;          ///< d x 1.
+  double attention_b_ = 0.0;
+  nn::Matrix head_w_;               ///< d x 6M.
+  nn::Matrix head_b_;               ///< 1 x 6M.
+
+  /// Prior fit to the training locations; used when a tweet has no in-graph
+  /// entity.
+  geo::PlanePoint fallback_mean_;
+  double fallback_sigma_km_ = 5.0;
+
+  /// Standardization scale: the MDN is trained on plane coordinates divided
+  /// by this (roughly the training spread in km), the classic MDN
+  /// conditioning trick — raw-km targets force the linear head to grow
+  /// region-sized weights against weight decay. Predictions are rescaled
+  /// back to km. DESIGN.md §4(3).
+  double coord_scale_km_ = 1.0;
+
+  std::vector<double> loss_history_;
+};
+
+}  // namespace edge::core
+
+#endif  // EDGE_CORE_EDGE_MODEL_H_

@@ -1,0 +1,295 @@
+#include "edge/data/generator.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "edge/common/string_util.h"
+
+namespace edge::data {
+
+namespace {
+
+constexpr double kCoarseSigmaThresholdKm = 3.0;
+constexpr double kNearbyRadiusKm = 2.5;
+
+std::string TitleCase(const std::string& surface_form) {
+  std::string out = surface_form;
+  bool start = true;
+  for (char& c : out) {
+    if (start && std::isalpha(static_cast<unsigned char>(c)) != 0) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      start = false;
+    } else if (c == ' ') {
+      start = true;
+    }
+  }
+  return out;
+}
+
+bool HasSigil(const std::string& name) {
+  return !name.empty() && (name[0] == '#' || name[0] == '@');
+}
+
+}  // namespace
+
+std::string CanonicalName(const std::string& surface_form) {
+  if (HasSigil(surface_form)) return ToLowerAscii(surface_form);
+  std::string out = ToLowerAscii(surface_form);
+  for (char& c : out) {
+    if (c == ' ') c = '_';
+  }
+  return out;
+}
+
+TweetGenerator::TweetGenerator(WorldConfig config)
+    : config_(std::move(config)), projection_(config_.region.Center()) {
+  EDGE_CHECK(!config_.pois.empty()) << "world needs at least one POI";
+  EDGE_CHECK(!config_.background_words.empty());
+  EDGE_CHECK_GT(config_.timeline_days, 0.0);
+  for (const PoiSpec& poi : config_.pois) {
+    EDGE_CHECK(!poi.branches.empty()) << "POI without branches:" << poi.name;
+    EDGE_CHECK_GT(poi.sigma_km, 0.0);
+    EDGE_CHECK_GT(poi.popularity, 0.0);
+  }
+  for (const TopicSpec& topic : config_.topics) {
+    EDGE_CHECK(!topic.phases.empty()) << "topic without phases:" << topic.name;
+    for (const TopicPhase& phase : topic.phases) {
+      EDGE_CHECK_LT(phase.start_day, phase.end_day);
+      for (const auto& [poi_index, weight] : phase.poi_affinity) {
+        EDGE_CHECK_LT(poi_index, config_.pois.size());
+        EDGE_CHECK_GT(weight, 0.0);
+      }
+    }
+  }
+}
+
+geo::LatLon TweetGenerator::SamplePoiLocation(const PoiSpec& poi, Rng* rng) const {
+  size_t branch = poi.branches.size() == 1 ? 0 : rng->UniformInt(poi.branches.size());
+  geo::PlanePoint center = projection_.ToPlane(poi.branches[branch]);
+  geo::PlanePoint sample{center.x + rng->Normal(0.0, poi.sigma_km),
+                         center.y + rng->Normal(0.0, poi.sigma_km)};
+  return config_.region.Clamp(projection_.ToLatLon(sample));
+}
+
+std::vector<size_t> TweetGenerator::NearbyFinePois(const geo::LatLon& loc,
+                                                   double radius_km,
+                                                   size_t exclude) const {
+  std::vector<size_t> nearby;
+  for (size_t i = 0; i < config_.pois.size(); ++i) {
+    if (i == exclude) continue;
+    const PoiSpec& poi = config_.pois[i];
+    if (poi.sigma_km >= kCoarseSigmaThresholdKm) continue;
+    for (const geo::LatLon& branch : poi.branches) {
+      if (geo::HaversineKm(loc, branch) <= radius_km) {
+        nearby.push_back(i);
+        break;
+      }
+    }
+  }
+  return nearby;
+}
+
+size_t TweetGenerator::CoveringCoarseArea(const geo::LatLon& loc, Rng* rng) const {
+  std::vector<size_t> covering;
+  for (size_t i = 0; i < config_.pois.size(); ++i) {
+    const PoiSpec& poi = config_.pois[i];
+    if (poi.sigma_km < kCoarseSigmaThresholdKm) continue;
+    for (const geo::LatLon& branch : poi.branches) {
+      if (geo::HaversineKm(loc, branch) <= poi.sigma_km) {
+        covering.push_back(i);
+        break;
+      }
+    }
+  }
+  if (covering.empty()) return static_cast<size_t>(-1);
+  return covering[rng->UniformInt(covering.size())];
+}
+
+std::string TweetGenerator::RenderText(
+    const std::vector<std::string>& mention_surface_forms, Rng* rng) const {
+  auto background = [&]() {
+    return config_.background_words[rng->UniformInt(config_.background_words.size())];
+  };
+  std::vector<std::string> pieces;
+  size_t lead = 1 + rng->UniformInt(3);
+  for (size_t i = 0; i < lead; ++i) pieces.push_back(background());
+  for (const std::string& mention : mention_surface_forms) {
+    pieces.push_back(HasSigil(mention) ? mention : TitleCase(mention));
+    size_t tail = 1 + rng->UniformInt(3);
+    for (size_t i = 0; i < tail; ++i) pieces.push_back(background());
+  }
+  std::string text = Join(pieces, " ");
+  double punct = rng->Uniform();
+  if (punct < 0.25) {
+    text += "!";
+  } else if (punct < 0.5) {
+    text += ".";
+  }
+  return text;
+}
+
+Tweet TweetGenerator::MakeTweet(double time_days, Rng* rng) const {
+  // 1. Pick among "no topic" and the topics active at this time.
+  std::vector<double> weights = {config_.no_topic_rate};
+  std::vector<size_t> active_phase(config_.topics.size(), static_cast<size_t>(-1));
+  for (size_t t = 0; t < config_.topics.size(); ++t) {
+    double rate = 0.0;
+    for (size_t p = 0; p < config_.topics[t].phases.size(); ++p) {
+      const TopicPhase& phase = config_.topics[t].phases[p];
+      if (time_days >= phase.start_day && time_days < phase.end_day) {
+        rate = phase.rate;
+        active_phase[t] = p;
+        break;
+      }
+    }
+    weights.push_back(rate > 0.0 ? rate : 1e-12);  // Categorical needs > 0 sum.
+  }
+  size_t pick = rng->Categorical(weights);
+  const TopicSpec* topic = nullptr;
+  const TopicPhase* phase = nullptr;
+  if (pick > 0) {
+    topic = &config_.topics[pick - 1];
+    phase = &topic->phases[active_phase[pick - 1]];
+  }
+
+  // 2. Pick the POI and true location.
+  size_t poi_index = static_cast<size_t>(-1);
+  geo::LatLon location;
+  if (phase != nullptr && phase->poi_affinity.empty()) {
+    // Spatially uninformative topic: uniform over the region.
+    location = {rng->Uniform(config_.region.min_lat, config_.region.max_lat),
+                rng->Uniform(config_.region.min_lon, config_.region.max_lon)};
+  } else {
+    if (phase != nullptr) {
+      std::vector<double> affinity;
+      affinity.reserve(phase->poi_affinity.size());
+      for (const auto& [_, w] : phase->poi_affinity) affinity.push_back(w);
+      poi_index = phase->poi_affinity[rng->Categorical(affinity)].first;
+    } else {
+      std::vector<double> popularity;
+      popularity.reserve(config_.pois.size());
+      for (const PoiSpec& poi : config_.pois) popularity.push_back(poi.popularity);
+      poi_index = rng->Categorical(popularity);
+    }
+    location = SamplePoiLocation(config_.pois[poi_index], rng);
+  }
+
+  // 3. Decide which entities the text names. POI mentions may use an alias
+  // surface form; the canonical entity name is recorded either way.
+  std::vector<std::string> mentions;   // Surface forms.
+  std::vector<std::string> canonical;  // Canonical underscore-joined names.
+  auto add_mention = [&mentions, &canonical](const std::string& surface,
+                                             const std::string& canon) {
+    for (const std::string& existing : canonical) {
+      if (existing == canon) return;
+    }
+    mentions.push_back(surface);
+    canonical.push_back(canon);
+  };
+  auto add_poi_mention = [&](size_t index) {
+    const PoiSpec& poi = config_.pois[index];
+    std::string surface = poi.name;
+    if (!poi.aliases.empty() && rng->Bernoulli(config_.p_alias_mention)) {
+      surface = poi.aliases[rng->UniformInt(poi.aliases.size())];
+    }
+    add_mention(surface, CanonicalName(poi.name));
+  };
+  if (topic != nullptr && rng->Bernoulli(config_.p_mention_topic)) {
+    add_mention(topic->name, CanonicalName(topic->name));
+  }
+  if (poi_index != static_cast<size_t>(-1) && rng->Bernoulli(config_.p_mention_poi)) {
+    add_poi_mention(poi_index);
+  }
+  if (rng->Bernoulli(config_.p_second_poi)) {
+    std::vector<size_t> nearby = NearbyFinePois(location, kNearbyRadiusKm, poi_index);
+    if (!nearby.empty()) {
+      add_poi_mention(nearby[rng->UniformInt(nearby.size())]);
+    }
+  }
+  if (rng->Bernoulli(config_.p_coarse_area)) {
+    size_t area = CoveringCoarseArea(location, rng);
+    if (area != static_cast<size_t>(-1) && area != poi_index) {
+      add_poi_mention(area);
+    }
+  }
+  if (rng->Bernoulli(config_.p_no_entity)) {
+    mentions.clear();
+    canonical.clear();
+  }
+
+  // 4. Render.
+  Tweet tweet;
+  tweet.text = RenderText(mentions, rng);
+  tweet.location = location;
+  tweet.time_days = time_days;
+  tweet.planted_entities = std::move(canonical);
+  return tweet;
+}
+
+Dataset TweetGenerator::Generate(size_t n) const {
+  Rng rng(config_.seed);
+  Dataset ds;
+  ds.name = config_.name;
+  ds.start_date = config_.start_date;
+  ds.timeline_days = config_.timeline_days;
+  ds.region = config_.region;
+  ds.tweets.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ds.tweets.push_back(MakeTweet(rng.Uniform(0.0, config_.timeline_days), &rng));
+  }
+  std::sort(ds.tweets.begin(), ds.tweets.end(),
+            [](const Tweet& a, const Tweet& b) { return a.time_days < b.time_days; });
+  for (size_t i = 0; i < ds.tweets.size(); ++i) ds.tweets[i].id = static_cast<int64_t>(i);
+  return ds;
+}
+
+Dataset TweetGenerator::GenerateWithKeywords(
+    size_t n, const std::vector<std::string>& keywords) const {
+  EDGE_CHECK(!keywords.empty());
+  Rng rng(config_.seed + 1);
+  Dataset ds;
+  ds.name = config_.name;
+  ds.start_date = config_.start_date;
+  ds.timeline_days = config_.timeline_days;
+  ds.region = config_.region;
+  size_t attempts = 0;
+  size_t max_attempts = 1000 * n;
+  while (ds.tweets.size() < n && attempts < max_attempts) {
+    ++attempts;
+    Tweet tweet = MakeTweet(rng.Uniform(0.0, config_.timeline_days), &rng);
+    std::string lower = ToLowerAscii(tweet.text);
+    bool hit = false;
+    for (const std::string& keyword : keywords) {
+      if (lower.find(ToLowerAscii(keyword)) != std::string::npos) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) ds.tweets.push_back(std::move(tweet));
+  }
+  EDGE_CHECK_EQ(ds.tweets.size(), n)
+      << "keyword filter too selective for this world; matched" << ds.tweets.size();
+  std::sort(ds.tweets.begin(), ds.tweets.end(),
+            [](const Tweet& a, const Tweet& b) { return a.time_days < b.time_days; });
+  for (size_t i = 0; i < ds.tweets.size(); ++i) ds.tweets[i].id = static_cast<int64_t>(i);
+  return ds;
+}
+
+text::Gazetteer TweetGenerator::BuildGazetteer() const {
+  text::Gazetteer gazetteer;
+  for (const PoiSpec& poi : config_.pois) {
+    std::string canonical = CanonicalName(poi.name);
+    gazetteer.AddEntry(poi.name, poi.category, canonical);
+    for (const std::string& alias : poi.aliases) {
+      std::string bare = HasSigil(alias) ? alias.substr(1) : alias;
+      gazetteer.AddEntry(bare, poi.category, canonical);
+    }
+  }
+  for (const TopicSpec& topic : config_.topics) {
+    std::string bare = HasSigil(topic.name) ? topic.name.substr(1) : topic.name;
+    gazetteer.AddEntry(bare, topic.category, CanonicalName(topic.name));
+  }
+  return gazetteer;
+}
+
+}  // namespace edge::data

@@ -1,0 +1,63 @@
+#ifndef EDGE_DATA_GENERATOR_H_
+#define EDGE_DATA_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "edge/common/rng.h"
+#include "edge/data/tweet.h"
+#include "edge/data/world.h"
+#include "edge/geo/projection.h"
+#include "edge/text/ner.h"
+
+namespace edge::data {
+
+/// TwitterSim: generative model of a metropolitan tweet stream (DESIGN.md §1).
+/// Stands in for the crawled Twitter datasets the paper used. Each tweet is
+/// produced by: sample a posting time; sample a topic active at that time (or
+/// none); sample a POI from the topic's affinity (Observation O2's
+/// co-occurrence bridge); sample the true location around one of the POI's
+/// branches (multi-branch POIs create Observation O1's multimodality); decide
+/// which entities the text actually names; render natural-looking text the
+/// NER pipeline must process like real tweets.
+class TweetGenerator {
+ public:
+  explicit TweetGenerator(WorldConfig config);
+
+  /// Generates `n` tweets sorted chronologically.
+  Dataset Generate(size_t n) const;
+
+  /// Generates tweets until `n` of them contain at least one of `keywords`
+  /// (case-insensitive substring match, like the paper's COVID-19 keyword
+  /// crawl) and returns only the matching ones.
+  Dataset GenerateWithKeywords(size_t n, const std::vector<std::string>& keywords) const;
+
+  /// Gazetteer holding every entity surface form this world can emit; this
+  /// is the knowledge base the TweetNer substitute runs with.
+  text::Gazetteer BuildGazetteer() const;
+
+  const WorldConfig& config() const { return config_; }
+
+ private:
+  Tweet MakeTweet(double time_days, Rng* rng) const;
+  geo::LatLon SamplePoiLocation(const PoiSpec& poi, Rng* rng) const;
+  /// Indices of fine POIs with a branch within `radius_km` of `loc`
+  /// (excluding `exclude`).
+  std::vector<size_t> NearbyFinePois(const geo::LatLon& loc, double radius_km,
+                                     size_t exclude) const;
+  /// Index of a coarse-grained POI covering `loc`, or SIZE_MAX.
+  size_t CoveringCoarseArea(const geo::LatLon& loc, Rng* rng) const;
+  std::string RenderText(const std::vector<std::string>& mention_surface_forms,
+                         Rng* rng) const;
+
+  WorldConfig config_;
+  geo::LocalProjection projection_;
+};
+
+/// Canonical underscore-joined token for a surface form ("majestic theatre"
+/// -> "majestic_theatre"; sigiled topics pass through unchanged).
+std::string CanonicalName(const std::string& surface_form);
+
+}  // namespace edge::data
+
+#endif  // EDGE_DATA_GENERATOR_H_

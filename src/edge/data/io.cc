@@ -1,0 +1,150 @@
+#include "edge/data/io.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "edge/common/string_util.h"
+
+namespace edge::data {
+
+namespace {
+
+/// Tabs/newlines are the format's structure; squash them inside text.
+std::string SanitizeText(std::string text) {
+  for (char& c : text) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == '\t') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && !s.empty();
+}
+
+}  // namespace
+
+Status WriteTweetsTsv(const Dataset& dataset, std::ostream* out) {
+  EDGE_CHECK(out != nullptr);
+  std::ostream& os = *out;
+  os.precision(12);
+  os << "#edge-tweets v1\t" << dataset.name << "\t" << dataset.start_date << "\t"
+     << dataset.timeline_days << "\t" << dataset.region.min_lat << "\t"
+     << dataset.region.max_lat << "\t" << dataset.region.min_lon << "\t"
+     << dataset.region.max_lon << "\n";
+  for (const Tweet& t : dataset.tweets) {
+    os << t.id << "\t" << t.time_days << "\t" << t.location.lat << "\t"
+       << t.location.lon << "\t" << SanitizeText(t.text) << "\n";
+  }
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+Result<Dataset> ReadTweetsTsv(std::istream* in) {
+  EDGE_CHECK(in != nullptr);
+  Dataset ds;
+  std::string line;
+  bool saw_header = false;
+  size_t line_number = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::vector<std::string> fields = SplitTabs(line);
+      if (fields[0] == "#edge-tweets v1") {
+        if (fields.size() != 8) {
+          return Status::InvalidArgument("bad header arity at line " +
+                                         std::to_string(line_number));
+        }
+        ds.name = fields[1];
+        ds.start_date = fields[2];
+        bool ok = ParseDouble(fields[3], &ds.timeline_days) &&
+                  ParseDouble(fields[4], &ds.region.min_lat) &&
+                  ParseDouble(fields[5], &ds.region.max_lat) &&
+                  ParseDouble(fields[6], &ds.region.min_lon) &&
+                  ParseDouble(fields[7], &ds.region.max_lon);
+        if (!ok) {
+          return Status::InvalidArgument("bad header numbers at line " +
+                                         std::to_string(line_number));
+        }
+        saw_header = true;
+      }
+      continue;  // Other comment lines are skipped.
+    }
+    std::vector<std::string> fields = SplitTabs(line);
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("expected 5 fields at line " +
+                                     std::to_string(line_number));
+    }
+    Tweet tweet;
+    double id = 0.0;
+    bool ok = ParseDouble(fields[0], &id) && ParseDouble(fields[1], &tweet.time_days) &&
+              ParseDouble(fields[2], &tweet.location.lat) &&
+              ParseDouble(fields[3], &tweet.location.lon);
+    if (!ok) {
+      return Status::InvalidArgument("bad numeric field at line " +
+                                     std::to_string(line_number));
+    }
+    tweet.id = static_cast<int64_t>(id);
+    tweet.text = fields[4];
+    ds.tweets.push_back(std::move(tweet));
+  }
+  if (!saw_header) return Status::InvalidArgument("missing #edge-tweets v1 header");
+  std::sort(ds.tweets.begin(), ds.tweets.end(),
+            [](const Tweet& a, const Tweet& b) { return a.time_days < b.time_days; });
+  return ds;
+}
+
+Result<text::Gazetteer> ReadGazetteerTsv(std::istream* in) {
+  EDGE_CHECK(in != nullptr);
+  text::Gazetteer gazetteer;
+  std::string line;
+  size_t line_number = 0;
+  size_t entries = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitTabs(line);
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("expected canonical<TAB>category<TAB>surface at "
+                                     "line " +
+                                     std::to_string(line_number));
+    }
+    text::EntityCategory category = text::EntityCategory::kOther;
+    bool known = false;
+    for (int c = 0; c <= static_cast<int>(text::EntityCategory::kOther); ++c) {
+      if (fields[1] == text::EntityCategoryName(static_cast<text::EntityCategory>(c))) {
+        category = static_cast<text::EntityCategory>(c);
+        known = true;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown category '" + fields[1] + "' at line " +
+                                     std::to_string(line_number));
+    }
+    gazetteer.AddEntry(fields[2], category, fields[0]);
+    ++entries;
+  }
+  if (entries == 0) return Status::InvalidArgument("empty gazetteer");
+  return gazetteer;
+}
+
+}  // namespace edge::data

@@ -1,0 +1,43 @@
+#ifndef EDGE_DATA_IO_H_
+#define EDGE_DATA_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "edge/common/status.h"
+#include "edge/data/tweet.h"
+#include "edge/text/ner.h"
+
+namespace edge::data {
+
+/// Tab-separated dataset interchange. A downstream user with a real crawl
+/// exports it as TSV, loads it here and runs the same pipeline the paper
+/// describes; the generator-based worlds export through the same writer so
+/// fixtures and real data are interchangeable.
+///
+/// Format (one tweet per line, tab-separated, '#' comment lines allowed):
+///   id <TAB> time_days <TAB> lat <TAB> lon <TAB> text
+/// preceded by one header line:
+///   #edge-tweets v1 <TAB> name <TAB> start_date <TAB> timeline_days
+///   <TAB> min_lat <TAB> max_lat <TAB> min_lon <TAB> max_lon
+/// Text must not contain tabs or newlines (the writer replaces them with
+/// spaces).
+
+/// Writes `dataset` to `out`. Planted-entity annotations are not serialized
+/// (they are simulation ground truth, not part of the interchange format).
+Status WriteTweetsTsv(const Dataset& dataset, std::ostream* out);
+
+/// Reads a dataset written by WriteTweetsTsv (or hand-exported in the same
+/// format). Tweets are re-sorted chronologically.
+Result<Dataset> ReadTweetsTsv(std::istream* in);
+
+/// Reads a hand-curated entity dictionary as TSV lines:
+///   canonical <TAB> category <TAB> surface
+/// one line per surface form (aliases repeat the canonical name); category is
+/// one of the EntityCategoryName() strings ("geo-location", "facility", ...).
+/// '#' comment lines are skipped.
+Result<text::Gazetteer> ReadGazetteerTsv(std::istream* in);
+
+}  // namespace edge::data
+
+#endif  // EDGE_DATA_IO_H_

@@ -1,0 +1,136 @@
+#include "edge/data/pipeline.h"
+
+#include <unordered_set>
+
+#include "edge/common/check.h"
+
+namespace edge::data {
+
+bool ProcessedTweet::HasLocationEntity() const {
+  for (const text::Entity& e : entities) {
+    if (e.category == text::EntityCategory::kGeoLocation) return true;
+  }
+  return false;
+}
+
+bool ProcessedTweet::HasLocationAndNonLocation() const {
+  bool loc = false;
+  bool other = false;
+  for (const text::Entity& e : entities) {
+    if (e.category == text::EntityCategory::kGeoLocation) {
+      loc = true;
+    } else {
+      other = true;
+    }
+  }
+  return loc && other;
+}
+
+Pipeline::Pipeline(text::Gazetteer gazetteer, text::NerOptions ner_options)
+    : ner_(gazetteer, ner_options), tokenizer_(), gazetteer_(std::move(gazetteer)) {}
+
+ProcessedTweet Pipeline::ProcessTweet(const Tweet& tweet) const {
+  ProcessedTweet out;
+  out.id = tweet.id;
+  out.text = tweet.text;
+  out.location = tweet.location;
+  out.time_days = tweet.time_days;
+  out.entities = ner_.Extract(tweet.text);
+
+  // Two token streams: raw words for the word-based baselines, and a stream
+  // where every recognized entity surface form (multi-word spans, hashtag /
+  // mention aliases) is replaced by its canonical entity token — the
+  // entity2vec corpus form, which pools all aliases of one entity (§III-A1).
+  std::vector<std::string> raw = tokenizer_.Tokenize(tweet.text);
+  out.words = raw;
+  size_t i = 0;
+  while (i < raw.size()) {
+    text::EntityCategory category;
+    std::string canonical;
+    if (!raw[i].empty() && (raw[i][0] == '#' || raw[i][0] == '@')) {
+      std::vector<std::string> bare = {raw[i].substr(1)};
+      if (gazetteer_.MatchAt(bare, 0, &category, &canonical) > 0) {
+        out.tokens.push_back(canonical);
+      } else {
+        out.tokens.push_back(raw[i]);
+      }
+      i += 1;
+      continue;
+    }
+    size_t len = gazetteer_.MatchAt(raw, i, &category, &canonical);
+    if (len > 0) {
+      out.tokens.push_back(canonical);
+      i += len;
+    } else {
+      out.tokens.push_back(raw[i]);
+      i += 1;
+    }
+  }
+  return out;
+}
+
+ProcessedDataset Pipeline::Process(const Dataset& dataset) const {
+  ProcessedDataset out;
+  out.name = dataset.name;
+  out.region = dataset.region;
+  out.stats.total_tweets = dataset.tweets.size();
+
+  size_t train_count = dataset.TrainCount();
+  size_t audited = 0;
+  size_t with_location = 0;
+  size_t with_both = 0;
+
+  std::unordered_set<std::string> test_entities;
+  for (size_t i = 0; i < dataset.tweets.size(); ++i) {
+    ProcessedTweet pt = ProcessTweet(dataset.tweets[i]);
+    if (!pt.entities.empty()) {
+      ++audited;
+      if (pt.HasLocationEntity()) ++with_location;
+      if (pt.HasLocationAndNonLocation()) ++with_both;
+    }
+    bool is_train = i < train_count;
+    if (pt.entities.empty()) {
+      // §IV-A: tweets with no entity are excluded (5.54% in the paper).
+      if (is_train) {
+        ++out.stats.train_excluded_no_entity;
+      } else {
+        ++out.stats.test_excluded_no_entity;
+      }
+      continue;
+    }
+    if (is_train) {
+      for (const text::Entity& e : pt.entities) out.train_entity_names.insert(e.name);
+      out.train.push_back(std::move(pt));
+    } else {
+      // §IV-A: test tweets with no entity from the training entity graph are
+      // excluded (2.76% in the paper).
+      bool any_known = false;
+      for (const text::Entity& e : pt.entities) {
+        if (out.train_entity_names.count(e.name) > 0) {
+          any_known = true;
+          break;
+        }
+      }
+      if (!any_known) {
+        ++out.stats.test_excluded_unseen_entities;
+        continue;
+      }
+      for (const text::Entity& e : pt.entities) test_entities.insert(e.name);
+      out.test.push_back(std::move(pt));
+    }
+  }
+
+  out.stats.train_kept = out.train.size();
+  out.stats.test_kept = out.test.size();
+  out.stats.train_distinct_entities = out.train_entity_names.size();
+  out.stats.test_distinct_entities = test_entities.size();
+  if (audited > 0) {
+    out.stats.frac_location_entity =
+        static_cast<double>(with_location) / static_cast<double>(audited);
+    out.stats.frac_location_and_other =
+        static_cast<double>(with_both) / static_cast<double>(audited);
+  }
+  return out;
+}
+
+}  // namespace edge::data

@@ -1,0 +1,87 @@
+#ifndef EDGE_DATA_PIPELINE_H_
+#define EDGE_DATA_PIPELINE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "edge/data/tweet.h"
+#include "edge/text/ner.h"
+#include "edge/text/tokenizer.h"
+
+namespace edge::data {
+
+/// A tweet after NER + tokenization — the common input consumed by EDGE and
+/// every baseline.
+struct ProcessedTweet {
+  int64_t id = 0;
+  std::string text;
+  geo::LatLon location;
+  double time_days = 0.0;
+  /// Deduplicated named entities recognized in the text (§III-A).
+  std::vector<text::Entity> entities;
+  /// Lowercase tokens with recognized entity spans joined into single
+  /// underscore tokens — entity2vec's corpus form. Treating entities as
+  /// units instead of word compositions is EDGE's contribution (§III-A1),
+  /// so ONLY the EDGE pipeline consumes this stream.
+  std::vector<std::string> tokens;
+  /// Plain lowercase word tokens (no entity joining) — what the word-based
+  /// baselines of Table III/IV see, as in the paper.
+  std::vector<std::string> words;
+
+  /// True if any entity has category kGeoLocation (the §IV-A audit).
+  bool HasLocationEntity() const;
+  /// True if it has at least one location and one non-location entity.
+  bool HasLocationAndNonLocation() const;
+};
+
+/// Bookkeeping of the §IV-A exclusion rules and corpus audit.
+struct PreprocessStats {
+  size_t total_tweets = 0;
+  size_t train_excluded_no_entity = 0;
+  size_t test_excluded_no_entity = 0;
+  size_t test_excluded_unseen_entities = 0;
+  size_t train_kept = 0;
+  size_t test_kept = 0;
+  size_t train_distinct_entities = 0;
+  size_t test_distinct_entities = 0;
+  double frac_location_entity = 0.0;       ///< Tweets mentioning a location.
+  double frac_location_and_other = 0.0;    ///< ... and also a non-location.
+};
+
+/// Model-ready dataset: chronological 75/25 split with the paper's filters
+/// applied — train/test tweets without entities are dropped (5.54% in the
+/// paper), and test tweets none of whose entities appear in training are
+/// dropped (2.76%), since the entity graph is built from training data only.
+struct ProcessedDataset {
+  std::string name;
+  geo::BoundingBox region;
+  std::vector<ProcessedTweet> train;
+  std::vector<ProcessedTweet> test;
+  PreprocessStats stats;
+
+  /// Entity names present in the training split (the entity-graph node set).
+  std::unordered_set<std::string> train_entity_names;
+};
+
+/// Runs the NER + tokenizer over a raw dataset and applies the split/filter
+/// rules above.
+class Pipeline {
+ public:
+  explicit Pipeline(text::Gazetteer gazetteer, text::NerOptions ner_options = {});
+
+  ProcessedDataset Process(const Dataset& dataset) const;
+
+  const text::TweetNer& ner() const { return ner_; }
+
+ private:
+  ProcessedTweet ProcessTweet(const Tweet& tweet) const;
+
+  text::TweetNer ner_;
+  text::Tokenizer tokenizer_;
+  text::Gazetteer gazetteer_;
+};
+
+}  // namespace edge::data
+
+#endif  // EDGE_DATA_PIPELINE_H_

@@ -1,0 +1,40 @@
+#ifndef EDGE_DATA_TWEET_H_
+#define EDGE_DATA_TWEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edge/geo/latlon.h"
+
+namespace edge::data {
+
+/// One geo-tagged tweet. `time_days` is the posting time in fractional days
+/// since the dataset's start date (the chronological 75/25 split and the
+/// use-case time windows operate on it). `planted_entities` records the
+/// canonical names the generator actually placed in the text — ground truth
+/// for NER evaluation, never visible to models.
+struct Tweet {
+  int64_t id = 0;
+  std::string text;
+  geo::LatLon location;
+  double time_days = 0.0;
+  std::vector<std::string> planted_entities;
+};
+
+/// A chronologically sorted tweet collection with region metadata.
+struct Dataset {
+  std::string name;
+  std::string start_date;  ///< Label only, e.g. "2014-08-01".
+  double timeline_days = 0.0;
+  geo::BoundingBox region;
+  std::vector<Tweet> tweets;  ///< Sorted ascending by time_days.
+
+  /// Index of the first test tweet under the paper's 75/25 chronological
+  /// split (§IV-A: "the first 75% of tweets in the timeline for training").
+  size_t TrainCount() const { return (tweets.size() * 3) / 4; }
+};
+
+}  // namespace edge::data
+
+#endif  // EDGE_DATA_TWEET_H_

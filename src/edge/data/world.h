@@ -1,0 +1,88 @@
+#ifndef EDGE_DATA_WORLD_H_
+#define EDGE_DATA_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "edge/geo/latlon.h"
+#include "edge/text/ner.h"
+
+namespace edge::data {
+
+/// A geo-indicative entity of the synthetic city: a venue, street,
+/// neighborhood, or chain. Multi-branch POIs (chains, franchises) create the
+/// multimodal location ambiguity of Observation O1; `sigma_km` separates
+/// fine-grained entities (streets, venues) from coarse-grained ones
+/// (boroughs), which the attention module must learn to weight differently.
+struct PoiSpec {
+  std::string name;  ///< Lowercase, words separated by spaces ("majestic theatre").
+  text::EntityCategory category = text::EntityCategory::kFacility;
+  std::vector<geo::LatLon> branches;  ///< >= 1 anchor coordinates.
+  double sigma_km = 0.8;              ///< Spatial spread of tweets about it.
+  double popularity = 1.0;            ///< Base sampling weight.
+  /// Alternate surface forms ("#presby", "@nyphospital") that all link to
+  /// this entity. Real tweets refer to places through many aliases; the NER
+  /// canonicalizes them (entity linking), so EDGE pools their signal while
+  /// word-based baselines see each alias as a separate sparse token — one of
+  /// the paper's core motivations for entity-level modelling.
+  std::vector<std::string> aliases;
+};
+
+/// One activity phase of a topic: while `t` is in [start_day, end_day) the
+/// topic fires with weight `rate` and co-occurs with the listed POIs.
+/// Multiple phases model event dynamics (Fig. 1 / 8 / 9): a festival topic is
+/// hot at its venues during the event and diffuse afterwards.
+struct TopicPhase {
+  double start_day = 0.0;
+  double end_day = 1e9;
+  double rate = 1.0;
+  /// (poi index, weight) pairs; empty means "anywhere" (no spatial signal).
+  std::vector<std::pair<size_t, double>> poi_affinity;
+};
+
+/// A non-geo-indicative entity (hashtag, person, product, meme). Topics are
+/// the bridge of Observation O2: they carry location signal only through
+/// their co-occurrence with POIs.
+struct TopicSpec {
+  std::string name;  ///< May carry a sigil ("#covid19", "@phantomopera").
+  text::EntityCategory category = text::EntityCategory::kOther;
+  std::vector<TopicPhase> phases;
+};
+
+/// Full specification of a synthetic metropolitan area and its tweeting
+/// behaviour. The default probabilities reproduce the §IV-A corpus audit:
+/// ~30-45% of tweets mention a location entity, ~5.5% mention no entity.
+struct WorldConfig {
+  std::string name;
+  std::string start_date;
+  double timeline_days = 30.0;
+  geo::BoundingBox region;
+
+  std::vector<PoiSpec> pois;
+  std::vector<TopicSpec> topics;
+  std::vector<std::string> background_words;
+
+  /// Weight of sampling "no topic, just a place" tweets.
+  double no_topic_rate = 1.0;
+  /// P(tweet text names the POI it was posted at).
+  double p_mention_poi = 0.42;
+  /// P(a POI mention uses one of its aliases instead of the primary form),
+  /// given the POI has aliases.
+  double p_alias_mention = 0.6;
+  /// P(tweet text names its topic | topic chosen).
+  double p_mention_topic = 0.85;
+  /// P(an additional nearby POI is name-dropped).
+  double p_second_poi = 0.22;
+  /// P(the enclosing coarse area is name-dropped).
+  double p_coarse_area = 0.18;
+  /// P(tweet carries no entity at all) — excluded later per §IV-A.
+  double p_no_entity = 0.055;
+
+  uint64_t seed = 7;
+};
+
+}  // namespace edge::data
+
+#endif  // EDGE_DATA_WORLD_H_

@@ -1,0 +1,536 @@
+#include "edge/data/worlds.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "edge/common/check.h"
+#include "edge/common/rng.h"
+
+namespace edge::data {
+
+namespace {
+
+using text::EntityCategory;
+
+// Sentinel end-day for phases that stay active for the whole timeline.
+constexpr double kOpenEnd = 1e9;
+
+const std::vector<std::string>& BackgroundWords() {
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "the",    "a",      "to",     "and",    "of",      "in",      "for",
+      "on",     "at",     "with",   "just",   "so",      "really",  "today",
+      "tonight", "great", "good",   "love",   "time",    "day",     "fun",
+      "best",   "happy",  "never",  "always", "about",   "this",    "that",
+      "was",    "is",     "my",     "your",   "our",     "me",      "you",
+      "we",     "they",   "here",   "there",  "now",     "then",    "back",
+      "out",    "again",  "still",  "very",   "too",     "much",    "more",
+      "some",   "all",    "had",    "have",   "got",     "getting", "going",
+      "went",   "came",   "come",   "see",    "saw",     "watch",   "feel",
+      "felt",   "think",  "thanks", "thank",  "morning", "evening", "afternoon",
+      "week",   "weekend", "yes",   "no",     "maybe",   "wow",     "omg",
+      "lol",    "vibes",  "mood",   "finally", "literally", "honestly", "actually",
+      "amazing", "awesome", "crazy", "cool",  "nice",    "beautiful"};
+  return *kWords;
+}
+
+const std::vector<std::string>& NyPrefixes() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "riverside", "union",    "grand",    "liberty",  "empire",   "harbor",
+      "crown",     "summit",   "lexington", "madison", "bleecker", "orchard",
+      "franklin",  "greenwood", "astor",   "hudson",   "cedar",    "atlantic",
+      "bowery",    "mercer",   "spring",   "essex",    "ludlow",   "clinton",
+      "stanton",   "rivington", "mulberry", "baxter",  "vernon",   "montague"};
+  return *kNames;
+}
+
+const std::vector<std::string>& LaPrefixes() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "sunset",   "venice",   "echo",     "silver",   "laurel",  "crescent",
+      "pacific",  "canyon",   "fairfax",  "melrose",  "vermont", "figueroa",
+      "arroyo",   "palms",    "westlake", "eagle",    "cypress", "magnolia",
+      "alvarado", "glendale", "brea",     "olympic",  "pico",    "sepulveda",
+      "cahuenga", "topanga",  "mariposa", "normandie", "slauson", "crenshaw"};
+  return *kNames;
+}
+
+struct PoiType {
+  const char* suffix;
+  EntityCategory category;
+};
+
+const std::vector<PoiType>& PoiTypes() {
+  static const std::vector<PoiType>* kTypes = new std::vector<PoiType>{
+      {"theatre", EntityCategory::kFacility},  {"hospital", EntityCategory::kFacility},
+      {"park", EntityCategory::kGeoLocation},  {"street", EntityCategory::kGeoLocation},
+      {"hotel", EntityCategory::kFacility},    {"museum", EntityCategory::kFacility},
+      {"market", EntityCategory::kCompany},    {"stadium", EntityCategory::kFacility},
+      {"library", EntityCategory::kFacility},  {"gallery", EntityCategory::kFacility},
+      {"pier", EntityCategory::kGeoLocation},  {"square", EntityCategory::kGeoLocation},
+      {"avenue", EntityCategory::kGeoLocation}, {"bridge", EntityCategory::kGeoLocation},
+      {"diner", EntityCategory::kCompany},     {"bakery", EntityCategory::kCompany}};
+  return *kTypes;
+}
+
+const std::vector<std::string>& ChainSuffixes() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "coffee", "mart", "gym", "pizza", "burgers", "books", "records", "cycles"};
+  return *kNames;
+}
+
+const std::vector<std::string>& HashtagBank() {
+  static const std::vector<std::string>* kTags = new std::vector<std::string>{
+      "#foodie",  "#nightlife", "#brunch",  "#artwalk",  "#livemusic", "#streetstyle",
+      "#gameday", "#rooftop",   "#openmic", "#vintage",  "#skyline",   "#filmset",
+      "#popup",   "#galleryhop", "#jazznight", "#poetryslam", "#foodtruck",
+      "#craftbeer", "#marathon", "#fashionweek"};
+  return *kTags;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "alex", "jordan", "casey", "riley", "morgan", "avery", "quinn", "rowan",
+      "sasha", "devon", "ellis", "marley"};
+  return *kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "rivers", "stone", "vale", "hart", "cole", "frost", "lane", "wolfe",
+      "marsh", "reyes", "knight", "banks"};
+  return *kNames;
+}
+
+const std::vector<std::string>& ChatterTopics() {
+  static const std::vector<std::string>* kTags = new std::vector<std::string>{
+      "#blessed", "#nofilter", "#tbt", "#selfcare", "#goals", "#random",
+      "#cantsleep", "#mondays"};
+  return *kTags;
+}
+
+/// Compact sigil alias for a "prefix suffix" POI name: "#orchardlib" from
+/// "orchard library". Unique as long as (prefix, first-3-of-suffix) is.
+std::string CompactAlias(const std::string& name, char sigil) {
+  std::string out(1, sigil);
+  size_t taken_after_space = 0;
+  bool after_space = false;
+  for (char c : name) {
+    if (c == ' ') {
+      after_space = true;
+      taken_after_space = 0;
+      continue;
+    }
+    if (!std::isalnum(static_cast<unsigned char>(c))) continue;
+    if (after_space && taken_after_space >= 3) continue;
+    out += c;
+    if (after_space) ++taken_after_space;
+  }
+  return out;
+}
+
+geo::LatLon RandomPointIn(const geo::BoundingBox& box, Rng* rng) {
+  // Keep anchors off the border so the sigma-spread stays mostly in-region.
+  double lat_margin = 0.06 * (box.max_lat - box.min_lat);
+  double lon_margin = 0.06 * (box.max_lon - box.min_lon);
+  return {rng->Uniform(box.min_lat + lat_margin, box.max_lat - lat_margin),
+          rng->Uniform(box.min_lon + lon_margin, box.max_lon - lon_margin)};
+}
+
+/// Helper that assembles the programmatic part of a world and tracks POI
+/// indices by name for topic affinities.
+class WorldBuilder {
+ public:
+  WorldBuilder(WorldConfig* config, uint64_t seed) : config_(config), rng_(seed) {}
+
+  size_t AddPoi(PoiSpec poi) {
+    EDGE_CHECK(index_.find(poi.name) == index_.end()) << "duplicate POI" << poi.name;
+    index_[poi.name] = config_->pois.size();
+    config_->pois.push_back(std::move(poi));
+    return config_->pois.size() - 1;
+  }
+
+  size_t PoiIndex(const std::string& name) const {
+    auto it = index_.find(name);
+    EDGE_CHECK(it != index_.end()) << "unknown POI" << name;
+    return it->second;
+  }
+
+  bool HasPoi(const std::string& name) const { return index_.count(name) > 0; }
+
+  /// Convenience: affinity list from (name, weight) pairs.
+  std::vector<std::pair<size_t, double>> Affinity(
+      const std::vector<std::pair<std::string, double>>& by_name) const {
+    std::vector<std::pair<size_t, double>> out;
+    out.reserve(by_name.size());
+    for (const auto& [name, weight] : by_name) out.emplace_back(PoiIndex(name), weight);
+    return out;
+  }
+
+  void GenerateFinePois(const std::vector<std::string>& prefixes, size_t count) {
+    const auto& types = PoiTypes();
+    std::vector<std::pair<size_t, size_t>> combos;
+    for (size_t p = 0; p < prefixes.size(); ++p) {
+      for (size_t t = 0; t < types.size(); ++t) combos.emplace_back(p, t);
+    }
+    rng_.Shuffle(&combos);
+    size_t made = 0;
+    for (const auto& [p, t] : combos) {
+      if (made >= count) break;
+      std::string name = prefixes[p] + " " + types[t].suffix;
+      if (HasPoi(name)) continue;
+      PoiSpec poi;
+      poi.name = name;
+      poi.category = types[t].category;
+      poi.branches = {RandomPointIn(config_->region, &rng_)};
+      poi.sigma_km = rng_.Uniform(0.8, 2.2);
+      poi.popularity = std::exp(rng_.Normal(0.0, 0.7));
+      poi.aliases.push_back(CompactAlias(poi.name, '#'));
+      poi.aliases.push_back(CompactAlias(poi.name, '@'));
+      AddPoi(std::move(poi));
+      ++made;
+    }
+    EDGE_CHECK_EQ(made, count) << "name bank exhausted";
+  }
+
+  void GenerateCoarseAreas(const std::vector<std::string>& prefixes, size_t count) {
+    static const char* kAreaSuffixes[] = {"heights", "village", "district", "side"};
+    size_t made = 0;
+    for (size_t i = 0; made < count && i < 4 * prefixes.size(); ++i) {
+      std::string name = std::string(prefixes[i % prefixes.size()]) + " " +
+                         kAreaSuffixes[(i / prefixes.size()) % 4];
+      if (HasPoi(name)) continue;
+      PoiSpec poi;
+      poi.name = name;
+      poi.category = EntityCategory::kGeoLocation;
+      poi.branches = {RandomPointIn(config_->region, &rng_)};
+      poi.sigma_km = rng_.Uniform(3.5, 7.0);
+      poi.popularity = std::exp(rng_.Normal(0.3, 0.5));
+      AddPoi(std::move(poi));
+      ++made;
+    }
+    EDGE_CHECK_EQ(made, count);
+  }
+
+  void GenerateChains(const std::vector<std::string>& prefixes, size_t count) {
+    const auto& suffixes = ChainSuffixes();
+    size_t made = 0;
+    for (size_t i = 0; made < count && i < prefixes.size() * suffixes.size(); ++i) {
+      std::string name =
+          prefixes[(i * 7) % prefixes.size()] + " " + suffixes[i % suffixes.size()];
+      if (HasPoi(name)) continue;
+      PoiSpec poi;
+      poi.name = name;
+      poi.category = EntityCategory::kCompany;
+      size_t branches = 2 + rng_.UniformInt(2);  // 2-3 branches: O1 multimodality.
+      for (size_t b = 0; b < branches; ++b) {
+        poi.branches.push_back(RandomPointIn(config_->region, &rng_));
+      }
+      poi.sigma_km = rng_.Uniform(0.4, 0.9);
+      poi.popularity = std::exp(rng_.Normal(0.4, 0.5));
+      poi.aliases.push_back(CompactAlias(poi.name, '#'));
+      poi.aliases.push_back(CompactAlias(poi.name, '@'));
+      AddPoi(std::move(poi));
+      ++made;
+    }
+    EDGE_CHECK_EQ(made, count);
+  }
+
+  void GenerateTopics(size_t count) {
+    size_t made = 0;
+    size_t tag = 0;
+    size_t person = 0;
+    while (made < count) {
+      TopicSpec topic;
+      double kind = rng_.Uniform();
+      if (kind < 0.45 && tag < HashtagBank().size()) {
+        topic.name = HashtagBank()[tag++];
+        topic.category = EntityCategory::kOther;
+      } else if (kind < 0.75 && person < FirstNames().size() * LastNames().size()) {
+        topic.name = FirstNames()[person % FirstNames().size()] + " " +
+                     LastNames()[(person / FirstNames().size()) % LastNames().size()];
+        person += 5;  // Stride to vary both parts.
+        topic.category = EntityCategory::kPerson;
+      } else {
+        topic.name = "#" + FirstNames()[rng_.UniformInt(FirstNames().size())] +
+                     LastNames()[rng_.UniformInt(LastNames().size())] +
+                     std::to_string(made);
+        topic.category = EntityCategory::kOther;
+      }
+      if (HasTopic(topic.name)) continue;
+
+      TopicPhase phase;
+      phase.start_day = 0.0;
+      phase.end_day = kOpenEnd;
+      phase.rate = std::exp(rng_.Normal(-0.2, 0.8));
+      if (rng_.Uniform() >= 0.15) {  // 15% are spatially uninformative chatter.
+        size_t anchors = 1 + rng_.UniformInt(3);
+        for (size_t a = 0; a < anchors; ++a) {
+          size_t poi = rng_.UniformInt(config_->pois.size());
+          phase.poi_affinity.emplace_back(poi, rng_.Uniform(1.0, 4.0));
+        }
+      }
+      topic.phases.push_back(std::move(phase));
+      AddTopic(std::move(topic));
+      ++made;
+    }
+    for (const std::string& chatter : ChatterTopics()) {
+      if (HasTopic(chatter)) continue;
+      TopicSpec topic;
+      topic.name = chatter;
+      topic.category = EntityCategory::kOther;
+      topic.phases.push_back(
+          {0.0, kOpenEnd, std::exp(rng_.Normal(-0.5, 0.4)), {}});
+      AddTopic(std::move(topic));
+    }
+  }
+
+  void AddTopic(TopicSpec topic) {
+    EDGE_CHECK(!HasTopic(topic.name));
+    topic_names_.insert({topic.name, config_->topics.size()});
+    config_->topics.push_back(std::move(topic));
+  }
+
+  bool HasTopic(const std::string& name) const { return topic_names_.count(name) > 0; }
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  WorldConfig* config_;
+  Rng rng_;
+  std::unordered_map<std::string, size_t> index_;
+  std::unordered_map<std::string, size_t> topic_names_;
+};
+
+/// Hand-placed landmarks shared by both New York worlds (paper's running
+/// examples). Coordinates are approximate real locations.
+void AddNyLandmarks(WorldBuilder* b) {
+  b->AddPoi({"majestic theatre", EntityCategory::kFacility, {{40.7631, -73.9882}},
+             0.4, 2.5, {"#majestic"}});
+  b->AddPoi({"broadway", EntityCategory::kGeoLocation, {{40.7590, -73.9845}}, 2.2, 3.0});
+  b->AddPoi({"times square", EntityCategory::kGeoLocation, {{40.7580, -73.9855}},
+             0.5, 4.0, {"#timessquare"}});
+  b->AddPoi({"william street", EntityCategory::kGeoLocation, {{40.7069, -74.0076}},
+             0.35, 1.2});
+  b->AddPoi({"brooklyn", EntityCategory::kGeoLocation, {{40.6782, -73.9442}}, 6.5, 3.0});
+  b->AddPoi({"presbyterian hospital", EntityCategory::kFacility,
+             {{40.7644, -73.9546}}, 0.6, 2.0, {"#presby", "@nyphospital"}});
+  b->AddPoi({"east williamsburg", EntityCategory::kGeoLocation, {{40.7140, -73.9360}},
+             1.8, 1.5});
+  b->AddPoi({"lower manhattan", EntityCategory::kGeoLocation, {{40.7080, -74.0090}},
+             1.9, 2.0});
+  b->AddPoi({"central park", EntityCategory::kGeoLocation, {{40.7812, -73.9665}},
+             1.5, 3.5});
+}
+
+WorldConfig MakeNyBase(const WorldPresetOptions& options, uint64_t seed_offset) {
+  WorldConfig config;
+  config.region = {40.55, 40.95, -74.15, -73.65};
+  config.background_words = BackgroundWords();
+  config.seed = options.seed + seed_offset;
+
+  WorldBuilder b(&config, options.seed + seed_offset + 1000);
+  AddNyLandmarks(&b);
+  b.GenerateFinePois(NyPrefixes(), options.num_fine_pois);
+  b.GenerateCoarseAreas(NyPrefixes(), options.num_coarse_areas);
+  b.GenerateChains(NyPrefixes(), options.num_chains);
+  b.GenerateTopics(options.num_topics);
+
+  // Paper running example: @PhantomOpera co-occurs with Majestic Theatre and
+  // Broadway (Fig. 3b).
+  TopicSpec phantom;
+  phantom.name = "@phantomopera";
+  phantom.category = EntityCategory::kOther;
+  phantom.phases.push_back({0.0, kOpenEnd, 1.6,
+                            b.Affinity({{"majestic theatre", 3.0}, {"broadway", 1.0}})});
+  // Placeholder end-day fixed by callers after timeline_days is set.
+  b.AddTopic(std::move(phantom));
+
+  TopicSpec nye;
+  nye.name = "new year's eve";
+  nye.category = EntityCategory::kOther;
+  nye.phases.push_back(
+      {0.0, kOpenEnd, 0.8, b.Affinity({{"times square", 4.0}})});
+  b.AddTopic(std::move(nye));
+  return config;
+}
+
+}  // namespace
+
+WorldConfig MakeNymaWorld(const WorldPresetOptions& options) {
+  WorldConfig config = MakeNyBase(options, 0);
+  config.name = "NYMA";
+  config.start_date = "2014-08-01";
+  config.timeline_days = 122.0;  // 08/01/2014 - 12/01/2014.
+  return config;
+}
+
+WorldConfig MakeNy2020World(const WorldPresetOptions& options) {
+  WorldConfig config = MakeNyBase(options, 50);
+  config.name = "NY-2020";
+  config.start_date = "2020-03-12";
+  config.timeline_days = 21.0;  // 03/12/2020 - 04/02/2020.
+
+  WorldBuilder b(&config, options.seed + 2000);
+  // Rebuild the name index for affinity lookups over the existing POIs.
+  // (WorldBuilder indexes only POIs added through it, so look up directly.)
+  auto poi_index = [&config](const std::string& name) {
+    for (size_t i = 0; i < config.pois.size(); ++i) {
+      if (config.pois[i].name == name) return i;
+    }
+    EDGE_CHECK(false) << "unknown POI" << name;
+    return static_cast<size_t>(-1);
+  };
+  size_t presbyterian = poi_index("presbyterian hospital");
+  size_t east_wb = poi_index("east williamsburg");
+  size_t lower_mh = poi_index("lower manhattan");
+  size_t brooklyn = poi_index("brooklyn");
+  size_t central_park = poi_index("central park");
+
+  // A second hospital so COVID topics have a multi-anchor footprint.
+  config.pois.push_back({"kings county hospital", EntityCategory::kFacility,
+                         {{40.6554, -73.9449}}, 0.7, 1.5, {"#kingscounty"}});
+  size_t kings = config.pois.size() - 1;
+
+  // COVID keyword topics (§IV-A set). Early phase: concentrated around the
+  // Manhattan hospitals; late phase: spread across the boroughs (Fig. 1).
+  struct CovidTopic {
+    const char* name;
+    double rate;
+  };
+  static const CovidTopic kCovidTopics[] = {
+      {"coronavirus", 2.2}, {"#covid", 2.6},        {"pandemic", 1.8},
+      {"quarantine", 2.4},  {"wuhan", 0.7},         {"masks", 1.4},
+      {"vaccine", 0.9},     {"#stayhome", 1.6},     {"toilet paper", 1.1},
+      {"social distance", 1.3}};
+  // A long tail of ordinary venues: people tweet about quarantine from all
+  // over the city, not only near hospitals. This keeps the keyword-filtered
+  // COVID-19 dataset entity-rich like the paper's crawl (its Table II shows
+  // ~2k training entities), instead of collapsing onto a few hub anchors.
+  Rng covid_rng(options.seed + 4000);
+  auto long_tail = [&covid_rng, &config](size_t count, double weight) {
+    std::vector<std::pair<size_t, double>> tail;
+    for (size_t i = 0; i < count; ++i) {
+      tail.emplace_back(covid_rng.UniformInt(config.pois.size()), weight);
+    }
+    return tail;
+  };
+  for (const CovidTopic& ct : kCovidTopics) {
+    TopicSpec topic;
+    topic.name = ct.name;
+    topic.category = EntityCategory::kOther;
+    TopicPhase early;
+    early.start_day = 0.0;
+    early.end_day = 10.0;
+    early.rate = 0.8 * ct.rate;
+    early.poi_affinity = {{presbyterian, 3.0}, {lower_mh, 1.0}};
+    for (const auto& anchor : long_tail(14, 0.12)) early.poi_affinity.push_back(anchor);
+    TopicPhase late;
+    late.start_day = 10.0;
+    late.end_day = kOpenEnd;
+    late.rate = 1.4 * ct.rate;
+    late.poi_affinity = {{presbyterian, 2.0}, {kings, 2.0},       {brooklyn, 1.2},
+                         {east_wb, 1.0},      {central_park, 0.8}, {lower_mh, 1.0}};
+    for (const auto& anchor : long_tail(22, 0.12)) late.poi_affinity.push_back(anchor);
+    topic.phases = {early, late};
+    config.topics.push_back(std::move(topic));
+  }
+
+  // Fig. 7: the self-quarantine protest, bimodal across East Williamsburg
+  // and Lower Manhattan.
+  TopicSpec protest;
+  protest.name = "protest";
+  protest.category = EntityCategory::kOther;
+  protest.phases.push_back({8.0, kOpenEnd, 1.2,
+                            {{east_wb, 2.0}, {lower_mh, 2.0}}});
+  config.topics.push_back(std::move(protest));
+
+  // Fig. 9: New Colossus Festival, seven Lower East Side venues, hot during
+  // days 0-3.5 (03/12-03/15), diffuse afterwards.
+  static const struct {
+    const char* name;
+    double lat;
+    double lon;
+  } kVenues[] = {{"arlene's grocery", 40.7216, -73.9882},
+                 {"berlin", 40.7219, -73.9870},
+                 {"bowery electric", 40.7246, -73.9916},
+                 {"lola", 40.7196, -73.9852},
+                 {"the delancey", 40.7180, -73.9886},
+                 {"moscot", 40.7177, -73.9900},
+                 {"pianos", 40.7207, -73.9879}};
+  std::vector<std::pair<size_t, double>> venue_affinity;
+  for (const auto& v : kVenues) {
+    config.pois.push_back(
+        {v.name, EntityCategory::kFacility, {{v.lat, v.lon}}, 0.3, 1.0});
+    venue_affinity.emplace_back(config.pois.size() - 1, 1.0);
+  }
+  TopicSpec festival;
+  festival.name = "new colossus festival";
+  festival.category = EntityCategory::kOther;
+  TopicPhase during;
+  during.start_day = 0.0;
+  during.end_day = 3.5;
+  during.rate = 4.5;
+  during.poi_affinity = venue_affinity;
+  TopicPhase after;
+  after.start_day = 3.5;
+  after.end_day = kOpenEnd;
+  after.rate = 0.35;
+  after.poi_affinity = {};  // Diffuse chatter after the event.
+  festival.phases = {during, after};
+  config.topics.push_back(std::move(festival));
+
+  return config;
+}
+
+WorldConfig MakeLamaWorld(const WorldPresetOptions& options) {
+  WorldConfig config;
+  config.name = "LAMA";
+  config.start_date = "2020-03-12";
+  config.timeline_days = 21.0;
+  config.region = {33.70, 34.25, -118.55, -117.90};
+  config.background_words = BackgroundWords();
+  config.seed = options.seed + 100;
+
+  WorldBuilder b(&config, options.seed + 3000);
+  b.AddPoi({"the marathon clothing", EntityCategory::kCompany, {{33.9889, -118.3311}},
+            0.5, 1.5, {"#marathonstore", "@themarathonclothing"}});
+  b.AddPoi({"south central", EntityCategory::kGeoLocation, {{33.9900, -118.3000}},
+            4.0, 1.5});
+  b.AddPoi({"staples center", EntityCategory::kFacility, {{34.0430, -118.2673}},
+            0.6, 2.5});
+  b.AddPoi({"griffith park", EntityCategory::kGeoLocation, {{34.1365, -118.2940}},
+            2.0, 2.0});
+  b.GenerateFinePois(LaPrefixes(), options.num_fine_pois);
+  b.GenerateCoarseAreas(LaPrefixes(), options.num_coarse_areas);
+  b.GenerateChains(LaPrefixes(), options.num_chains);
+  b.GenerateTopics(options.num_topics);
+
+  // Fig. 8: Nipsey Hussle tweets, base rate through March, burst on the
+  // March 31 anniversary (day 19) around The Marathon Clothing.
+  TopicSpec nipsey;
+  nipsey.name = "nipsey hussle";
+  nipsey.category = EntityCategory::kPerson;
+  TopicPhase base;
+  base.start_day = 0.0;
+  base.end_day = 19.0;
+  base.rate = 0.5;
+  base.poi_affinity = b.Affinity({{"the marathon clothing", 2.0}, {"south central", 1.0}});
+  TopicPhase burst;
+  burst.start_day = 19.0;
+  burst.end_day = kOpenEnd;
+  burst.rate = 6.0;
+  burst.poi_affinity =
+      b.Affinity({{"the marathon clothing", 4.0}, {"south central", 1.5}});
+  nipsey.phases = {base, burst};
+  b.AddTopic(std::move(nipsey));
+
+  return config;
+}
+
+const std::vector<std::string>& CovidKeywords() {
+  static const std::vector<std::string>* kKeywords = new std::vector<std::string>{
+      "coronavirus", "covid",    "pandemic",     "quarantine",     "wuhan",
+      "masks",       "vaccine",  "stayhome",     "toilet paper",   "social distance"};
+  return *kKeywords;
+}
+
+}  // namespace edge::data

@@ -1,0 +1,46 @@
+#ifndef EDGE_DATA_WORLDS_H_
+#define EDGE_DATA_WORLDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edge/data/world.h"
+
+namespace edge::data {
+
+/// Scale knobs for the preset worlds. Defaults give entity graphs of a few
+/// hundred nodes — large enough to exercise diffusion, small enough that
+/// every bench finishes in minutes on a laptop.
+struct WorldPresetOptions {
+  uint64_t seed = 7;
+  size_t num_fine_pois = 360;    ///< Venues / streets / parks (sigma < 2.5 km).
+  size_t num_coarse_areas = 12;  ///< Borough-scale areas (sigma 3.5-7 km).
+  size_t num_chains = 36;        ///< Multi-branch companies (Observation O1).
+  size_t num_topics = 140;       ///< Non-geo entities bridging to POIs (O2).
+};
+
+/// New York Metropolitan Area, fall 2014 (the paper's NYMA dataset). Includes
+/// the paper's running-example entities: majestic theatre, broadway,
+/// @phantomopera, times square, new year's eve, william street, brooklyn.
+WorldConfig MakeNymaWorld(const WorldPresetOptions& options = {});
+
+/// New York, March 12 - April 2 2020: the COVID-19 crawl window. Adds the
+/// paper's COVID keyword topics with time-drifting hospital affinities
+/// (Fig. 1), the self-quarantine protest with a bimodal East Williamsburg /
+/// Lower Manhattan footprint (Fig. 7), and the New Colossus Festival with its
+/// seven Lower East Side venues (Fig. 9). The COVID-19 dataset is this world
+/// filtered by CovidKeywords().
+WorldConfig MakeNy2020World(const WorldPresetOptions& options = {});
+
+/// Los Angeles Metropolitan Area, March 12 - April 2 2020 (the paper's LAMA
+/// dataset), including the Nipsey Hussle anniversary burst around The
+/// Marathon Clothing on day 19 = March 31 (Fig. 8).
+WorldConfig MakeLamaWorld(const WorldPresetOptions& options = {});
+
+/// The paper's COVID-19 crawl keyword set (§IV-A).
+const std::vector<std::string>& CovidKeywords();
+
+}  // namespace edge::data
+
+#endif  // EDGE_DATA_WORLDS_H_

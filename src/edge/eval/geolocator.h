@@ -1,0 +1,34 @@
+#ifndef EDGE_EVAL_GEOLOCATOR_H_
+#define EDGE_EVAL_GEOLOCATOR_H_
+
+#include <string>
+
+#include "edge/data/pipeline.h"
+#include "edge/geo/latlon.h"
+
+namespace edge::eval {
+
+/// Common interface every geolocation method implements — EDGE, the seven
+/// published baselines and the four ablations. Fit() sees only the training
+/// split; PredictPoint() returns the single-location conversion used by the
+/// distance metrics (Eq. 14 for mixture methods, the winning cell centre for
+/// grid methods). Returning false means the method cannot predict this tweet
+/// (Hyper-local only covers tweets containing a geo-specific n-gram; Table
+/// III reports its coverage percentage next to its scores).
+class Geolocator {
+ public:
+  virtual ~Geolocator() = default;
+
+  /// Display name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Trains on the dataset's training split.
+  virtual void Fit(const data::ProcessedDataset& dataset) = 0;
+
+  /// Point prediction for one tweet; false when the method abstains.
+  virtual bool PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) = 0;
+};
+
+}  // namespace edge::eval
+
+#endif  // EDGE_EVAL_GEOLOCATOR_H_

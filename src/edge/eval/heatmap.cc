@@ -1,0 +1,62 @@
+#include "edge/eval/heatmap.h"
+
+#include <algorithm>
+
+#include "edge/common/string_util.h"
+#include "edge/geo/grid.h"
+
+namespace edge::eval {
+
+namespace {
+
+std::vector<double> CellCounts(const std::vector<geo::LatLon>& points,
+                               const geo::GeoGrid& grid) {
+  std::vector<double> counts(grid.num_cells(), 0.0);
+  for (const geo::LatLon& p : points) counts[grid.CellOf(p)] += 1.0;
+  return counts;
+}
+
+}  // namespace
+
+std::string AsciiHeatmap(const std::vector<geo::LatLon>& points,
+                         const geo::BoundingBox& box, size_t nx, size_t ny) {
+  static const char kShades[] = " .:-=+*#%@";
+  geo::GeoGrid grid(box, nx, ny);
+  std::vector<double> counts = CellCounts(points, grid);
+  double max_count = *std::max_element(counts.begin(), counts.end());
+  std::string out;
+  out.reserve((nx + 3) * ny);
+  for (size_t row = ny; row-- > 0;) {  // North (max lat) first.
+    out += '|';
+    for (size_t col = 0; col < nx; ++col) {
+      double c = counts[grid.CellAt(col, row)];
+      size_t shade = 0;
+      if (max_count > 0.0 && c > 0.0) {
+        shade = 1 + static_cast<size_t>((c / max_count) * 8.999);
+      }
+      out += kShades[std::min<size_t>(shade, 9)];
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string TopCells(const std::vector<geo::LatLon>& points, const geo::BoundingBox& box,
+                     size_t nx, size_t ny, size_t k) {
+  geo::GeoGrid grid(box, nx, ny);
+  std::vector<double> counts = CellCounts(points, grid);
+  std::vector<size_t> order(counts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&counts](size_t a, size_t b) { return counts[a] > counts[b]; });
+  std::string out;
+  for (size_t i = 0; i < std::min(k, order.size()); ++i) {
+    if (counts[order[i]] == 0.0) break;
+    geo::LatLon center = grid.CellCenter(order[i]);
+    out += "(" + FormatDouble(center.lat, 4) + ", " + FormatDouble(center.lon, 4) +
+           ")  " + FormatDouble(counts[order[i]], 0) + "\n";
+  }
+  return out;
+}
+
+}  // namespace edge::eval

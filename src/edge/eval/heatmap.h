@@ -1,0 +1,24 @@
+#ifndef EDGE_EVAL_HEATMAP_H_
+#define EDGE_EVAL_HEATMAP_H_
+
+#include <string>
+#include <vector>
+
+#include "edge/geo/latlon.h"
+
+namespace edge::eval {
+
+/// Renders an ASCII density map of points over a bounding box (north at the
+/// top), used by the Fig. 1 / 8 / 9 event-dynamics reproductions: darker
+/// characters mean more predicted tweets in the cell.
+std::string AsciiHeatmap(const std::vector<geo::LatLon>& points,
+                         const geo::BoundingBox& box, size_t nx, size_t ny);
+
+/// The top-k densest cells as "(lat, lon) count" lines — the machine-checkable
+/// companion to the ASCII art.
+std::string TopCells(const std::vector<geo::LatLon>& points, const geo::BoundingBox& box,
+                     size_t nx, size_t ny, size_t k);
+
+}  // namespace edge::eval
+
+#endif  // EDGE_EVAL_HEATMAP_H_

@@ -1,0 +1,74 @@
+#include "edge/eval/metrics.h"
+
+#include "edge/common/check.h"
+#include "edge/common/math_util.h"
+
+namespace edge::eval {
+
+std::vector<double> PredictionErrorsKm(Geolocator* method,
+                                       const data::ProcessedDataset& dataset,
+                                       size_t* abstained) {
+  EDGE_CHECK(method != nullptr);
+  EDGE_CHECK(abstained != nullptr);
+  *abstained = 0;
+  std::vector<double> errors;
+  errors.reserve(dataset.test.size());
+  for (const data::ProcessedTweet& tweet : dataset.test) {
+    geo::LatLon predicted;
+    if (!method->PredictPoint(tweet, &predicted)) {
+      ++(*abstained);
+      continue;
+    }
+    errors.push_back(geo::HaversineKm(tweet.location, predicted));
+  }
+  return errors;
+}
+
+MetricResults SummarizeErrors(const std::string& method, std::vector<double> errors_km,
+                              size_t abstained) {
+  MetricResults r;
+  r.method = method;
+  r.predicted = errors_km.size();
+  r.abstained = abstained;
+  if (errors_km.empty()) return r;
+  r.mean_km = Mean(errors_km);
+  size_t within3 = 0;
+  size_t within5 = 0;
+  for (double e : errors_km) {
+    if (e <= 3.0) ++within3;
+    if (e <= 5.0) ++within5;
+  }
+  r.at_3km = static_cast<double>(within3) / static_cast<double>(errors_km.size());
+  r.at_5km = static_cast<double>(within5) / static_cast<double>(errors_km.size());
+  r.median_km = Median(std::move(errors_km));
+  return r;
+}
+
+MetricResults EvaluateGeolocator(Geolocator* method,
+                                 const data::ProcessedDataset& dataset) {
+  size_t abstained = 0;
+  std::vector<double> errors = PredictionErrorsKm(method, dataset, &abstained);
+  return SummarizeErrors(method->name(), std::move(errors), abstained);
+}
+
+std::vector<double> RdpSweep(const std::vector<double>& errors_km, size_t abstained,
+                             const std::vector<double>& radii_km) {
+  (void)abstained;  // RDP is over predicted tweets, matching @3km/@5km.
+  std::vector<double> out;
+  out.reserve(radii_km.size());
+  for (double r : radii_km) {
+    EDGE_CHECK_GT(r, 0.0);
+    if (errors_km.empty()) {
+      out.push_back(0.0);
+      continue;
+    }
+    size_t hits = 0;
+    for (double e : errors_km) {
+      if (e <= r) ++hits;
+    }
+    out.push_back(static_cast<double>(hits) / static_cast<double>(errors_km.size()));
+  }
+  return out;
+}
+
+}  // namespace edge::eval

@@ -1,0 +1,51 @@
+#ifndef EDGE_EVAL_METRICS_H_
+#define EDGE_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "edge/data/pipeline.h"
+#include "edge/eval/geolocator.h"
+
+namespace edge::eval {
+
+/// The paper's Table III metric set (§IV-C) plus coverage bookkeeping.
+struct MetricResults {
+  std::string method;
+  double mean_km = 0.0;    ///< Mean haversine error over predicted tweets.
+  double median_km = 0.0;  ///< Median haversine error.
+  double at_3km = 0.0;     ///< Fraction of predictions within 3 km.
+  double at_5km = 0.0;     ///< Fraction within 5 km.
+  size_t predicted = 0;    ///< Tweets the method predicted.
+  size_t abstained = 0;    ///< Tweets it could not predict (Hyper-local).
+
+  /// Fraction of test tweets the method covered.
+  double Coverage() const {
+    size_t total = predicted + abstained;
+    return total == 0 ? 0.0 : static_cast<double>(predicted) / static_cast<double>(total);
+  }
+};
+
+/// Per-test-tweet haversine errors (km) of a fitted geolocator; abstentions
+/// are recorded in *abstained and produce no distance.
+std::vector<double> PredictionErrorsKm(Geolocator* method,
+                                       const data::ProcessedDataset& dataset,
+                                       size_t* abstained);
+
+/// Summarizes errors into the Table III metric row.
+MetricResults SummarizeErrors(const std::string& method, std::vector<double> errors_km,
+                              size_t abstained);
+
+/// Fits nothing; evaluates a fitted method end-to-end.
+MetricResults EvaluateGeolocator(Geolocator* method,
+                                 const data::ProcessedDataset& dataset);
+
+/// RDP(r): fraction of test tweets whose true location lies within r km of
+/// the predicted location (Fig. 5 plots this against r; RDP(3) = @3km and
+/// RDP(5) = @5km). One value per radius, in order.
+std::vector<double> RdpSweep(const std::vector<double>& errors_km, size_t abstained,
+                             const std::vector<double>& radii_km);
+
+}  // namespace edge::eval
+
+#endif  // EDGE_EVAL_METRICS_H_

@@ -1,0 +1,101 @@
+#include "edge/geo/gaussian2d.h"
+
+#include <cmath>
+
+#include "edge/common/math_util.h"
+
+namespace edge::geo {
+
+Gaussian2d::Gaussian2d(PlanePoint mean, double sigma_x, double sigma_y, double rho)
+    : mean_(mean), sigma_x_(sigma_x), sigma_y_(sigma_y), rho_(rho) {
+  EDGE_CHECK_GT(sigma_x, 0.0);
+  EDGE_CHECK_GT(sigma_y, 0.0);
+  EDGE_CHECK_LT(std::fabs(rho), 1.0);
+}
+
+Gaussian2d Gaussian2d::Isotropic(PlanePoint mean, double sigma) {
+  return Gaussian2d(mean, sigma, sigma, 0.0);
+}
+
+Gaussian2d Gaussian2d::Fit(const std::vector<PlanePoint>& points) {
+  EDGE_CHECK_GE(points.size(), 2u);
+  double n = static_cast<double>(points.size());
+  double mx = 0.0;
+  double my = 0.0;
+  for (const PlanePoint& p : points) {
+    mx += p.x;
+    my += p.y;
+  }
+  mx /= n;
+  my /= n;
+  double sxx = 0.0;
+  double syy = 0.0;
+  double sxy = 0.0;
+  for (const PlanePoint& p : points) {
+    sxx += (p.x - mx) * (p.x - mx);
+    syy += (p.y - my) * (p.y - my);
+    sxy += (p.x - mx) * (p.y - my);
+  }
+  sxx /= n;
+  syy /= n;
+  sxy /= n;
+  // Degenerate clouds (collinear / identical points) get a small floor.
+  constexpr double kMinVariance = 1e-6;
+  double sx = std::sqrt(std::max(sxx, kMinVariance));
+  double sy = std::sqrt(std::max(syy, kMinVariance));
+  double rho = Clamp(sxy / (sx * sy), -0.99, 0.99);
+  return Gaussian2d({mx, my}, sx, sy, rho);
+}
+
+double Gaussian2d::LogPdf(const PlanePoint& p) const {
+  double one_minus = 1.0 - rho_ * rho_;
+  double dx = (p.x - mean_.x) / sigma_x_;
+  double dy = (p.y - mean_.y) / sigma_y_;
+  double z = dx * dx - 2.0 * rho_ * dx * dy + dy * dy;
+  return -std::log(2.0 * kPi) - std::log(sigma_x_) - std::log(sigma_y_) -
+         0.5 * std::log(one_minus) - z / (2.0 * one_minus);
+}
+
+double Gaussian2d::Pdf(const PlanePoint& p) const { return std::exp(LogPdf(p)); }
+
+PlanePoint Gaussian2d::Sample(Rng* rng) const {
+  EDGE_CHECK(rng != nullptr);
+  // Cholesky of [[sx^2, rho sx sy], [rho sx sy, sy^2]].
+  double u = rng->Normal();
+  double v = rng->Normal();
+  double x = mean_.x + sigma_x_ * u;
+  double y = mean_.y + sigma_y_ * (rho_ * u + std::sqrt(1.0 - rho_ * rho_) * v);
+  return {x, y};
+}
+
+double Gaussian2d::MahalanobisSq(const PlanePoint& p) const {
+  double one_minus = 1.0 - rho_ * rho_;
+  double dx = (p.x - mean_.x) / sigma_x_;
+  double dy = (p.y - mean_.y) / sigma_y_;
+  return (dx * dx - 2.0 * rho_ * dx * dy + dy * dy) / one_minus;
+}
+
+ConfidenceEllipse Gaussian2d::EllipseAt(double confidence) const {
+  EDGE_CHECK_GT(confidence, 0.0);
+  EDGE_CHECK_LT(confidence, 1.0);
+  // For a bivariate Gaussian, Mahalanobis^2 ~ chi-squared with 2 dof, whose
+  // quantile has the closed form -2 ln(1 - confidence).
+  double chi_sq = -2.0 * std::log(1.0 - confidence);
+  // Eigen decomposition of the 2x2 covariance.
+  double a = sigma_x_ * sigma_x_;
+  double b = rho_ * sigma_x_ * sigma_y_;
+  double c = sigma_y_ * sigma_y_;
+  double trace_half = 0.5 * (a + c);
+  double det = a * c - b * b;
+  double disc = std::sqrt(std::max(trace_half * trace_half - det, 0.0));
+  double lambda1 = trace_half + disc;  // Major.
+  double lambda2 = trace_half - disc;  // Minor.
+  ConfidenceEllipse e;
+  e.center = mean_;
+  e.semi_major = std::sqrt(std::max(lambda1, 0.0) * chi_sq);
+  e.semi_minor = std::sqrt(std::max(lambda2, 0.0) * chi_sq);
+  e.angle_rad = (b == 0.0 && a >= c) ? 0.0 : std::atan2(lambda1 - a, b);
+  return e;
+}
+
+}  // namespace edge::geo

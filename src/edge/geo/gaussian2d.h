@@ -1,0 +1,64 @@
+#ifndef EDGE_GEO_GAUSSIAN2D_H_
+#define EDGE_GEO_GAUSSIAN2D_H_
+
+#include <vector>
+
+#include "edge/common/rng.h"
+#include "edge/geo/projection.h"
+
+namespace edge::geo {
+
+/// Axes of a confidence ellipse for a bivariate Gaussian (Fig. 7 rendering):
+/// semi-axis lengths along the covariance eigenvectors plus the rotation of
+/// the major axis from the +x direction.
+struct ConfidenceEllipse {
+  PlanePoint center;
+  double semi_major = 0.0;
+  double semi_minor = 0.0;
+  double angle_rad = 0.0;
+};
+
+/// Bivariate Gaussian with full covariance parameterized as in Eq. 5:
+/// mean (mu_x, mu_y), standard deviations (sigma_x, sigma_y) and correlation
+/// rho, i.e. Sigma = [[sx^2, rho sx sy], [rho sx sy, sy^2]].
+class Gaussian2d {
+ public:
+  Gaussian2d() = default;
+
+  /// Requires sigma_x > 0, sigma_y > 0, |rho| < 1.
+  Gaussian2d(PlanePoint mean, double sigma_x, double sigma_y, double rho);
+
+  /// Isotropic convenience constructor (rho = 0, equal sigmas).
+  static Gaussian2d Isotropic(PlanePoint mean, double sigma);
+
+  /// Maximum-likelihood fit to >= 2 points (rho clamped away from +-1).
+  static Gaussian2d Fit(const std::vector<PlanePoint>& points);
+
+  const PlanePoint& mean() const { return mean_; }
+  double sigma_x() const { return sigma_x_; }
+  double sigma_y() const { return sigma_y_; }
+  double rho() const { return rho_; }
+
+  double LogPdf(const PlanePoint& p) const;
+  double Pdf(const PlanePoint& p) const;
+
+  /// Draws one sample.
+  PlanePoint Sample(Rng* rng) const;
+
+  /// Mahalanobis squared distance (x-mu)^T Sigma^-1 (x-mu).
+  double MahalanobisSq(const PlanePoint& p) const;
+
+  /// Confidence ellipse containing probability mass `confidence` in (0, 1);
+  /// Fig. 7 draws the 75% / 80% / 85% ellipses of each component.
+  ConfidenceEllipse EllipseAt(double confidence) const;
+
+ private:
+  PlanePoint mean_;
+  double sigma_x_ = 1.0;
+  double sigma_y_ = 1.0;
+  double rho_ = 0.0;
+};
+
+}  // namespace edge::geo
+
+#endif  // EDGE_GEO_GAUSSIAN2D_H_

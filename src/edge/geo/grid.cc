@@ -1,0 +1,41 @@
+#include "edge/geo/grid.h"
+
+#include <algorithm>
+
+#include "edge/common/check.h"
+
+namespace edge::geo {
+
+GeoGrid::GeoGrid(const BoundingBox& box, size_t nx, size_t ny)
+    : box_(box), nx_(nx), ny_(ny) {
+  EDGE_CHECK_GT(nx, 0u);
+  EDGE_CHECK_GT(ny, 0u);
+  EDGE_CHECK_LT(box.min_lat, box.max_lat);
+  EDGE_CHECK_LT(box.min_lon, box.max_lon);
+}
+
+size_t GeoGrid::CellOf(const LatLon& p) const {
+  double fx = (p.lon - box_.min_lon) / (box_.max_lon - box_.min_lon);
+  double fy = (p.lat - box_.min_lat) / (box_.max_lat - box_.min_lat);
+  size_t col = static_cast<size_t>(
+      std::clamp(fx * static_cast<double>(nx_), 0.0, static_cast<double>(nx_ - 1)));
+  size_t row = static_cast<size_t>(
+      std::clamp(fy * static_cast<double>(ny_), 0.0, static_cast<double>(ny_ - 1)));
+  return CellAt(col, row);
+}
+
+LatLon GeoGrid::CellCenter(size_t cell) const {
+  EDGE_CHECK_LT(cell, num_cells());
+  size_t col = CellCol(cell);
+  size_t row = CellRow(cell);
+  return {box_.min_lat + (static_cast<double>(row) + 0.5) * cell_height_deg(),
+          box_.min_lon + (static_cast<double>(col) + 0.5) * cell_width_deg()};
+}
+
+size_t GeoGrid::CellAt(size_t col, size_t row) const {
+  EDGE_CHECK_LT(col, nx_);
+  EDGE_CHECK_LT(row, ny_);
+  return row * nx_ + col;
+}
+
+}  // namespace edge::geo

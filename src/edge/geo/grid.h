@@ -1,0 +1,49 @@
+#ifndef EDGE_GEO_GRID_H_
+#define EDGE_GEO_GRID_H_
+
+#include <cstddef>
+
+#include "edge/geo/latlon.h"
+
+namespace edge::geo {
+
+/// Uniform discretization of a bounding box into nx x ny cells. The grid
+/// baselines of Table III (NaiveBayes / Kullback-Leibler / LocKDE and the
+/// kde2d variants) all classify tweets into cells of a 100 x 100 grid and
+/// answer with the winning cell's centre.
+class GeoGrid {
+ public:
+  /// `nx`/`ny` are the number of columns (longitude) / rows (latitude).
+  GeoGrid(const BoundingBox& box, size_t nx, size_t ny);
+
+  size_t num_cells() const { return nx_ * ny_; }
+  size_t nx() const { return nx_; }
+  size_t ny() const { return ny_; }
+  const BoundingBox& box() const { return box_; }
+
+  /// Cell index of a point (points outside the box clamp to the border cell).
+  size_t CellOf(const LatLon& p) const;
+
+  /// Centre coordinate of a cell.
+  LatLon CellCenter(size_t cell) const;
+
+  /// Column / row of a cell index.
+  size_t CellCol(size_t cell) const { return cell % nx_; }
+  size_t CellRow(size_t cell) const { return cell / nx_; }
+
+  /// Cell index from (col, row).
+  size_t CellAt(size_t col, size_t row) const;
+
+  /// Cell edge lengths in degrees.
+  double cell_width_deg() const { return (box_.max_lon - box_.min_lon) / nx_; }
+  double cell_height_deg() const { return (box_.max_lat - box_.min_lat) / ny_; }
+
+ private:
+  BoundingBox box_;
+  size_t nx_;
+  size_t ny_;
+};
+
+}  // namespace edge::geo
+
+#endif  // EDGE_GEO_GRID_H_

@@ -1,0 +1,64 @@
+#include "edge/geo/kde.h"
+
+#include <cmath>
+
+#include "edge/common/check.h"
+#include "edge/common/math_util.h"
+
+namespace edge::geo {
+
+Kde2d::Kde2d(std::vector<PlanePoint> points, double bandwidth_km)
+    : points_(std::move(points)), bandwidth_km_(bandwidth_km) {
+  EDGE_CHECK(!points_.empty());
+  EDGE_CHECK_GT(bandwidth_km, 0.0);
+}
+
+double Kde2d::Density(const PlanePoint& p) const {
+  double inv_two_h_sq = 1.0 / (2.0 * bandwidth_km_ * bandwidth_km_);
+  double norm = 1.0 / (2.0 * kPi * bandwidth_km_ * bandwidth_km_ *
+                       static_cast<double>(points_.size()));
+  double sum = 0.0;
+  for (const PlanePoint& q : points_) {
+    double dx = p.x - q.x;
+    double dy = p.y - q.y;
+    sum += std::exp(-(dx * dx + dy * dy) * inv_two_h_sq);
+  }
+  return norm * sum;
+}
+
+double Kde2d::LogDensity(const PlanePoint& p) const {
+  double inv_two_h_sq = 1.0 / (2.0 * bandwidth_km_ * bandwidth_km_);
+  std::vector<double> terms;
+  terms.reserve(points_.size());
+  for (const PlanePoint& q : points_) {
+    double dx = p.x - q.x;
+    double dy = p.y - q.y;
+    terms.push_back(-(dx * dx + dy * dy) * inv_two_h_sq);
+  }
+  return LogSumExp(terms) - std::log(2.0 * kPi * bandwidth_km_ * bandwidth_km_ *
+                                     static_cast<double>(points_.size()));
+}
+
+double Kde2d::RuleOfThumbBandwidth(const std::vector<PlanePoint>& points,
+                                   double min_bandwidth_km) {
+  EDGE_CHECK(!points.empty());
+  EDGE_CHECK_GT(min_bandwidth_km, 0.0);
+  if (points.size() < 2) return min_bandwidth_km;
+  double mx = 0.0;
+  double my = 0.0;
+  for (const PlanePoint& p : points) {
+    mx += p.x;
+    my += p.y;
+  }
+  mx /= static_cast<double>(points.size());
+  my /= static_cast<double>(points.size());
+  double var = 0.0;
+  for (const PlanePoint& p : points) {
+    var += (p.x - mx) * (p.x - mx) + (p.y - my) * (p.y - my);
+  }
+  var /= 2.0 * static_cast<double>(points.size());
+  double h = std::sqrt(var) * std::pow(static_cast<double>(points.size()), -1.0 / 6.0);
+  return std::max(h, min_bandwidth_km);
+}
+
+}  // namespace edge::geo

@@ -1,0 +1,41 @@
+#ifndef EDGE_GEO_KDE_H_
+#define EDGE_GEO_KDE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "edge/geo/projection.h"
+
+namespace edge::geo {
+
+/// Isotropic Gaussian kernel density estimator over points in the local km
+/// plane. Each term in LocKDE gets one of these (with a per-term bandwidth
+/// derived from the term's location indicativeness), and the kde2d grid
+/// baselines use it to smooth per-cell counts.
+class Kde2d {
+ public:
+  /// `bandwidth_km` > 0 is the kernel standard deviation.
+  Kde2d(std::vector<PlanePoint> points, double bandwidth_km);
+
+  /// Density at `p` (averages the kernels; integrates to 1 over the plane).
+  double Density(const PlanePoint& p) const;
+
+  /// Log density via log-sum-exp (stable far from the support).
+  double LogDensity(const PlanePoint& p) const;
+
+  size_t num_points() const { return points_.size(); }
+  double bandwidth_km() const { return bandwidth_km_; }
+
+  /// Scott/Silverman-style rule-of-thumb bandwidth for 2-D data:
+  /// h = n^(-1/6) * sqrt((var_x + var_y) / 2), floored at `min_bandwidth`.
+  static double RuleOfThumbBandwidth(const std::vector<PlanePoint>& points,
+                                     double min_bandwidth_km);
+
+ private:
+  std::vector<PlanePoint> points_;
+  double bandwidth_km_;
+};
+
+}  // namespace edge::geo
+
+#endif  // EDGE_GEO_KDE_H_

@@ -1,0 +1,32 @@
+#include "edge/geo/latlon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edge/common/math_util.h"
+
+namespace edge::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0088;
+double DegToRad(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+double HaversineKm(const LatLon& a, const LatLon& b) {
+  double lat1 = DegToRad(a.lat);
+  double lat2 = DegToRad(b.lat);
+  double dlat = lat2 - lat1;
+  double dlon = DegToRad(b.lon - a.lon);
+  double s1 = std::sin(0.5 * dlat);
+  double s2 = std::sin(0.5 * dlon);
+  double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  h = std::min(1.0, std::max(0.0, h));
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(h));
+}
+
+LatLon BoundingBox::Clamp(const LatLon& p) const {
+  return {std::min(std::max(p.lat, min_lat), max_lat),
+          std::min(std::max(p.lon, min_lon), max_lon)};
+}
+
+}  // namespace edge::geo

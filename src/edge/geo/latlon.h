@@ -1,0 +1,37 @@
+#ifndef EDGE_GEO_LATLON_H_
+#define EDGE_GEO_LATLON_H_
+
+namespace edge::geo {
+
+/// A WGS-84 geographic coordinate in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine formula, mean Earth radius
+/// 6371.0088 km). This is the distance behind every Mean/Median/@3km/@5km
+/// metric in the evaluation.
+double HaversineKm(const LatLon& a, const LatLon& b);
+
+/// Axis-aligned lat/lon rectangle; the study regions (NYMA / LAMA) and the
+/// baseline grids are defined by one of these.
+struct BoundingBox {
+  double min_lat = 0.0;
+  double max_lat = 0.0;
+  double min_lon = 0.0;
+  double max_lon = 0.0;
+
+  bool Contains(const LatLon& p) const {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lon >= min_lon && p.lon <= max_lon;
+  }
+
+  LatLon Center() const { return {0.5 * (min_lat + max_lat), 0.5 * (min_lon + max_lon)}; }
+
+  /// Clamps a point into the box (used to keep synthetic samples in-region).
+  LatLon Clamp(const LatLon& p) const;
+};
+
+}  // namespace edge::geo
+
+#endif  // EDGE_GEO_LATLON_H_

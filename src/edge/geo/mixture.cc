@@ -1,0 +1,95 @@
+#include "edge/geo/mixture.h"
+
+#include <cmath>
+
+#include "edge/common/math_util.h"
+
+namespace edge::geo {
+
+GaussianMixture2d::GaussianMixture2d(std::vector<Gaussian2d> components,
+                                     std::vector<double> weights)
+    : components_(std::move(components)), weights_(std::move(weights)) {
+  EDGE_CHECK_EQ(components_.size(), weights_.size());
+  EDGE_CHECK(!components_.empty());
+  double total = 0.0;
+  for (double w : weights_) {
+    EDGE_CHECK_GT(w, 0.0);
+    total += w;
+  }
+  for (double& w : weights_) w /= total;
+}
+
+double GaussianMixture2d::LogPdf(const PlanePoint& p) const {
+  std::vector<double> terms(components_.size());
+  for (size_t m = 0; m < components_.size(); ++m) {
+    terms[m] = std::log(weights_[m]) + components_[m].LogPdf(p);
+  }
+  return LogSumExp(terms);
+}
+
+double GaussianMixture2d::Pdf(const PlanePoint& p) const { return std::exp(LogPdf(p)); }
+
+PlanePoint GaussianMixture2d::Sample(Rng* rng) const {
+  EDGE_CHECK(rng != nullptr);
+  size_t m = rng->Categorical(weights_);
+  return components_[m].Sample(rng);
+}
+
+PlanePoint GaussianMixture2d::FindMode() const {
+  constexpr int kMaxIterations = 200;
+  constexpr double kToleranceKm = 1e-6;
+
+  PlanePoint best = components_[0].mean();
+  double best_log_pdf = LogPdf(best);
+
+  for (size_t start = 0; start < components_.size(); ++start) {
+    PlanePoint x = components_[start].mean();
+    for (int it = 0; it < kMaxIterations; ++it) {
+      // Responsibility-weighted precision blend (Gaussian mean-shift step):
+      //   x' = (sum_m g_m P_m)^-1 (sum_m g_m P_m mu_m),  g_m = w_m N_m(x),
+      // where P_m = Sigma_m^-1. Fixed points are stationary points of the
+      // mixture density; iterating from each mean finds its local mode.
+      double a11 = 0.0, a12 = 0.0, a22 = 0.0, b1 = 0.0, b2 = 0.0;
+      for (size_t m = 0; m < components_.size(); ++m) {
+        const Gaussian2d& g = components_[m];
+        double gm = weights_[m] * g.Pdf(x);
+        double sx = g.sigma_x();
+        double sy = g.sigma_y();
+        double rho = g.rho();
+        double inv_det = 1.0 / (sx * sx * sy * sy * (1.0 - rho * rho));
+        // Sigma^-1 entries.
+        double p11 = sy * sy * inv_det;
+        double p22 = sx * sx * inv_det;
+        double p12 = -rho * sx * sy * inv_det;
+        a11 += gm * p11;
+        a12 += gm * p12;
+        a22 += gm * p22;
+        b1 += gm * (p11 * g.mean().x + p12 * g.mean().y);
+        b2 += gm * (p12 * g.mean().x + p22 * g.mean().y);
+      }
+      double det = a11 * a22 - a12 * a12;
+      if (!(det > 1e-300)) break;  // All responsibilities underflowed.
+      PlanePoint next{(a22 * b1 - a12 * b2) / det, (a11 * b2 - a12 * b1) / det};
+      double moved = LocalProjection::DistanceKm(x, next);
+      x = next;
+      if (moved < kToleranceKm) break;
+    }
+    double lp = LogPdf(x);
+    if (lp > best_log_pdf) {
+      best_log_pdf = lp;
+      best = x;
+    }
+  }
+  return best;
+}
+
+PlanePoint GaussianMixture2d::MeanPoint() const {
+  PlanePoint p{0.0, 0.0};
+  for (size_t m = 0; m < components_.size(); ++m) {
+    p.x += weights_[m] * components_[m].mean().x;
+    p.y += weights_[m] * components_[m].mean().y;
+  }
+  return p;
+}
+
+}  // namespace edge::geo

@@ -1,0 +1,48 @@
+#ifndef EDGE_GEO_MIXTURE_H_
+#define EDGE_GEO_MIXTURE_H_
+
+#include <vector>
+
+#include "edge/geo/gaussian2d.h"
+
+namespace edge::geo {
+
+/// A weighted mixture of bivariate Gaussians — EDGE's prediction object
+/// (Eq. 6). Weights are kept normalized.
+class GaussianMixture2d {
+ public:
+  GaussianMixture2d() = default;
+
+  /// `weights` must be positive and is normalized to sum to 1; sizes match.
+  GaussianMixture2d(std::vector<Gaussian2d> components, std::vector<double> weights);
+
+  size_t num_components() const { return components_.size(); }
+  const Gaussian2d& component(size_t m) const { return components_[m]; }
+  double weight(size_t m) const { return weights_[m]; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Mixture density at p (Eq. 6) / its log via log-sum-exp.
+  double Pdf(const PlanePoint& p) const;
+  double LogPdf(const PlanePoint& p) const;
+
+  /// Draws a sample: categorical over weights, then the component.
+  PlanePoint Sample(Rng* rng) const;
+
+  /// Implements Eq. 14: the single-location conversion used for the
+  /// distance-based metrics. Runs the Gaussian-mixture mean-shift fixed
+  /// point x <- (sum_m gamma_m S_m^-1)^-1 (sum_m gamma_m S_m^-1 mu_m) from
+  /// every component mean and returns the converged point of highest density.
+  PlanePoint FindMode() const;
+
+  /// Weighted mean of component means (a cheap point summary; used by tests
+  /// and the NoMixture comparison).
+  PlanePoint MeanPoint() const;
+
+ private:
+  std::vector<Gaussian2d> components_;
+  std::vector<double> weights_;
+};
+
+}  // namespace edge::geo
+
+#endif  // EDGE_GEO_MIXTURE_H_

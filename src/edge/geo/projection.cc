@@ -1,0 +1,35 @@
+#include "edge/geo/projection.h"
+
+#include <cmath>
+
+#include "edge/common/check.h"
+#include "edge/common/math_util.h"
+
+namespace edge::geo {
+
+namespace {
+// Kilometres per degree of latitude on the mean-radius sphere.
+constexpr double kKmPerDegLat = 111.19492664455873;  // 2 pi R / 360.
+}  // namespace
+
+LocalProjection::LocalProjection(const LatLon& origin) : origin_(origin) {
+  km_per_deg_lat_ = kKmPerDegLat;
+  km_per_deg_lon_ = kKmPerDegLat * std::cos(origin.lat * kPi / 180.0);
+  EDGE_CHECK_GT(km_per_deg_lon_, 1e-6) << "projection origin too close to a pole";
+}
+
+PlanePoint LocalProjection::ToPlane(const LatLon& p) const {
+  return {(p.lon - origin_.lon) * km_per_deg_lon_, (p.lat - origin_.lat) * km_per_deg_lat_};
+}
+
+LatLon LocalProjection::ToLatLon(const PlanePoint& p) const {
+  return {origin_.lat + p.y / km_per_deg_lat_, origin_.lon + p.x / km_per_deg_lon_};
+}
+
+double LocalProjection::DistanceKm(const PlanePoint& a, const PlanePoint& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace edge::geo

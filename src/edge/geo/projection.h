@@ -1,0 +1,44 @@
+#ifndef EDGE_GEO_PROJECTION_H_
+#define EDGE_GEO_PROJECTION_H_
+
+#include "edge/geo/latlon.h"
+
+namespace edge::geo {
+
+/// A point in the local tangent plane, kilometres east (x) / north (y) of the
+/// projection origin.
+struct PlanePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Equirectangular projection around a region centroid. EDGE's MDN works in
+/// this km-scale plane rather than raw degrees: over a metropolitan area the
+/// projection error is negligible (< 0.1% at 50 km), it is exactly
+/// invertible, and it conditions the optimization (1 unit = 1 km on both
+/// axes instead of a latitude-dependent anisotropy). DESIGN.md §4(3).
+class LocalProjection {
+ public:
+  /// Creates a projection centred at `origin`.
+  explicit LocalProjection(const LatLon& origin);
+
+  /// Degrees -> local km plane.
+  PlanePoint ToPlane(const LatLon& p) const;
+
+  /// Local km plane -> degrees.
+  LatLon ToLatLon(const PlanePoint& p) const;
+
+  const LatLon& origin() const { return origin_; }
+
+  /// Euclidean km distance in the plane (close to haversine near the origin).
+  static double DistanceKm(const PlanePoint& a, const PlanePoint& b);
+
+ private:
+  LatLon origin_;
+  double km_per_deg_lat_;
+  double km_per_deg_lon_;
+};
+
+}  // namespace edge::geo
+
+#endif  // EDGE_GEO_PROJECTION_H_

@@ -1,0 +1,93 @@
+#include "edge/graph/entity_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edge/common/check.h"
+
+namespace edge::graph {
+
+EntityGraph EntityGraph::Build(
+    const std::vector<std::vector<std::string>>& tweet_entities) {
+  EntityGraph g;
+  auto intern = [&g](const std::string& name) {
+    auto [it, inserted] = g.index_.try_emplace(name, g.names_.size());
+    if (inserted) {
+      g.names_.push_back(name);
+      g.adjacency_.emplace_back();
+    }
+    return it->second;
+  };
+  for (const auto& entities : tweet_entities) {
+    std::vector<size_t> ids;
+    ids.reserve(entities.size());
+    for (const auto& name : entities) {
+      size_t id = intern(name);
+      // An entity mentioned several times in one tweet counts once (§III-A2).
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        auto [it, inserted] = g.adjacency_[ids[i]].try_emplace(ids[j], 0.0);
+        it->second += 1.0;
+        g.adjacency_[ids[j]][ids[i]] += 1.0;
+        if (inserted) g.num_edges_ += 1;
+      }
+    }
+  }
+  return g;
+}
+
+size_t EntityGraph::NodeId(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+const std::string& EntityGraph::NodeName(size_t id) const {
+  EDGE_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+double EntityGraph::EdgeWeight(size_t a, size_t b) const {
+  EDGE_CHECK_LT(a, adjacency_.size());
+  EDGE_CHECK_LT(b, adjacency_.size());
+  auto it = adjacency_[a].find(b);
+  return it == adjacency_[a].end() ? 0.0 : it->second;
+}
+
+double EntityGraph::Degree(size_t id) const {
+  EDGE_CHECK_LT(id, adjacency_.size());
+  double total = 0.0;
+  for (const auto& [nbr, w] : adjacency_[id]) total += w;
+  return total;
+}
+
+const std::unordered_map<size_t, double>& EntityGraph::Neighbors(size_t id) const {
+  EDGE_CHECK_LT(id, adjacency_.size());
+  return adjacency_[id];
+}
+
+nn::CsrMatrix EntityGraph::NormalizedAdjacency() const {
+  // Co-occurrence counts are heavy-tailed (hub topics like "quarantine"
+  // co-occur with hundreds of entities); log-damping the weights before
+  // normalization keeps hubs from washing out venue-specific signal during
+  // diffusion. DESIGN.md section 4.
+  size_t n = num_nodes();
+  std::vector<double> degree(n, 1.0);  // Self loop contributes 1.
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [j, w] : adjacency_[i]) degree[i] += std::log1p(w);
+  }
+
+  std::vector<nn::Triplet> triplets;
+  triplets.reserve(2 * num_edges_ + n);
+  for (size_t i = 0; i < n; ++i) {
+    double di = 1.0 / std::sqrt(degree[i]);
+    triplets.push_back({i, i, di * di});  // Self connection.
+    for (const auto& [j, w] : adjacency_[i]) {
+      triplets.push_back({i, j, std::log1p(w) * di / std::sqrt(degree[j])});
+    }
+  }
+  return nn::CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+}  // namespace edge::graph

@@ -1,0 +1,61 @@
+#ifndef EDGE_GRAPH_ENTITY_GRAPH_H_
+#define EDGE_GRAPH_ENTITY_GRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "edge/nn/sparse.h"
+
+namespace edge::graph {
+
+/// Undirected weighted co-occurrence entity graph (§III-A2): one node per
+/// named entity seen in the *training* tweets, an edge between two entities
+/// whenever they appear in the same tweet, weighted by the number of
+/// co-occurring tweets. Node attributes (entity2vec embeddings) live outside
+/// the graph, keyed by node id.
+class EntityGraph {
+ public:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  /// Builds the graph from per-tweet entity-name sets. Entities within one
+  /// tweet are deduplicated by the NER; pairs are counted once per tweet.
+  static EntityGraph Build(const std::vector<std::vector<std::string>>& tweet_entities);
+
+  size_t num_nodes() const { return names_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Node id for an entity name, or kNotFound.
+  size_t NodeId(std::string_view name) const;
+
+  /// Entity name of a node.
+  const std::string& NodeName(size_t id) const;
+
+  /// Co-occurrence count between two nodes (0 when not adjacent).
+  double EdgeWeight(size_t a, size_t b) const;
+
+  /// Weighted degree (sum of incident edge weights, no self loop).
+  double Degree(size_t id) const;
+
+  /// Neighbors of a node with weights.
+  const std::unordered_map<size_t, double>& Neighbors(size_t id) const;
+
+  /// Symmetric-normalized adjacency with self connections (Eq. 1):
+  ///   S = D~^{-1/2} (A + I) D~^{-1/2},  D~_ii = sum_j (A + I)_ij.
+  /// The paper writes D_ii = sum_j A_ij, but follows Kipf & Welling [14]
+  /// whose renormalization trick includes the self loop in the degree; we
+  /// implement the Kipf form (the usual reading, and the one that keeps the
+  /// spectral radius <= 1).
+  nn::CsrMatrix NormalizedAdjacency() const;
+
+ private:
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::string> names_;
+  std::vector<std::unordered_map<size_t, double>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace edge::graph
+
+#endif  // EDGE_GRAPH_ENTITY_GRAPH_H_

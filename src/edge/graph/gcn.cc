@@ -1,0 +1,36 @@
+#include "edge/graph/gcn.h"
+
+#include "edge/nn/init.h"
+
+namespace edge::graph {
+
+GcnLayer::GcnLayer(size_t in_dim, size_t out_dim, bool apply_relu, Rng* rng)
+    : w_(nn::Param(nn::XavierUniform(in_dim, out_dim, rng))), apply_relu_(apply_relu) {}
+
+nn::Var GcnLayer::Forward(const nn::CsrMatrix* s, const nn::Var& h) const {
+  nn::Var out = nn::MatMul(nn::SpMm(s, h), w_);
+  return apply_relu_ ? nn::Relu(out) : out;
+}
+
+GcnStack::GcnStack(const std::vector<size_t>& dims, Rng* rng) {
+  EDGE_CHECK_GE(dims.size(), 1u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    bool last = (i + 2 == dims.size());
+    layers_.emplace_back(dims[i], dims[i + 1], /*apply_relu=*/!last, rng);
+  }
+  output_dim_ = dims.back();
+}
+
+nn::Var GcnStack::Forward(const nn::CsrMatrix* s, const nn::Var& x) const {
+  nn::Var h = x;
+  for (const GcnLayer& layer : layers_) h = layer.Forward(s, h);
+  return h;
+}
+
+std::vector<nn::Var> GcnStack::Params() const {
+  std::vector<nn::Var> params;
+  for (const GcnLayer& layer : layers_) params.push_back(layer.weight());
+  return params;
+}
+
+}  // namespace edge::graph

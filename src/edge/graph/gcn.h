@@ -1,0 +1,59 @@
+#ifndef EDGE_GRAPH_GCN_H_
+#define EDGE_GRAPH_GCN_H_
+
+#include <vector>
+
+#include "edge/common/rng.h"
+#include "edge/nn/autodiff.h"
+
+namespace edge::graph {
+
+/// One graph-convolution layer (Eq. 1): H' = sigma(S H W), where S is the
+/// symmetric-normalized adjacency held by the caller and sigma is ReLU or
+/// identity.
+class GcnLayer {
+ public:
+  GcnLayer(size_t in_dim, size_t out_dim, bool apply_relu, Rng* rng);
+
+  /// Forward pass on the shared tape; `s` must outlive the tape.
+  nn::Var Forward(const nn::CsrMatrix* s, const nn::Var& h) const;
+
+  nn::Var weight() const { return w_; }
+
+ private:
+  nn::Var w_;
+  bool apply_relu_;
+};
+
+/// A stack of GCN layers diffusing entity embeddings over their n-hop
+/// ego-nets (the paper uses two layers). `dims` are the layer widths
+/// including input: {in, hidden..., out}; an empty stack (dims.size() == 1)
+/// degenerates to the identity, which is exactly the NoGCN ablation.
+///
+/// ReLU is applied between layers but the final layer is linear: the paper's
+/// text puts ReLU on every conv layer, but a ReLU-terminated embedding stack
+/// has an absorbing all-dead state (H = 0 is a local optimum the whole model
+/// cannot escape, observed at our CPU scale), and Kipf & Welling's reference
+/// GCN likewise keeps the last layer linear. DESIGN.md §4 lists this as a
+/// documented deviation.
+class GcnStack {
+ public:
+  GcnStack(const std::vector<size_t>& dims, Rng* rng);
+
+  /// Applies every layer in order.
+  nn::Var Forward(const nn::CsrMatrix* s, const nn::Var& x) const;
+
+  /// All trainable weights.
+  std::vector<nn::Var> Params() const;
+
+  size_t num_layers() const { return layers_.size(); }
+  size_t output_dim() const { return output_dim_; }
+
+ private:
+  std::vector<GcnLayer> layers_;
+  size_t output_dim_;
+};
+
+}  // namespace edge::graph
+
+#endif  // EDGE_GRAPH_GCN_H_

@@ -1,0 +1,253 @@
+#include "edge/nn/autodiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace edge::nn {
+
+Var Param(Matrix value) { return std::make_shared<Node>(std::move(value), true); }
+
+Var Constant(Matrix value) { return std::make_shared<Node>(std::move(value), false); }
+
+Var MakeOpNode(Matrix value, std::vector<Var> parents,
+               std::function<void(Node*)> backward_fn) {
+  bool requires_grad = false;
+  for (const Var& p : parents) {
+    EDGE_CHECK(p != nullptr);
+    requires_grad = requires_grad || p->requires_grad;
+  }
+  Var node = std::make_shared<Node>(std::move(value), requires_grad);
+  node->parents = std::move(parents);
+  if (requires_grad) node->backward_fn = std::move(backward_fn);
+  return node;
+}
+
+Var Add(const Var& a, const Var& b) {
+  Matrix value = a->value.Add(b->value);
+  return MakeOpNode(std::move(value), {a, b}, [](Node* n) {
+    for (int i = 0; i < 2; ++i) {
+      Node* p = n->parents[i].get();
+      if (p->requires_grad) p->grad.AddInPlace(n->grad);
+    }
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Matrix value = a->value.Sub(b->value);
+  return MakeOpNode(std::move(value), {a, b}, [](Node* n) {
+    Node* pa = n->parents[0].get();
+    Node* pb = n->parents[1].get();
+    if (pa->requires_grad) pa->grad.AddInPlace(n->grad);
+    if (pb->requires_grad) pb->grad.Axpy(-1.0, n->grad);
+  });
+}
+
+Var Scale(const Var& a, double s) {
+  return MakeOpNode(a->value.Scaled(s), {a}, [s](Node* n) {
+    Node* p = n->parents[0].get();
+    if (p->requires_grad) p->grad.Axpy(s, n->grad);
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Matrix value = a->value.Hadamard(b->value);
+  return MakeOpNode(std::move(value), {a, b}, [](Node* n) {
+    Node* pa = n->parents[0].get();
+    Node* pb = n->parents[1].get();
+    if (pa->requires_grad) pa->grad.AddInPlace(n->grad.Hadamard(pb->value));
+    if (pb->requires_grad) pb->grad.AddInPlace(n->grad.Hadamard(pa->value));
+  });
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  Matrix value = MatMul(a->value, b->value);
+  return MakeOpNode(std::move(value), {a, b}, [](Node* n) {
+    Node* pa = n->parents[0].get();
+    Node* pb = n->parents[1].get();
+    // dA = dZ * B^T ; dB = A^T * dZ.
+    if (pa->requires_grad) pa->grad.AddInPlace(MatMulTransposeB(n->grad, pb->value));
+    if (pb->requires_grad) pb->grad.AddInPlace(MatMulTransposeA(pa->value, n->grad));
+  });
+}
+
+Var AddRowBroadcast(const Var& x, const Var& bias) {
+  EDGE_CHECK_EQ(bias->value.rows(), 1u);
+  EDGE_CHECK_EQ(bias->value.cols(), x->value.cols());
+  Matrix value = x->value;
+  for (size_t r = 0; r < value.rows(); ++r) {
+    for (size_t c = 0; c < value.cols(); ++c) value.At(r, c) += bias->value.At(0, c);
+  }
+  return MakeOpNode(std::move(value), {x, bias}, [](Node* n) {
+    Node* px = n->parents[0].get();
+    Node* pb = n->parents[1].get();
+    if (px->requires_grad) px->grad.AddInPlace(n->grad);
+    if (pb->requires_grad) {
+      for (size_t r = 0; r < n->grad.rows(); ++r) {
+        for (size_t c = 0; c < n->grad.cols(); ++c) {
+          pb->grad.At(0, c) += n->grad.At(r, c);
+        }
+      }
+    }
+  });
+}
+
+Var Relu(const Var& x) {
+  Matrix value = x->value;
+  for (size_t r = 0; r < value.rows(); ++r) {
+    for (size_t c = 0; c < value.cols(); ++c) {
+      if (value.At(r, c) < 0.0) value.At(r, c) = 0.0;
+    }
+  }
+  return MakeOpNode(std::move(value), {x}, [](Node* n) {
+    Node* p = n->parents[0].get();
+    if (!p->requires_grad) return;
+    for (size_t r = 0; r < n->grad.rows(); ++r) {
+      for (size_t c = 0; c < n->grad.cols(); ++c) {
+        if (p->value.At(r, c) > 0.0) p->grad.At(r, c) += n->grad.At(r, c);
+      }
+    }
+  });
+}
+
+Var SpMm(const CsrMatrix* sparse, const Var& x) {
+  EDGE_CHECK(sparse != nullptr);
+  Matrix value = sparse->Multiply(x->value);
+  return MakeOpNode(std::move(value), {x}, [sparse](Node* n) {
+    Node* p = n->parents[0].get();
+    // dX = S^T * dZ.
+    if (p->requires_grad) p->grad.AddInPlace(sparse->MultiplyTranspose(n->grad));
+  });
+}
+
+Var GatherRows(const Var& x, std::vector<size_t> indices) {
+  Matrix value(indices.size(), x->value.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EDGE_CHECK_LT(indices[i], x->value.rows());
+    for (size_t c = 0; c < value.cols(); ++c) {
+      value.At(i, c) = x->value.At(indices[i], c);
+    }
+  }
+  return MakeOpNode(std::move(value), {x}, [indices = std::move(indices)](Node* n) {
+    Node* p = n->parents[0].get();
+    if (!p->requires_grad) return;
+    for (size_t i = 0; i < indices.size(); ++i) {
+      for (size_t c = 0; c < n->grad.cols(); ++c) {
+        p->grad.At(indices[i], c) += n->grad.At(i, c);
+      }
+    }
+  });
+}
+
+Var Transpose(const Var& x) {
+  return MakeOpNode(x->value.Transposed(), {x}, [](Node* n) {
+    Node* p = n->parents[0].get();
+    if (p->requires_grad) p->grad.AddInPlace(n->grad.Transposed());
+  });
+}
+
+Var SoftmaxCol(const Var& x) {
+  EDGE_CHECK_EQ(x->value.cols(), 1u);
+  EDGE_CHECK_GT(x->value.rows(), 0u);
+  Matrix value = x->value;
+  double max_v = value.At(0, 0);
+  for (size_t r = 1; r < value.rows(); ++r) max_v = std::max(max_v, value.At(r, 0));
+  double sum = 0.0;
+  for (size_t r = 0; r < value.rows(); ++r) {
+    value.At(r, 0) = std::exp(value.At(r, 0) - max_v);
+    sum += value.At(r, 0);
+  }
+  for (size_t r = 0; r < value.rows(); ++r) value.At(r, 0) /= sum;
+  return MakeOpNode(std::move(value), {x}, [](Node* n) {
+    Node* p = n->parents[0].get();
+    if (!p->requires_grad) return;
+    // dx_i = y_i * (g_i - sum_j g_j y_j).
+    double dot = 0.0;
+    for (size_t r = 0; r < n->value.rows(); ++r) {
+      dot += n->grad.At(r, 0) * n->value.At(r, 0);
+    }
+    for (size_t r = 0; r < n->value.rows(); ++r) {
+      p->grad.At(r, 0) += n->value.At(r, 0) * (n->grad.At(r, 0) - dot);
+    }
+  });
+}
+
+Var ConcatRows(const std::vector<Var>& rows) {
+  EDGE_CHECK(!rows.empty());
+  size_t cols = rows[0]->value.cols();
+  Matrix value(rows.size(), cols);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EDGE_CHECK_EQ(rows[i]->value.rows(), 1u);
+    EDGE_CHECK_EQ(rows[i]->value.cols(), cols);
+    for (size_t c = 0; c < cols; ++c) value.At(i, c) = rows[i]->value.At(0, c);
+  }
+  return MakeOpNode(std::move(value), rows, [](Node* n) {
+    for (size_t i = 0; i < n->parents.size(); ++i) {
+      Node* p = n->parents[i].get();
+      if (!p->requires_grad) continue;
+      for (size_t c = 0; c < n->grad.cols(); ++c) {
+        p->grad.At(0, c) += n->grad.At(i, c);
+      }
+    }
+  });
+}
+
+Var SumAll(const Var& x) {
+  Matrix value(1, 1);
+  value.At(0, 0) = x->value.Sum();
+  return MakeOpNode(std::move(value), {x}, [](Node* n) {
+    Node* p = n->parents[0].get();
+    if (!p->requires_grad) return;
+    double g = n->grad.At(0, 0);
+    for (size_t r = 0; r < p->grad.rows(); ++r) {
+      for (size_t c = 0; c < p->grad.cols(); ++c) p->grad.At(r, c) += g;
+    }
+  });
+}
+
+Var MeanAll(const Var& x) {
+  EDGE_CHECK_GT(x->value.size(), 0u);
+  return Scale(SumAll(x), 1.0 / static_cast<double>(x->value.size()));
+}
+
+std::vector<Node*> TopologicalOrder(const Var& root) {
+  EDGE_CHECK(root != nullptr);
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  // Iterative post-order DFS (graphs can be deep for stacked layers).
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent].get();
+      ++top.next_parent;
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  return order;  // Parents precede children.
+}
+
+void Backward(const Var& root) {
+  EDGE_CHECK_EQ(root->value.rows(), 1u);
+  EDGE_CHECK_EQ(root->value.cols(), 1u);
+  std::vector<Node*> order = TopologicalOrder(root);
+  for (Node* n : order) {
+    n->grad = Matrix::Zeros(n->value.rows(), n->value.cols());
+  }
+  root->grad.At(0, 0) = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->requires_grad && n->backward_fn) n->backward_fn(n);
+  }
+}
+
+}  // namespace edge::nn

@@ -1,0 +1,80 @@
+#include "edge/nn/conv.h"
+
+#include <limits>
+
+namespace edge::nn {
+
+Var Conv1d(const Var& input, const Var& kernel, size_t kernel_width) {
+  EDGE_CHECK_GT(kernel_width, 0u);
+  size_t length = input->value.rows();
+  size_t in_channels = input->value.cols();
+  EDGE_CHECK_GE(length, kernel_width);
+  EDGE_CHECK_EQ(kernel->value.rows(), kernel_width * in_channels);
+  size_t out_channels = kernel->value.cols();
+  size_t out_length = length - kernel_width + 1;
+
+  Matrix value(out_length, out_channels);
+  for (size_t t = 0; t < out_length; ++t) {
+    double* orow = value.row_data(t);
+    for (size_t k = 0; k < kernel_width; ++k) {
+      const double* irow = input->value.row_data(t + k);
+      for (size_t i = 0; i < in_channels; ++i) {
+        double x = irow[i];
+        if (x == 0.0) continue;  // One-hot inputs are mostly zero.
+        const double* krow = kernel->value.row_data(k * in_channels + i);
+        for (size_t o = 0; o < out_channels; ++o) orow[o] += x * krow[o];
+      }
+    }
+  }
+
+  auto backward = [kernel_width, in_channels, out_channels, out_length](Node* n) {
+    Node* pin = n->parents[0].get();
+    Node* pker = n->parents[1].get();
+    for (size_t t = 0; t < out_length; ++t) {
+      const double* grow = n->grad.row_data(t);
+      for (size_t k = 0; k < kernel_width; ++k) {
+        const double* irow = pin->value.row_data(t + k);
+        for (size_t i = 0; i < in_channels; ++i) {
+          const double* krow = pker->value.row_data(k * in_channels + i);
+          if (pin->requires_grad) {
+            double acc = 0.0;
+            for (size_t o = 0; o < out_channels; ++o) acc += grow[o] * krow[o];
+            pin->grad.At(t + k, i) += acc;
+          }
+          if (pker->requires_grad && irow[i] != 0.0) {
+            double* kgrad = pker->grad.row_data(k * in_channels + i);
+            for (size_t o = 0; o < out_channels; ++o) kgrad[o] += irow[i] * grow[o];
+          }
+        }
+      }
+    }
+  };
+  return MakeOpNode(std::move(value), {input, kernel}, backward);
+}
+
+Var MaxOverTime(const Var& x) {
+  size_t rows = x->value.rows();
+  size_t cols = x->value.cols();
+  EDGE_CHECK_GT(rows, 0u);
+  Matrix value(1, cols);
+  std::vector<size_t> argmax(cols, 0);
+  for (size_t c = 0; c < cols; ++c) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < rows; ++r) {
+      if (x->value.At(r, c) > best) {
+        best = x->value.At(r, c);
+        argmax[c] = r;
+      }
+    }
+    value.At(0, c) = best;
+  }
+  return MakeOpNode(std::move(value), {x}, [argmax = std::move(argmax)](Node* n) {
+    Node* p = n->parents[0].get();
+    if (!p->requires_grad) return;
+    for (size_t c = 0; c < n->grad.cols(); ++c) {
+      p->grad.At(argmax[c], c) += n->grad.At(0, c);
+    }
+  });
+}
+
+}  // namespace edge::nn

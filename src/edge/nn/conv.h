@@ -1,0 +1,21 @@
+#ifndef EDGE_NN_CONV_H_
+#define EDGE_NN_CONV_H_
+
+#include "edge/nn/autodiff.h"
+
+namespace edge::nn {
+
+/// Valid 1-D convolution for character-level CNNs (the UnicodeCNN baseline).
+/// `input` is L x In (sequence length x input channels, e.g. one-hot bytes),
+/// `kernel` is (kernel_width * In) x Out with taps unrolled row-major
+/// (tap k, channel i -> row k * In + i). Output is (L - kernel_width + 1) x Out.
+/// Requires L >= kernel_width.
+Var Conv1d(const Var& input, const Var& kernel, size_t kernel_width);
+
+/// Max-over-time pooling: column-wise max over all rows, yielding 1 x C.
+/// Backward routes the gradient to each column's (first) argmax row.
+Var MaxOverTime(const Var& x);
+
+}  // namespace edge::nn
+
+#endif  // EDGE_NN_CONV_H_

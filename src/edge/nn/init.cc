@@ -1,0 +1,26 @@
+#include "edge/nn/init.h"
+
+#include <cmath>
+
+namespace edge::nn {
+
+Matrix XavierUniform(size_t rows, size_t cols, Rng* rng) {
+  EDGE_CHECK(rng != nullptr);
+  double a = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m.At(r, c) = rng->Uniform(-a, a);
+  }
+  return m;
+}
+
+Matrix GaussianInit(size_t rows, size_t cols, double stddev, Rng* rng) {
+  EDGE_CHECK(rng != nullptr);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m.At(r, c) = rng->Normal(0.0, stddev);
+  }
+  return m;
+}
+
+}  // namespace edge::nn

@@ -1,0 +1,17 @@
+#ifndef EDGE_NN_INIT_H_
+#define EDGE_NN_INIT_H_
+
+#include "edge/common/rng.h"
+#include "edge/nn/matrix.h"
+
+namespace edge::nn {
+
+/// Xavier/Glorot uniform initialization: U(-a, a) with a = sqrt(6/(fan_in+fan_out)).
+Matrix XavierUniform(size_t rows, size_t cols, Rng* rng);
+
+/// N(0, stddev^2) initialization.
+Matrix GaussianInit(size_t rows, size_t cols, double stddev, Rng* rng);
+
+}  // namespace edge::nn
+
+#endif  // EDGE_NN_INIT_H_

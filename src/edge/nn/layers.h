@@ -1,0 +1,37 @@
+#ifndef EDGE_NN_LAYERS_H_
+#define EDGE_NN_LAYERS_H_
+
+#include <vector>
+
+#include "edge/common/rng.h"
+#include "edge/nn/autodiff.h"
+#include "edge/nn/init.h"
+
+namespace edge::nn {
+
+/// Fully-connected layer y = x W + b with Xavier-initialized weights. Holds
+/// Param nodes; reuse the same layer object across training steps so the
+/// optimizer sees stable parameters while the tape is rebuilt per step.
+class DenseLayer {
+ public:
+  DenseLayer(size_t in_dim, size_t out_dim, Rng* rng)
+      : w_(Param(XavierUniform(in_dim, out_dim, rng))),
+        b_(Param(Matrix::Zeros(1, out_dim))) {}
+
+  /// Applies the affine map to a B x in_dim input.
+  Var Forward(const Var& x) const { return AddRowBroadcast(MatMul(x, w_), b_); }
+
+  /// Trainable parameters (for the optimizer).
+  std::vector<Var> Params() const { return {w_, b_}; }
+
+  const Var& weight() const { return w_; }
+  const Var& bias() const { return b_; }
+
+ private:
+  Var w_;
+  Var b_;
+};
+
+}  // namespace edge::nn
+
+#endif  // EDGE_NN_LAYERS_H_

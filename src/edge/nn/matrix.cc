@@ -1,0 +1,171 @@
+#include "edge/nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edge/common/string_util.h"
+
+namespace edge::nn {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  EDGE_CHECK(!rows.empty());
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EDGE_CHECK_EQ(rows[r].size(), m.cols());
+    for (size_t c = 0; c < m.cols(); ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+void Matrix::Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::AddInPlace(const Matrix& other) {
+  EDGE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Axpy(double scale, const Matrix& other) {
+  EDGE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Matrix::ScaleInPlace(double scale) {
+  for (double& v : data_) v *= scale;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  Matrix out = *this;
+  out.AddInPlace(other);
+  return out;
+}
+
+Matrix Matrix::Sub(const Matrix& other) const {
+  Matrix out = *this;
+  out.Axpy(-1.0, other);
+  return out;
+}
+
+Matrix Matrix::Scaled(double scale) const {
+  Matrix out = *this;
+  out.ScaleInPlace(scale);
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  EDGE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+double Matrix::Sum() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum;
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double ss = 0.0;
+  for (double v : data_) ss += v * v;
+  return std::sqrt(ss);
+}
+
+Matrix Matrix::Row(size_t r) const {
+  EDGE_CHECK_LT(r, rows_);
+  Matrix out(1, cols_);
+  for (size_t c = 0; c < cols_; ++c) out.At(0, c) = At(r, c);
+  return out;
+}
+
+std::string Matrix::ToString() const {
+  std::string out = "[";
+  for (size_t r = 0; r < rows_; ++r) {
+    out += (r == 0) ? "[" : ", [";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) out += ", ";
+      out += FormatDouble(At(r, c), 4);
+    }
+    out += "]";
+  }
+  out += "]";
+  return out;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  EDGE_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double aik = a.At(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row_data(k);
+      double* orow = out.row_data(i);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  EDGE_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row_data(k);
+    const double* brow = b.row_data(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* orow = out.row_data(i);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  EDGE_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* orow = out.row_data(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row_data(j);
+      double dot = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+      orow[j] = dot;
+    }
+  }
+  return out;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      if (std::fabs(a.At(r, c) - b.At(r, c)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace edge::nn

@@ -1,0 +1,116 @@
+#ifndef EDGE_NN_MATRIX_H_
+#define EDGE_NN_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "edge/common/check.h"
+
+namespace edge::nn {
+
+/// Dense row-major matrix of doubles. This is the single tensor type used by
+/// the autodiff tape, the GCN, the MDN head and the baselines. Double
+/// precision is deliberate: every op's backward pass is validated against
+/// central finite differences, which needs the head-room.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates rows x cols, zero-initialized.
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates rows x cols filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+  static Matrix Constant(size_t rows, size_t cols, double fill) {
+    return Matrix(rows, cols, fill);
+  }
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+  /// Builds a matrix from nested initializer data (row major); all rows must
+  /// have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) {
+    EDGE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    EDGE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row_data(size_t r) { return data_.data() + r * cols_; }
+  const double* row_data(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Sets every element to `value`.
+  void Fill(double value);
+
+  /// this += other (same shape).
+  void AddInPlace(const Matrix& other);
+  /// this += scale * other (same shape); the axpy at the heart of gradient
+  /// accumulation and optimizer updates.
+  void Axpy(double scale, const Matrix& other);
+  /// this *= scale.
+  void ScaleInPlace(double scale);
+
+  /// Returns this + other.
+  Matrix Add(const Matrix& other) const;
+  /// Returns this - other.
+  Matrix Sub(const Matrix& other) const;
+  /// Returns scale * this.
+  Matrix Scaled(double scale) const;
+  /// Elementwise product.
+  Matrix Hadamard(const Matrix& other) const;
+  /// Transpose copy.
+  Matrix Transposed() const;
+
+  /// Sum of all elements.
+  double Sum() const;
+  /// Maximum absolute element (0 for empty).
+  double MaxAbs() const;
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Extracts row r as a 1 x cols matrix.
+  Matrix Row(size_t r) const;
+
+  /// Debug rendering, e.g. "[[1, 2], [3, 4]]".
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Returns a * b; inner dimensions must agree.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// Returns a^T * b without materializing the transpose.
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+/// Returns a * b^T without materializing the transpose.
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+/// True when shapes match and all elements are within `tol`.
+bool AllClose(const Matrix& a, const Matrix& b, double tol);
+
+}  // namespace edge::nn
+
+#endif  // EDGE_NN_MATRIX_H_

@@ -1,0 +1,191 @@
+#include "edge/nn/mdn.h"
+
+#include <cmath>
+
+#include "edge/common/math_util.h"
+
+namespace edge::nn {
+
+namespace {
+
+/// Per-component log density of a bivariate Gaussian with correlation:
+///   log N = -log(2 pi sx sy sqrt(1-rho^2)) - Z / (2 (1-rho^2))
+///   Z = dx^2 - 2 rho dx dy + dy^2,  dx = (x-mux)/sx, dy = (y-muy)/sy.
+double LogBivariateNormal(double x, double y, double mux, double muy, double sx,
+                          double sy, double rho) {
+  double one_minus = 1.0 - rho * rho;
+  double dx = (x - mux) / sx;
+  double dy = (y - muy) / sy;
+  double z = dx * dx - 2.0 * rho * dx * dy + dy * dy;
+  return -std::log(2.0 * kPi) - std::log(sx) - std::log(sy) -
+         0.5 * std::log(one_minus) - z / (2.0 * one_minus);
+}
+
+}  // namespace
+
+double MdnMixture::LogPdf(double x, double y) const {
+  std::vector<double> terms(num_components());
+  for (size_t m = 0; m < num_components(); ++m) {
+    terms[m] = std::log(weight[m]) +
+               LogBivariateNormal(x, y, mean_x[m], mean_y[m], sigma_x[m], sigma_y[m],
+                                  rho[m]);
+  }
+  return LogSumExp(terms);
+}
+
+double MdnMixture::Pdf(double x, double y) const { return std::exp(LogPdf(x, y)); }
+
+MdnMixture ActivateMdnRow(const double* theta, const MdnOptions& options) {
+  size_t m_count = options.num_components;
+  EDGE_CHECK_GT(m_count, 0u);
+  MdnMixture mix;
+  mix.mean_x.resize(m_count);
+  mix.mean_y.resize(m_count);
+  mix.sigma_x.resize(m_count);
+  mix.sigma_y.resize(m_count);
+  mix.rho.resize(m_count);
+  mix.weight.resize(m_count);
+  for (size_t m = 0; m < m_count; ++m) {
+    mix.mean_x[m] = theta[m];
+    mix.mean_y[m] = theta[m_count + m];
+    mix.sigma_x[m] = Softplus(theta[2 * m_count + m]) + options.sigma_min;
+    mix.sigma_y[m] = Softplus(theta[3 * m_count + m]) + options.sigma_min;
+    mix.rho[m] = options.rho_max * Softsign(theta[4 * m_count + m]);
+    mix.weight[m] = theta[5 * m_count + m];  // Raw logit; softmax below.
+  }
+  SoftmaxInPlace(&mix.weight);
+  return mix;
+}
+
+std::vector<MdnMixture> ActivateMdn(const Matrix& theta, const MdnOptions& options) {
+  EDGE_CHECK_EQ(theta.cols(), 6 * options.num_components);
+  std::vector<MdnMixture> out;
+  out.reserve(theta.rows());
+  for (size_t b = 0; b < theta.rows(); ++b) {
+    out.push_back(ActivateMdnRow(theta.row_data(b), options));
+  }
+  return out;
+}
+
+Var BivariateMdnLoss(const Var& theta, const Matrix& targets, const MdnOptions& options) {
+  size_t m_count = options.num_components;
+  EDGE_CHECK_EQ(theta->value.cols(), 6 * m_count);
+  EDGE_CHECK_EQ(targets.rows(), theta->value.rows());
+  EDGE_CHECK_EQ(targets.cols(), 2u);
+  size_t batch = theta->value.rows();
+  EDGE_CHECK_GT(batch, 0u);
+
+  // Forward: mean negative log-likelihood.
+  double nll_sum = 0.0;
+  for (size_t b = 0; b < batch; ++b) {
+    MdnMixture mix = ActivateMdnRow(theta->value.row_data(b), options);
+    nll_sum -= mix.LogPdf(targets.At(b, 0), targets.At(b, 1));
+  }
+  Matrix value(1, 1);
+  value.At(0, 0) = nll_sum / static_cast<double>(batch);
+
+  auto backward = [targets, options](Node* n) {
+    Node* p = n->parents[0].get();
+    if (!p->requires_grad) return;
+    size_t mc = options.num_components;
+    size_t bsz = p->value.rows();
+    double upstream = n->grad.At(0, 0) / static_cast<double>(bsz);
+    for (size_t b = 0; b < bsz; ++b) {
+      const double* theta_row = p->value.row_data(b);
+      double* grad_row = p->grad.row_data(b);
+      MdnMixture mix = ActivateMdnRow(theta_row, options);
+      double x = targets.At(b, 0);
+      double y = targets.At(b, 1);
+
+      // Responsibilities gamma_m = pi_m N_m / sum_k pi_k N_k, in log space.
+      std::vector<double> log_terms(mc);
+      for (size_t m = 0; m < mc; ++m) {
+        log_terms[m] = std::log(mix.weight[m]) +
+                       LogBivariateNormal(x, y, mix.mean_x[m], mix.mean_y[m],
+                                          mix.sigma_x[m], mix.sigma_y[m], mix.rho[m]);
+      }
+      double log_total = LogSumExp(log_terms);
+      for (size_t m = 0; m < mc; ++m) {
+        double gamma = std::exp(log_terms[m] - log_total);
+        double sx = mix.sigma_x[m];
+        double sy = mix.sigma_y[m];
+        double rho = mix.rho[m];
+        double c = 1.0 / (1.0 - rho * rho);
+        double dx = (x - mix.mean_x[m]) / sx;
+        double dy = (y - mix.mean_y[m]) / sy;
+        double z = dx * dx - 2.0 * rho * dx * dy + dy * dy;
+
+        // d logN / d mu.
+        double dlog_dmux = (c / sx) * (dx - rho * dy);
+        double dlog_dmuy = (c / sy) * (dy - rho * dx);
+        // d logN / d sigma, chained through softplus'(a) = sigmoid(a).
+        double dlog_dsx = (c * dx * (dx - rho * dy) - 1.0) / sx;
+        double dlog_dsy = (c * dy * (dy - rho * dx) - 1.0) / sy;
+        double dsx_da = Sigmoid(theta_row[2 * mc + m]);
+        double dsy_da = Sigmoid(theta_row[3 * mc + m]);
+        // d logN / d rho, chained through rho_max * softsign'(r).
+        double dlog_drho = c * (dx * dy + rho * (1.0 - c * z));
+        double abs_r = std::fabs(theta_row[4 * mc + m]);
+        double drho_dr = options.rho_max / ((1.0 + abs_r) * (1.0 + abs_r));
+
+        // Loss is the *negative* mean log-likelihood: the chain contributes
+        // -(gamma * dlogN/d.) for component parameters and (pi - gamma) for
+        // the softmax logits.
+        grad_row[m] += upstream * (-gamma * dlog_dmux);
+        grad_row[mc + m] += upstream * (-gamma * dlog_dmuy);
+        grad_row[2 * mc + m] += upstream * (-gamma * dlog_dsx * dsx_da);
+        grad_row[3 * mc + m] += upstream * (-gamma * dlog_dsy * dsy_da);
+        grad_row[4 * mc + m] += upstream * (-gamma * dlog_drho * drho_dr);
+        grad_row[5 * mc + m] += upstream * (mix.weight[m] - gamma);
+      }
+    }
+  };
+  return MakeOpNode(std::move(value), {theta}, backward);
+}
+
+Var FixedComponentMixtureLoss(const Var& logits, const Matrix& log_densities) {
+  EDGE_CHECK_EQ(logits->value.rows(), log_densities.rows());
+  EDGE_CHECK_EQ(logits->value.cols(), log_densities.cols());
+  size_t batch = logits->value.rows();
+  size_t m_count = logits->value.cols();
+  EDGE_CHECK_GT(batch, 0u);
+  EDGE_CHECK_GT(m_count, 0u);
+
+  double nll_sum = 0.0;
+  for (size_t b = 0; b < batch; ++b) {
+    std::vector<double> weights(logits->value.row_data(b),
+                                logits->value.row_data(b) + m_count);
+    SoftmaxInPlace(&weights);
+    std::vector<double> terms(m_count);
+    for (size_t m = 0; m < m_count; ++m) {
+      terms[m] = std::log(weights[m]) + log_densities.At(b, m);
+    }
+    nll_sum -= LogSumExp(terms);
+  }
+  Matrix value(1, 1);
+  value.At(0, 0) = nll_sum / static_cast<double>(batch);
+
+  auto backward = [log_densities](Node* n) {
+    Node* p = n->parents[0].get();
+    if (!p->requires_grad) return;
+    size_t bsz = p->value.rows();
+    size_t mc = p->value.cols();
+    double upstream = n->grad.At(0, 0) / static_cast<double>(bsz);
+    for (size_t b = 0; b < bsz; ++b) {
+      std::vector<double> weights(p->value.row_data(b), p->value.row_data(b) + mc);
+      SoftmaxInPlace(&weights);
+      std::vector<double> log_terms(mc);
+      for (size_t m = 0; m < mc; ++m) {
+        log_terms[m] = std::log(weights[m]) + log_densities.At(b, m);
+      }
+      double log_total = LogSumExp(log_terms);
+      for (size_t m = 0; m < mc; ++m) {
+        double gamma = std::exp(log_terms[m] - log_total);
+        p->grad.At(b, m) += upstream * (weights[m] - gamma);
+      }
+    }
+  };
+  return MakeOpNode(std::move(value), {logits}, backward);
+}
+
+}  // namespace edge::nn

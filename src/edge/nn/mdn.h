@@ -1,0 +1,69 @@
+#ifndef EDGE_NN_MDN_H_
+#define EDGE_NN_MDN_H_
+
+#include <vector>
+
+#include "edge/nn/autodiff.h"
+#include "edge/nn/matrix.h"
+
+namespace edge::nn {
+
+/// Shape/stability options for the mixture-density head (Eq. 8-12).
+struct MdnOptions {
+  /// Number of bivariate Gaussian components M (paper default 4).
+  size_t num_components = 4;
+  /// Floor added to softplus(sigma) so components cannot collapse to a point
+  /// mass on a single training tweet.
+  double sigma_min = 1e-3;
+  /// |rho| bound; softsign already maps to (-1, 1) but 1/(1-rho^2) must stay
+  /// finite in double precision, so we scale to (-rho_max, rho_max).
+  double rho_max = 0.995;
+};
+
+/// Activated parameters of one tweet's predicted bivariate Gaussian mixture.
+/// Coordinates are in whatever plane the raw theta was trained in (EDGE uses
+/// a local km plane; see edge::geo::LocalProjection).
+struct MdnMixture {
+  std::vector<double> mean_x;   ///< Component means, first coordinate.
+  std::vector<double> mean_y;   ///< Component means, second coordinate.
+  std::vector<double> sigma_x;  ///< Standard deviations (> 0), Eq. 10.
+  std::vector<double> sigma_y;
+  std::vector<double> rho;      ///< Correlations in (-1, 1), Eq. 11.
+  std::vector<double> weight;   ///< Mixture weights, sum to 1, Eq. 12.
+
+  size_t num_components() const { return weight.size(); }
+
+  /// Log probability density at (x, y), via log-sum-exp over components.
+  double LogPdf(double x, double y) const;
+  /// Probability density at (x, y) (Eq. 6).
+  double Pdf(double x, double y) const;
+};
+
+/// Raw-parameter layout of one theta row, length 6M, grouped by block:
+///   [mu_x(M) | mu_y(M) | sigma_x_raw(M) | sigma_y_raw(M) | rho_raw(M) | pi_raw(M)]
+/// Applies the paper's activations: identity on means, softplus on sigmas
+/// (Eq. 10), scaled softsign on rho (Eq. 11), softmax on weights (Eq. 12).
+MdnMixture ActivateMdnRow(const double* theta, const MdnOptions& options);
+
+/// Activates every row of a B x 6M theta matrix.
+std::vector<MdnMixture> ActivateMdn(const Matrix& theta, const MdnOptions& options);
+
+/// Fused mixture-density negative log-likelihood (Eq. 13):
+///   loss = -(1/B) sum_b log sum_m pi_m N(l_b | mu_m, Sigma_m)
+/// `theta` is B x 6M raw parameters, `targets` is B x 2 ground-truth
+/// coordinates. Activations (Eq. 8-12) happen inside the op; the backward
+/// pass uses the closed-form mixture gradients (responsibility-weighted),
+/// validated against finite differences in tests/nn_mdn_test.cc.
+Var BivariateMdnLoss(const Var& theta, const Matrix& targets, const MdnOptions& options);
+
+/// Fused loss for mixtures whose component densities are fixed and only the
+/// weights are learned (the UnicodeCNN baseline's mixture of von Mises-Fisher
+/// with fixed centers):
+///   loss = -(1/B) sum_b log sum_m softmax(logits_b)_m * exp(log_densities_bm)
+/// `log_densities` is a constant B x M matrix of per-example log component
+/// densities.
+Var FixedComponentMixtureLoss(const Var& logits, const Matrix& log_densities);
+
+}  // namespace edge::nn
+
+#endif  // EDGE_NN_MDN_H_

@@ -1,0 +1,69 @@
+#include "edge/nn/optimizer.h"
+
+#include <cmath>
+
+namespace edge::nn {
+
+Adam::Adam(std::vector<Var> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  for (const Var& p : params_) {
+    EDGE_CHECK(p != nullptr && p->requires_grad);
+    m_.push_back(Matrix::Zeros(p->value.rows(), p->value.cols()));
+    v_.push_back(Matrix::Zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_count_));
+  double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Node* p = params_[i].get();
+    EDGE_CHECK_EQ(p->grad.size(), p->value.size())
+        << "Step() called before Backward() populated gradients";
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      for (size_t c = 0; c < p->value.cols(); ++c) {
+        double g = p->grad.At(r, c) + options_.weight_decay * p->value.At(r, c);
+        double& mi = m.At(r, c);
+        double& vi = v.At(r, c);
+        mi = options_.beta1 * mi + (1.0 - options_.beta1) * g;
+        vi = options_.beta2 * vi + (1.0 - options_.beta2) * g * g;
+        double m_hat = mi / bias1;
+        double v_hat = vi / bias2;
+        p->value.At(r, c) -=
+            options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+      }
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Var> params, double learning_rate)
+    : params_(std::move(params)), learning_rate_(learning_rate) {
+  for (const Var& p : params_) EDGE_CHECK(p != nullptr && p->requires_grad);
+}
+
+void Sgd::Step() {
+  for (const Var& p : params_) {
+    EDGE_CHECK_EQ(p->grad.size(), p->value.size());
+    p->value.Axpy(-learning_rate_, p->grad);
+  }
+}
+
+double ClipGradientNorm(const std::vector<Var>& params, double max_norm) {
+  EDGE_CHECK_GT(max_norm, 0.0);
+  double total_sq = 0.0;
+  for (const Var& p : params) {
+    double n = p->grad.FrobeniusNorm();
+    total_sq += n * n;
+  }
+  double total = std::sqrt(total_sq);
+  if (total > max_norm) {
+    double scale = max_norm / total;
+    for (const Var& p : params) p->grad.ScaleInPlace(scale);
+  }
+  return total;
+}
+
+}  // namespace edge::nn

@@ -1,0 +1,70 @@
+#ifndef EDGE_NN_OPTIMIZER_H_
+#define EDGE_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "edge/nn/autodiff.h"
+
+namespace edge::nn {
+
+/// Options for Adam. Defaults mirror the paper's training setup (§IV-B):
+/// learning rate 0.01, weight decay 0.01, PyTorch-style L2 decay (decay is
+/// added to the gradient before the moment updates, matching PyTorch 0.4's
+/// `Adam(weight_decay=...)` that the authors used).
+struct AdamOptions {
+  double learning_rate = 0.01;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.01;
+};
+
+/// Adam optimizer over a fixed set of Param nodes. Call Backward() on the
+/// loss first, then Step(); gradients are recomputed (not accumulated) by
+/// each Backward call so there is no explicit zero_grad.
+class Adam {
+ public:
+  Adam(std::vector<Var> params, AdamOptions options);
+
+  /// Applies one update using each param's current `grad`.
+  void Step();
+
+  /// Adjusts the learning rate (for schedules like linear decay).
+  void set_learning_rate(double lr) {
+    EDGE_CHECK_GT(lr, 0.0);
+    options_.learning_rate = lr;
+  }
+  double learning_rate() const { return options_.learning_rate; }
+
+  /// Number of steps taken so far.
+  int64_t step_count() const { return step_count_; }
+
+  const std::vector<Var>& params() const { return params_; }
+
+ private:
+  std::vector<Var> params_;
+  AdamOptions options_;
+  std::vector<Matrix> m_;  // First moments, one per param.
+  std::vector<Matrix> v_;  // Second moments, one per param.
+  int64_t step_count_ = 0;
+};
+
+/// Plain SGD (used by micro-benches and tests as a control).
+class Sgd {
+ public:
+  Sgd(std::vector<Var> params, double learning_rate);
+
+  void Step();
+
+ private:
+  std::vector<Var> params_;
+  double learning_rate_;
+};
+
+/// Global-norm gradient clipping across a parameter set; returns the norm
+/// before clipping.
+double ClipGradientNorm(const std::vector<Var>& params, double max_norm);
+
+}  // namespace edge::nn
+
+#endif  // EDGE_NN_OPTIMIZER_H_

@@ -1,0 +1,75 @@
+#include "edge/nn/sparse.h"
+
+#include <algorithm>
+
+namespace edge::nn {
+
+CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols, std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    EDGE_CHECK_LT(t.row, rows);
+    EDGE_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_offsets_.assign(rows + 1, 0);
+  for (size_t i = 0; i < triplets.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    m.col_indices_.push_back(triplets[i].col);
+    m.values_.push_back(sum);
+    m.row_offsets_[triplets[i].row + 1] += 1;
+    i = j;
+  }
+  for (size_t r = 0; r < rows; ++r) m.row_offsets_[r + 1] += m.row_offsets_[r];
+  return m;
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& dense) const {
+  EDGE_CHECK_EQ(cols_, dense.rows());
+  Matrix out(rows_, dense.cols());
+  for (size_t r = 0; r < rows_; ++r) {
+    double* orow = out.row_data(r);
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      double v = values_[k];
+      const double* drow = dense.row_data(col_indices_[k]);
+      for (size_t c = 0; c < dense.cols(); ++c) orow[c] += v * drow[c];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::MultiplyTranspose(const Matrix& dense) const {
+  EDGE_CHECK_EQ(rows_, dense.rows());
+  Matrix out(cols_, dense.cols());
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* drow = dense.row_data(r);
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      double v = values_[k];
+      double* orow = out.row_data(col_indices_[k]);
+      for (size_t c = 0; c < dense.cols(); ++c) orow[c] += v * drow[c];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      out.At(r, col_indices_[k]) += values_[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace edge::nn

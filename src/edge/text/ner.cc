@@ -1,0 +1,173 @@
+#include "edge/text/ner.h"
+
+#include <cctype>
+
+#include "edge/common/check.h"
+#include "edge/common/string_util.h"
+
+namespace edge::text {
+
+namespace {
+
+bool IsCapitalized(const std::string& token) {
+  return !token.empty() && std::isupper(static_cast<unsigned char>(token[0])) != 0;
+}
+
+bool HasSigil(const std::string& token) {
+  return !token.empty() && (token[0] == '#' || token[0] == '@');
+}
+
+/// Deterministic per-entity hash in [0, 1) for miss-rate injection.
+double UnitHash(uint64_t seed, const std::string& name) {
+  uint64_t h = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+const char* EntityCategoryName(EntityCategory category) {
+  switch (category) {
+    case EntityCategory::kPerson:
+      return "person";
+    case EntityCategory::kGeoLocation:
+      return "geo-location";
+    case EntityCategory::kCompany:
+      return "company";
+    case EntityCategory::kFacility:
+      return "facility";
+    case EntityCategory::kProduct:
+      return "product";
+    case EntityCategory::kBand:
+      return "band";
+    case EntityCategory::kSportsTeam:
+      return "sports-team";
+    case EntityCategory::kMovie:
+      return "movie";
+    case EntityCategory::kTvShow:
+      return "tv-show";
+    case EntityCategory::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+std::string CanonicalEntityName(const std::vector<std::string>& words, size_t begin,
+                                size_t count) {
+  EDGE_CHECK_LE(begin + count, words.size());
+  EDGE_CHECK_GT(count, 0u);
+  std::string name;
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) name += '_';
+    name += ToLowerAscii(words[begin + i]);
+  }
+  return name;
+}
+
+void Gazetteer::AddEntry(std::string_view phrase, EntityCategory category,
+                         std::string_view canonical) {
+  std::vector<std::string> words = SplitAndTrim(ToLowerAscii(phrase), " _");
+  EDGE_CHECK(!words.empty()) << "empty gazetteer phrase";
+  max_phrase_tokens_ = std::max(max_phrase_tokens_, words.size());
+  std::string key = Join(words, "_");
+  std::string canon = canonical.empty() ? key : std::string(canonical);
+  entries_[key] = {category, std::move(canon)};
+}
+
+size_t Gazetteer::MatchAt(const std::vector<std::string>& tokens, size_t begin,
+                          EntityCategory* category, std::string* canonical) const {
+  EDGE_CHECK(category != nullptr);
+  EDGE_CHECK(canonical != nullptr);
+  size_t longest = std::min(max_phrase_tokens_, tokens.size() - begin);
+  for (size_t len = longest; len >= 1; --len) {
+    std::string key = tokens[begin];
+    for (size_t i = 1; i < len; ++i) key += "_" + tokens[begin + i];
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      *category = it->second.category;
+      *canonical = it->second.canonical;
+      return len;
+    }
+  }
+  return 0;
+}
+
+TweetNer::TweetNer(Gazetteer gazetteer, NerOptions options)
+    : gazetteer_(std::move(gazetteer)), options_(options) {
+  EDGE_CHECK_GE(options_.miss_rate, 0.0);
+  EDGE_CHECK_LE(options_.miss_rate, 1.0);
+  TokenizerOptions tok_options;
+  tok_options.lowercase = false;  // Capitalization chunking needs raw case.
+  tokenizer_ = Tokenizer(tok_options);
+}
+
+bool TweetNer::ShouldDrop(const std::string& entity_name) const {
+  if (options_.miss_rate <= 0.0) return false;
+  return UnitHash(options_.seed, entity_name) < options_.miss_rate;
+}
+
+std::vector<Entity> TweetNer::Extract(const std::string& text) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  std::vector<std::string> lower(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) lower[i] = ToLowerAscii(tokens[i]);
+
+  std::vector<Entity> found;
+  auto add_entity = [&found, this](std::string name, EntityCategory category) {
+    if (ShouldDrop(name)) return;
+    for (const Entity& e : found) {
+      if (e.name == name) return;  // Entity sets: count each mention once.
+    }
+    found.push_back({std::move(name), category});
+  };
+
+  size_t i = 0;
+  while (i < tokens.size()) {
+    if (HasSigil(tokens[i])) {
+      // Hashtags and mentions are entity mentions on Twitter. If the bare
+      // form is in the gazetteer the mention links to its canonical entity
+      // ("#presby" -> presbyterian_hospital); otherwise the sigiled token is
+      // its own entity.
+      std::string bare = lower[i].substr(1);
+      EntityCategory category = EntityCategory::kOther;
+      std::string canonical;
+      std::vector<std::string> one = {bare};
+      if (gazetteer_.MatchAt(one, 0, &category, &canonical) > 0) {
+        add_entity(canonical, category);
+      } else {
+        add_entity(lower[i], EntityCategory::kOther);
+      }
+      ++i;
+      continue;
+    }
+    EntityCategory category = EntityCategory::kOther;
+    std::string canonical;
+    size_t len = gazetteer_.MatchAt(lower, i, &category, &canonical);
+    if (len > 0) {
+      add_entity(canonical, category);
+      i += len;
+      continue;
+    }
+    if (IsCapitalized(tokens[i])) {
+      size_t j = i + 1;
+      while (j < tokens.size() && !HasSigil(tokens[j]) && IsCapitalized(tokens[j])) ++j;
+      size_t chunk = j - i;
+      // A lone capitalized token at sentence start is usually just a
+      // sentence, not a name; require either length >= 2 or mid-sentence.
+      if (chunk >= 2 || i > 0) {
+        add_entity(CanonicalEntityName(lower, i, chunk), EntityCategory::kOther);
+      }
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+  return found;
+}
+
+}  // namespace edge::text

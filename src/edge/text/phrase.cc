@@ -1,0 +1,46 @@
+#include "edge/text/phrase.h"
+
+namespace edge::text {
+
+void PhraseDetector::Train(const std::vector<std::vector<std::string>>& corpus) {
+  for (const auto& sentence : corpus) {
+    for (size_t i = 0; i < sentence.size(); ++i) {
+      unigrams_[sentence[i]] += 1;
+      total_tokens_ += 1;
+      if (i + 1 < sentence.size()) {
+        bigrams_[sentence[i] + " " + sentence[i + 1]] += 1;
+      }
+    }
+  }
+}
+
+double PhraseDetector::Score(const std::string& a, const std::string& b) const {
+  auto bit = bigrams_.find(a + " " + b);
+  if (bit == bigrams_.end() || bit->second < options_.min_count) return 0.0;
+  auto ait = unigrams_.find(a);
+  auto bit2 = unigrams_.find(b);
+  if (ait == unigrams_.end() || bit2 == unigrams_.end()) return 0.0;
+  double numerator = static_cast<double>(bit->second) - options_.discount;
+  if (numerator <= 0.0) return 0.0;
+  return numerator * static_cast<double>(total_tokens_) /
+         (static_cast<double>(ait->second) * static_cast<double>(bit2->second));
+}
+
+std::vector<std::string> PhraseDetector::Apply(
+    const std::vector<std::string>& sentence) const {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < sentence.size()) {
+    if (i + 1 < sentence.size() &&
+        Score(sentence[i], sentence[i + 1]) >= options_.threshold) {
+      out.push_back(sentence[i] + "_" + sentence[i + 1]);
+      i += 2;
+    } else {
+      out.push_back(sentence[i]);
+      i += 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace edge::text

@@ -1,0 +1,52 @@
+#ifndef EDGE_TEXT_PHRASE_H_
+#define EDGE_TEXT_PHRASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace edge::text {
+
+/// Tuning knobs for collocation detection (word2phrase defaults).
+struct PhraseOptions {
+  /// Minimum collocation score to join a bigram.
+  double threshold = 10.0;
+  /// Bigrams rarer than this never join.
+  int64_t min_count = 3;
+  /// Subtracted from bigram counts to discount rare accidental pairs.
+  double discount = 3.0;
+};
+
+/// Statistics-based phrase joiner in the style of word2phrase [21], the
+/// "phrase2vector" technique that inspired entity2vec: bigrams whose
+/// co-occurrence is unexpectedly high under independence are merged into a
+/// single underscore-joined token ("times square" -> "times_square"). The
+/// NER provides span-based joining for known entities; this detector catches
+/// recurrent collocations the gazetteer does not know.
+class PhraseDetector {
+ public:
+  explicit PhraseDetector(PhraseOptions options = {}) : options_(options) {}
+
+  /// Accumulates unigram/bigram counts from tokenized sentences. May be
+  /// called repeatedly before Apply.
+  void Train(const std::vector<std::vector<std::string>>& corpus);
+
+  /// Greedy left-to-right joining of scoring bigrams; joined tokens do not
+  /// chain within one pass (run two passes for trigrams, as word2phrase does).
+  std::vector<std::string> Apply(const std::vector<std::string>& sentence) const;
+
+  /// Collocation score (count(ab) - discount) * N / (count(a) * count(b));
+  /// returns 0 when below min_count or unseen.
+  double Score(const std::string& a, const std::string& b) const;
+
+ private:
+  PhraseOptions options_;
+  std::unordered_map<std::string, int64_t> unigrams_;
+  std::unordered_map<std::string, int64_t> bigrams_;  // key: a + " " + b
+  int64_t total_tokens_ = 0;
+};
+
+}  // namespace edge::text
+
+#endif  // EDGE_TEXT_PHRASE_H_

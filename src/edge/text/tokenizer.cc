@@ -1,0 +1,60 @@
+#include "edge/text/tokenizer.h"
+
+#include <cctype>
+
+#include "edge/common/string_util.h"
+
+namespace edge::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) != 0 || c == '\'' || c == '_';
+}
+
+bool IsUrlToken(std::string_view token) {
+  return StartsWith(token, "http://") || StartsWith(token, "https://") ||
+         StartsWith(token, "www.");
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  // Pass 1: split on whitespace so URLs survive as units.
+  std::vector<std::string> raw = SplitAndTrim(text, " \t\r\n");
+  std::vector<std::string> tokens;
+  for (std::string& piece : raw) {
+    std::string lowered = options_.lowercase ? ToLowerAscii(piece) : piece;
+    if (options_.drop_urls && IsUrlToken(lowered)) continue;
+
+    // Pass 2: peel sigils and punctuation inside the whitespace unit.
+    size_t i = 0;
+    while (i < lowered.size()) {
+      char c = lowered[i];
+      if (c == '#' || c == '@') {
+        size_t j = i + 1;
+        while (j < lowered.size() && IsWordChar(lowered[j])) ++j;
+        if (j > i + 1) {
+          bool keep = (c == '#') ? options_.keep_hashtags : options_.keep_mentions;
+          if (keep) tokens.push_back(lowered.substr(i, j - i));
+        }
+        i = j;
+      } else if (IsWordChar(c)) {
+        size_t j = i;
+        while (j < lowered.size() && IsWordChar(lowered[j])) ++j;
+        std::string word = lowered.substr(i, j - i);
+        // Trim leading/trailing apostrophes left by quotes.
+        while (!word.empty() && word.front() == '\'') word.erase(word.begin());
+        while (!word.empty() && word.back() == '\'') word.pop_back();
+        if (!word.empty()) tokens.push_back(word);
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return tokens;
+}
+
+}  // namespace edge::text

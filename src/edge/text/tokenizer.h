@@ -1,0 +1,42 @@
+#ifndef EDGE_TEXT_TOKENIZER_H_
+#define EDGE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edge::text {
+
+/// Behaviour switches for the tweet tokenizer.
+struct TokenizerOptions {
+  bool lowercase = true;
+  /// Keep "#hashtag" tokens (with the '#' stripped but remembered by the NER).
+  bool keep_hashtags = true;
+  /// Keep "@mention" tokens.
+  bool keep_mentions = true;
+  /// Drop http/https/www URLs entirely.
+  bool drop_urls = true;
+};
+
+/// Tweet-aware whitespace/punctuation tokenizer. Keeps @mentions and
+/// #hashtags as single tokens (they are first-class entities on Twitter),
+/// strips URLs and punctuation, and preserves intra-word apostrophes
+/// ("new year's eve" -> [new, year's, eve]).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  /// Splits raw tweet text into normalized tokens. Hashtag/mention tokens
+  /// keep their sigil as the first character so downstream stages can tell
+  /// them apart (e.g. "#covid19", "@phantomopera").
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace edge::text
+
+#endif  // EDGE_TEXT_TOKENIZER_H_

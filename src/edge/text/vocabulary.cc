@@ -1,0 +1,33 @@
+#include "edge/text/vocabulary.h"
+
+#include "edge/common/check.h"
+
+namespace edge::text {
+
+size_t Vocabulary::Add(std::string_view token) {
+  auto [it, inserted] = index_.try_emplace(std::string(token), tokens_.size());
+  if (inserted) {
+    tokens_.push_back(std::string(token));
+    counts_.push_back(0);
+  }
+  counts_[it->second] += 1;
+  total_count_ += 1;
+  return it->second;
+}
+
+size_t Vocabulary::Lookup(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+const std::string& Vocabulary::TokenOf(size_t id) const {
+  EDGE_CHECK_LT(id, tokens_.size());
+  return tokens_[id];
+}
+
+int64_t Vocabulary::CountOf(size_t id) const {
+  EDGE_CHECK_LT(id, counts_.size());
+  return counts_[id];
+}
+
+}  // namespace edge::text

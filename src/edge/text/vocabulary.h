@@ -1,0 +1,47 @@
+#ifndef EDGE_TEXT_VOCABULARY_H_
+#define EDGE_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace edge::text {
+
+/// Bidirectional token <-> id map with occurrence counts. Shared by
+/// entity2vec, the entity graph (entity ids are vocabulary ids) and the
+/// bag-of-words baseline.
+class Vocabulary {
+ public:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  Vocabulary() = default;
+
+  /// Interns a token (adding it if new) and bumps its count; returns its id.
+  size_t Add(std::string_view token);
+
+  /// Id of a token or kNotFound.
+  size_t Lookup(std::string_view token) const;
+
+  /// Token string for an id.
+  const std::string& TokenOf(size_t id) const;
+
+  /// Occurrence count recorded through Add().
+  int64_t CountOf(size_t id) const;
+
+  size_t size() const { return tokens_.size(); }
+
+  /// Total of all counts.
+  int64_t total_count() const { return total_count_; }
+
+ private:
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace edge::text
+
+#endif  // EDGE_TEXT_VOCABULARY_H_

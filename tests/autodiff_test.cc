@@ -1,0 +1,184 @@
+#include "edge/nn/autodiff.h"
+
+#include <gtest/gtest.h>
+
+#include "edge/common/rng.h"
+#include "edge/nn/sparse.h"
+#include "gradcheck.h"
+
+namespace edge::nn {
+namespace {
+
+using testing::ExpectGradientsMatch;
+
+/// Random matrix with entries bounded away from zero so ReLU kinks and
+/// finite differences do not interact.
+Matrix RandomAwayFromZero(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      double v = rng->Uniform(0.1, 1.0);
+      m.At(r, c) = rng->Bernoulli(0.5) ? v : -v;
+    }
+  }
+  return m;
+}
+
+TEST(AutodiffTest, ForwardValues) {
+  Var a = Param(Matrix::FromRows({{1, 2}, {3, 4}}));
+  Var b = Param(Matrix::FromRows({{5, 6}, {7, 8}}));
+  EXPECT_EQ(Add(a, b)->value.At(0, 0), 6.0);
+  EXPECT_EQ(Sub(b, a)->value.At(1, 1), 4.0);
+  EXPECT_EQ(Scale(a, 3.0)->value.At(1, 0), 9.0);
+  EXPECT_EQ(MatMul(a, b)->value.At(0, 0), 19.0);
+  EXPECT_EQ(SumAll(a)->value.At(0, 0), 10.0);
+  EXPECT_EQ(MeanAll(a)->value.At(0, 0), 2.5);
+}
+
+TEST(AutodiffTest, ReluForward) {
+  Var a = Param(Matrix::FromRows({{-1, 2}, {0, -3}}));
+  Var r = Relu(a);
+  EXPECT_EQ(r->value.At(0, 0), 0.0);
+  EXPECT_EQ(r->value.At(0, 1), 2.0);
+  EXPECT_EQ(r->value.At(1, 1), 0.0);
+}
+
+TEST(AutodiffTest, SoftmaxColSumsToOne) {
+  Var a = Param(Matrix::FromRows({{1.0}, {2.0}, {3.0}}));
+  Var s = SoftmaxCol(a);
+  double total = s->value.Sum();
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(s->value.At(2, 0), s->value.At(0, 0));
+}
+
+TEST(AutodiffTest, BackwardThroughSharedNode) {
+  // loss = sum(a + a) -> dloss/da == 2 everywhere.
+  Var a = Param(Matrix::FromRows({{1, 2}}));
+  Var loss = SumAll(Add(a, a));
+  Backward(loss);
+  EXPECT_EQ(a->grad.At(0, 0), 2.0);
+  EXPECT_EQ(a->grad.At(0, 1), 2.0);
+}
+
+TEST(AutodiffTest, ConstantsReceiveNoGradient) {
+  Var a = Param(Matrix::FromRows({{1, 2}}));
+  Var c = Constant(Matrix::FromRows({{3, 4}}));
+  Var loss = SumAll(Add(a, c));
+  EXPECT_TRUE(loss->requires_grad);
+  Backward(loss);
+  EXPECT_EQ(a->grad.At(0, 1), 1.0);
+}
+
+TEST(AutodiffTest, TopologicalOrderParentsFirst) {
+  Var a = Param(Matrix(1, 1, 2.0));
+  Var b = Scale(a, 3.0);
+  Var c = Add(b, b);
+  std::vector<Node*> order = TopologicalOrder(c);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.front(), a.get());
+  EXPECT_EQ(order.back(), c.get());
+}
+
+class OpGradcheckTest : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<uint64_t>(GetParam() * 7919 + 13)};
+};
+
+TEST_P(OpGradcheckTest, AddSubScale) {
+  Var a = Param(RandomAwayFromZero(3, 2, &rng_));
+  Var b = Param(RandomAwayFromZero(3, 2, &rng_));
+  ExpectGradientsMatch({a, b}, [&] {
+    return SumAll(Scale(Sub(Add(a, b), Scale(b, 0.5)), 1.7));
+  });
+}
+
+TEST_P(OpGradcheckTest, ElementwiseMul) {
+  Var a = Param(RandomAwayFromZero(3, 2, &rng_));
+  Var b = Param(RandomAwayFromZero(3, 2, &rng_));
+  ExpectGradientsMatch({a, b}, [&] { return SumAll(Mul(Mul(a, b), a)); });
+}
+
+TEST_P(OpGradcheckTest, MatMulChain) {
+  Var a = Param(RandomAwayFromZero(2, 3, &rng_));
+  Var b = Param(RandomAwayFromZero(3, 4, &rng_));
+  Var c = Param(RandomAwayFromZero(4, 2, &rng_));
+  ExpectGradientsMatch({a, b, c}, [&] { return SumAll(MatMul(MatMul(a, b), c)); });
+}
+
+TEST_P(OpGradcheckTest, AddRowBroadcast) {
+  Var x = Param(RandomAwayFromZero(4, 3, &rng_));
+  Var bias = Param(RandomAwayFromZero(1, 3, &rng_));
+  ExpectGradientsMatch({x, bias}, [&] { return SumAll(AddRowBroadcast(x, bias)); });
+}
+
+TEST_P(OpGradcheckTest, ReluWeighted) {
+  Var x = Param(RandomAwayFromZero(3, 3, &rng_));
+  Var w = Param(RandomAwayFromZero(3, 1, &rng_));
+  ExpectGradientsMatch({x, w}, [&] { return SumAll(MatMul(Relu(x), w)); });
+}
+
+TEST_P(OpGradcheckTest, SpMm) {
+  CsrMatrix s = CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 0.5}, {0, 1, 0.25}, {1, 1, 1.0}, {2, 0, 0.3}, {2, 2, 0.7}});
+  Var x = Param(RandomAwayFromZero(3, 2, &rng_));
+  ExpectGradientsMatch({x}, [&] { return SumAll(SpMm(&s, x)); });
+}
+
+TEST_P(OpGradcheckTest, SpMmAsymmetricWeighted) {
+  // Weighted downstream so SpMm backward must transpose (not rely on
+  // symmetry of S).
+  CsrMatrix s = CsrMatrix::FromTriplets(3, 3, {{0, 1, 2.0}, {1, 2, -1.0}, {2, 0, 0.5}});
+  Var x = Param(RandomAwayFromZero(3, 2, &rng_));
+  Var w = Param(RandomAwayFromZero(2, 1, &rng_));
+  ExpectGradientsMatch({x, w}, [&] { return SumAll(MatMul(SpMm(&s, x), w)); });
+}
+
+TEST_P(OpGradcheckTest, GatherRowsWithDuplicates) {
+  Var x = Param(RandomAwayFromZero(4, 3, &rng_));
+  Var w = Param(RandomAwayFromZero(3, 1, &rng_));
+  ExpectGradientsMatch({x, w}, [&] {
+    return SumAll(MatMul(GatherRows(x, {0, 2, 2, 3}), w));
+  });
+}
+
+TEST_P(OpGradcheckTest, TransposeOp) {
+  Var x = Param(RandomAwayFromZero(2, 4, &rng_));
+  Var w = Param(RandomAwayFromZero(2, 1, &rng_));
+  ExpectGradientsMatch({x, w}, [&] { return SumAll(MatMul(Transpose(x), w)); });
+}
+
+TEST_P(OpGradcheckTest, SoftmaxColOp) {
+  Var x = Param(RandomAwayFromZero(5, 1, &rng_));
+  Var v = Param(RandomAwayFromZero(5, 1, &rng_));
+  ExpectGradientsMatch({x, v}, [&] {
+    return SumAll(MatMul(Transpose(SoftmaxCol(x)), v));
+  });
+}
+
+TEST_P(OpGradcheckTest, ConcatRowsOp) {
+  Var a = Param(RandomAwayFromZero(1, 3, &rng_));
+  Var b = Param(RandomAwayFromZero(1, 3, &rng_));
+  Var w = Param(RandomAwayFromZero(3, 1, &rng_));
+  ExpectGradientsMatch({a, b, w}, [&] {
+    return SumAll(MatMul(ConcatRows({a, b, a}), w));
+  });
+}
+
+TEST_P(OpGradcheckTest, AttentionBlock) {
+  // The exact attention computation EDGE uses (Eq. 2-4).
+  Var h = Param(RandomAwayFromZero(4, 3, &rng_));
+  Var q = Param(RandomAwayFromZero(3, 1, &rng_));
+  Var b = Param(RandomAwayFromZero(1, 1, &rng_));
+  Var out_w = Param(RandomAwayFromZero(3, 1, &rng_));
+  ExpectGradientsMatch({h, q, b, out_w}, [&] {
+    Var scores = Relu(AddRowBroadcast(MatMul(h, q), b));
+    Var weights = SoftmaxCol(scores);
+    Var z = MatMul(Transpose(weights), h);
+    return SumAll(MatMul(z, out_w));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpGradcheckTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace edge::nn

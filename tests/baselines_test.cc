@@ -1,0 +1,174 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edge/baselines/bow_mdn.h"
+#include "edge/baselines/grid_models.h"
+#include "edge/baselines/hyperlocal.h"
+#include "edge/baselines/lockde.h"
+#include "edge/baselines/term_density.h"
+#include "edge/baselines/unicode_cnn.h"
+#include "edge/data/generator.h"
+#include "edge/data/worlds.h"
+#include "edge/eval/metrics.h"
+
+namespace edge::baselines {
+namespace {
+
+/// Shared miniature dataset: built once, reused by every baseline test.
+const data::ProcessedDataset& SmallDataset() {
+  static const data::ProcessedDataset* kDataset = [] {
+    data::WorldPresetOptions world_options;
+    world_options.num_fine_pois = 25;
+    world_options.num_coarse_areas = 3;
+    world_options.num_chains = 3;
+    world_options.num_topics = 12;
+    data::TweetGenerator generator(data::MakeNymaWorld(world_options));
+    data::Dataset ds = generator.Generate(1500);
+    data::Pipeline pipeline(generator.BuildGazetteer());
+    return new data::ProcessedDataset(pipeline.Process(ds));
+  }();
+  return *kDataset;
+}
+
+/// All baselines must beat this "predict the densest cell" strawman level
+/// on median error (the region is ~45 km wide; the strawman lands ~10+ km).
+constexpr double kMedianCeilingKm = 10.0;
+
+TEST(TermDensityIndexTest, CollectsOccurrencesAndSpread) {
+  const auto& dataset = SmallDataset();
+  geo::GeoGrid grid(dataset.region, 50, 50);
+  TermDensityIndex index(dataset, grid, 2);
+  EXPECT_GT(index.num_terms(), 20u);
+  // A frequent background word occurs everywhere: large spread.
+  ASSERT_TRUE(index.HasTerm("the"));
+  double the_spread = index.SpatialSpreadKm("the");
+  EXPECT_GT(the_spread, 5.0);
+  // A specific landmark word is spatially tight ("majestic" only ever
+  // appears in "Majestic Theatre").
+  ASSERT_TRUE(index.HasTerm("majestic"));
+  EXPECT_LT(index.SpatialSpreadKm("majestic"), the_spread);
+}
+
+TEST(TermDensityIndexTest, GridMassConcentratesAroundOccurrences) {
+  const auto& dataset = SmallDataset();
+  geo::GeoGrid grid(dataset.region, 50, 50);
+  TermDensityIndex index(dataset, grid, 2);
+  ASSERT_TRUE(index.HasTerm("majestic"));
+  const std::vector<double>& mass = index.GridMass("majestic", 1.0);
+  ASSERT_EQ(mass.size(), grid.num_cells());
+  // Mass is maximal near the true Times Square cell.
+  size_t best = 0;
+  for (size_t c = 1; c < mass.size(); ++c) {
+    if (mass[c] > mass[best]) best = c;
+  }
+  geo::LatLon peak = grid.CellCenter(best);
+  EXPECT_LT(geo::HaversineKm(peak, {40.7631, -73.9882}), 3.0);  // Majestic Theatre.
+  double total = 0.0;
+  for (double m : mass) total += m;
+  EXPECT_GT(total, 0.0);
+}
+
+class GridBaselineParamTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(GridBaselineParamTest, NaiveBayesRecoversPlantedStructure) {
+  GridBaselineOptions options;
+  options.grid_nx = 60;
+  options.grid_ny = 60;
+  options.use_kde = GetParam();
+  NaiveBayesGrid model(options);
+  model.Fit(SmallDataset());
+  eval::MetricResults results = eval::EvaluateGeolocator(&model, SmallDataset());
+  EXPECT_EQ(results.abstained, 0u);
+  EXPECT_LT(results.median_km, kMedianCeilingKm) << model.name();
+  EXPECT_GT(results.at_5km, 0.2) << model.name();
+}
+
+TEST_P(GridBaselineParamTest, KullbackLeiblerRecoversPlantedStructure) {
+  GridBaselineOptions options;
+  options.grid_nx = 60;
+  options.grid_ny = 60;
+  options.use_kde = GetParam();
+  KullbackLeiblerGrid model(options);
+  model.Fit(SmallDataset());
+  eval::MetricResults results = eval::EvaluateGeolocator(&model, SmallDataset());
+  EXPECT_EQ(results.abstained, 0u);
+  // Count-based KL is the weakest grid method in the paper too; allow a
+  // slightly looser ceiling than the other baselines.
+  EXPECT_LT(results.median_km, kMedianCeilingKm + 2.0) << model.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(CountsAndKde, GridBaselineParamTest, ::testing::Bool());
+
+TEST(GridBaselineTest, NamesFollowThePaper) {
+  GridBaselineOptions kde;
+  kde.use_kde = true;
+  EXPECT_EQ(NaiveBayesGrid().name(), "NAIVEBAYES");
+  EXPECT_EQ(NaiveBayesGrid(kde).name(), "NAIVEBAYES_kde2d");
+  EXPECT_EQ(KullbackLeiblerGrid().name(), "KULLBACK-LEIBLER");
+  EXPECT_EQ(KullbackLeiblerGrid(kde).name(), "KULLBACK-LEIBLER_kde2d");
+}
+
+TEST(LocKdeTest, BandwidthTracksIndicativeness) {
+  LocKde model;
+  model.Fit(SmallDataset());
+  // Tight landmark -> small bandwidth; ubiquitous stopword -> clamped high.
+  EXPECT_LT(model.TermBandwidthKm("majestic"), model.TermBandwidthKm("the"));
+  EXPECT_GT(model.TermWeight("majestic"), model.TermWeight("the"));
+}
+
+TEST(LocKdeTest, RecoversPlantedStructure) {
+  LocKde model;
+  model.Fit(SmallDataset());
+  eval::MetricResults results = eval::EvaluateGeolocator(&model, SmallDataset());
+  EXPECT_EQ(results.abstained, 0u);
+  EXPECT_LT(results.median_km, kMedianCeilingKm);
+  EXPECT_GT(results.at_3km, 0.15);
+}
+
+TEST(HyperLocalTest, PartialCoverageAndAccuracy) {
+  HyperLocal model;
+  model.Fit(SmallDataset());
+  EXPECT_GT(model.num_geo_specific(), 5u);
+  eval::MetricResults results = eval::EvaluateGeolocator(&model, SmallDataset());
+  // Hyper-local abstains on tweets without geo-specific n-grams (the paper
+  // reports ~81-84% coverage).
+  EXPECT_GT(results.abstained, 0u);
+  EXPECT_GT(results.Coverage(), 0.3);
+  EXPECT_LT(results.Coverage(), 1.0);
+  EXPECT_LT(results.median_km, kMedianCeilingKm);
+}
+
+TEST(UnicodeCnnTest, TrainsAndPredictsCoarsely) {
+  UnicodeCnnOptions options;
+  options.epochs = 2;
+  options.channels = 16;
+  options.mvmf_grid = 6;
+  UnicodeCnn model(options);
+  model.Fit(SmallDataset());
+  EXPECT_EQ(model.num_components(), 36u);
+  eval::MetricResults results = eval::EvaluateGeolocator(&model, SmallDataset());
+  EXPECT_EQ(results.abstained, 0u);
+  // Character-level signal is weak but predictions stay inside the region.
+  EXPECT_LT(results.mean_km, 60.0);
+  EXPECT_TRUE(std::isfinite(results.median_km));
+}
+
+TEST(BowMdnTest, RecoversPlantedStructure) {
+  BowMdnOptions options;
+  options.epochs = 25;
+  BowMdn model(options);
+  model.Fit(SmallDataset());
+  eval::MetricResults results = eval::EvaluateGeolocator(&model, SmallDataset());
+  EXPECT_EQ(results.abstained, 0u);
+  EXPECT_LT(results.median_km, 15.0);
+  // Mixture output is well-formed.
+  geo::GaussianMixture2d mixture = model.PredictMixture(SmallDataset().test[0]);
+  EXPECT_EQ(mixture.num_components(), options.num_components);
+  double weight_sum = 0.0;
+  for (size_t m = 0; m < mixture.num_components(); ++m) weight_sum += mixture.weight(m);
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace edge::baselines

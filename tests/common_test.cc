@@ -1,0 +1,180 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "edge/common/math_util.h"
+#include "edge/common/rng.h"
+#include "edge/common/status.h"
+#include "edge/common/string_util.h"
+#include "edge/common/table_writer.h"
+
+namespace edge {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  Status s = Status::InvalidArgument("bad M");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad M");
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("y").code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("z").code(), Status::Code::kInternal);
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> ok_result(42);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 42);
+  Result<int> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), Status::Code::kNotFound);
+}
+
+TEST(MathUtilTest, LogSumExpStableAndCorrect) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogSumExp({1.0, 2.0, 3.0}),
+              std::log(std::exp(1.0) + std::exp(2.0) + std::exp(3.0)), 1e-12);
+  // Stability: huge inputs must not overflow.
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(LogAddExp(-1000.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(MathUtilTest, ActivationsMatchDefinitions) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Softplus(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(Softplus(50.0), 50.0, 1e-9);
+  EXPECT_NEAR(Softsign(1.0), 0.5, 1e-12);   // Eq. 11.
+  EXPECT_NEAR(Softsign(-3.0), -0.75, 1e-12);
+  EXPECT_GT(Softsign(1e9), 0.999);
+}
+
+TEST(MathUtilTest, SoftplusInverseRoundTrip) {
+  for (double y : {0.1, 0.5, 1.0, 2.0, 10.0, 50.0}) {
+    EXPECT_NEAR(Softplus(SoftplusInverse(y)), y, 1e-9) << y;
+  }
+}
+
+TEST(MathUtilTest, SoftmaxNormalizes) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(&xs);
+  EXPECT_NEAR(xs[0] + xs[1] + xs[2], 1.0, 1e-12);
+  EXPECT_GT(xs[2], xs[1]);
+  // Huge logits: no overflow.
+  std::vector<double> big = {1000.0, 1001.0};
+  SoftmaxInPlace(&big);
+  EXPECT_NEAR(big[0] + big[1], 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, MeanMedianStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 3.0), 0.0);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  Rng c(43);
+  bool all_equal = true;
+  bool any_diff_seed = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.NextU64();
+    all_equal = all_equal && (va == b.NextU64());
+    any_diff_seed = any_diff_seed || (va != c.NextU64());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(RngTest, UniformBoundsAndMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double ss = 0.0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    ss += x * x;
+  }
+  double mean = sum / kN;
+  double var = ss / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, UniformIntUnbiasedOverSmallRange) {
+  Rng rng(13);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) counts[rng.UniformInt(5)] += 1;
+  for (int c : counts) EXPECT_NEAR(c, 10000, 400);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 3.0};
+  int second = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Categorical(weights) == 1) ++second;
+  }
+  EXPECT_NEAR(second / 20000.0, 0.75, 0.01);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  EXPECT_EQ(std::set<int>(shuffled.begin(), shuffled.end()),
+            std::set<int>(values.begin(), values.end()));
+}
+
+TEST(StringUtilTest, Basics) {
+  EXPECT_EQ(ToLowerAscii("HeLLo #NYC"), "hello #nyc");
+  EXPECT_EQ(SplitAndTrim("a  b\tc", " \t"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitAndTrim("   ", " ").empty());
+  EXPECT_EQ(Join({"x", "y"}, "_"), "x_y");
+  EXPECT_TRUE(StartsWith("https://x", "https://"));
+  EXPECT_FALSE(StartsWith("x", "xx"));
+  EXPECT_TRUE(EndsWith("file.cc", ".cc"));
+  EXPECT_EQ(ReplaceAll("a b a", "a", "z"), "z b z");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(TableWriterTest, AsciiAndMarkdown) {
+  TableWriter table({"Name", "Value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"bb", "22"});
+  EXPECT_EQ(table.row_count(), 2u);
+  std::string ascii = table.ToAscii();
+  EXPECT_NE(ascii.find("| Name  | Value |"), std::string::npos);
+  EXPECT_NE(ascii.find("| alpha | 1     |"), std::string::npos);
+  std::string md = table.ToMarkdown();
+  EXPECT_NE(md.find("| Name"), std::string::npos);
+  EXPECT_NE(md.find("|-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edge

@@ -1,0 +1,79 @@
+#include "edge/nn/conv.h"
+
+#include <gtest/gtest.h>
+
+#include "edge/common/rng.h"
+#include "gradcheck.h"
+
+namespace edge::nn {
+namespace {
+
+using testing::ExpectGradientsMatch;
+
+TEST(Conv1dTest, HandComputedSingleChannel) {
+  // Input: sequence [1, 2, 3, 4] with 1 channel; kernel width 2 with taps
+  // [10, 1] -> output t = 10*x[t] + 1*x[t+1].
+  Var input = Param(Matrix::FromRows({{1}, {2}, {3}, {4}}));
+  Var kernel = Param(Matrix::FromRows({{10}, {1}}));
+  Var out = Conv1d(input, kernel, 2);
+  ASSERT_EQ(out->value.rows(), 3u);
+  ASSERT_EQ(out->value.cols(), 1u);
+  EXPECT_EQ(out->value.At(0, 0), 12.0);
+  EXPECT_EQ(out->value.At(1, 0), 23.0);
+  EXPECT_EQ(out->value.At(2, 0), 34.0);
+}
+
+TEST(Conv1dTest, MultiChannelShapes) {
+  Rng rng(4);
+  Matrix input(10, 5);
+  for (size_t r = 0; r < 10; ++r) input.At(r, rng.UniformInt(5)) = 1.0;  // One-hot.
+  Var x = Constant(input);
+  Var kernel = Param(Matrix(3 * 5, 7, 0.1));
+  Var out = Conv1d(x, kernel, 3);
+  EXPECT_EQ(out->value.rows(), 8u);
+  EXPECT_EQ(out->value.cols(), 7u);
+}
+
+TEST(MaxOverTimeTest, PicksColumnMaxima) {
+  Var x = Param(Matrix::FromRows({{1, 5}, {4, 2}, {3, 3}}));
+  Var pooled = MaxOverTime(x);
+  ASSERT_EQ(pooled->value.rows(), 1u);
+  EXPECT_EQ(pooled->value.At(0, 0), 4.0);
+  EXPECT_EQ(pooled->value.At(0, 1), 5.0);
+  Var loss = SumAll(pooled);
+  Backward(loss);
+  // Gradient routed to argmax entries only.
+  EXPECT_EQ(x->grad.At(1, 0), 1.0);
+  EXPECT_EQ(x->grad.At(0, 1), 1.0);
+  EXPECT_EQ(x->grad.At(2, 0), 0.0);
+}
+
+class ConvGradcheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvGradcheckTest, ConvAndPoolGradients) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 53 + 11));
+  size_t length = 6 + static_cast<size_t>(GetParam() % 4);
+  size_t in_ch = 2 + static_cast<size_t>(GetParam() % 2);
+  size_t out_ch = 3;
+  size_t width = 2 + static_cast<size_t>(GetParam() % 2);
+  Matrix input_values(length, in_ch);
+  for (size_t r = 0; r < length; ++r) {
+    for (size_t c = 0; c < in_ch; ++c) input_values.At(r, c) = rng.Uniform(0.2, 1.0);
+  }
+  Var input = Param(input_values);
+  Matrix kernel_values(width * in_ch, out_ch);
+  for (size_t r = 0; r < kernel_values.rows(); ++r) {
+    for (size_t c = 0; c < out_ch; ++c) kernel_values.At(r, c) = rng.Uniform(-0.8, 0.8);
+  }
+  Var kernel = Param(kernel_values);
+  // Note: MaxOverTime argmax ties would break finite differences; random
+  // continuous inputs make ties measure-zero.
+  ExpectGradientsMatch({input, kernel}, [&] {
+    return SumAll(MaxOverTime(Conv1d(input, kernel, width)));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvGradcheckTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace edge::nn

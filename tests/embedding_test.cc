@@ -1,0 +1,106 @@
+#include "edge/embedding/entity2vec.h"
+
+#include <gtest/gtest.h>
+
+#include "edge/common/rng.h"
+
+namespace edge::embedding {
+namespace {
+
+/// Corpus with two disjoint "topic clusters": tokens within a cluster
+/// co-occur, tokens across clusters never do.
+std::vector<std::vector<std::string>> ClusteredCorpus(int repeats) {
+  std::vector<std::vector<std::string>> corpus;
+  Rng rng(5);
+  std::vector<std::string> cluster_a = {"majestic_theatre", "broadway", "@phantomopera",
+                                        "show", "musical"};
+  std::vector<std::string> cluster_b = {"presbyterian_hospital", "covid", "masks",
+                                        "nurse", "ward"};
+  for (int r = 0; r < repeats; ++r) {
+    for (const auto& cluster : {cluster_a, cluster_b}) {
+      std::vector<std::string> sentence;
+      for (int k = 0; k < 6; ++k) {
+        sentence.push_back(cluster[rng.UniformInt(cluster.size())]);
+      }
+      corpus.push_back(sentence);
+    }
+  }
+  return corpus;
+}
+
+TEST(Entity2VecTest, VocabularyAndShapes) {
+  Entity2VecOptions options;
+  options.dim = 16;
+  options.epochs = 1;
+  Entity2Vec model(options);
+  model.Train(ClusteredCorpus(10));
+  EXPECT_EQ(model.vocab().size(), 10u);
+  EXPECT_EQ(model.embeddings().rows(), 10u);
+  EXPECT_EQ(model.embeddings().cols(), 16u);
+  EXPECT_EQ(model.EmbeddingOf("broadway").size(), 16u);
+  EXPECT_TRUE(model.EmbeddingOf("unseen_token").empty());
+}
+
+TEST(Entity2VecTest, CooccurringTokensAreCloser) {
+  Entity2VecOptions options;
+  options.dim = 24;
+  options.epochs = 8;
+  options.subsample_threshold = 0.0;  // Tiny corpus: keep everything.
+  Entity2Vec model(options);
+  model.Train(ClusteredCorpus(120));
+  double same_cluster = model.CosineSimilarity("majestic_theatre", "@phantomopera");
+  double cross_cluster = model.CosineSimilarity("majestic_theatre", "covid");
+  EXPECT_GT(same_cluster, cross_cluster + 0.2);
+}
+
+TEST(Entity2VecTest, MostSimilarRanksOwnCluster) {
+  Entity2VecOptions options;
+  options.dim = 24;
+  options.epochs = 8;
+  options.subsample_threshold = 0.0;
+  Entity2Vec model(options);
+  model.Train(ClusteredCorpus(120));
+  auto similar = model.MostSimilar("covid", 3);
+  ASSERT_EQ(similar.size(), 3u);
+  // All three nearest neighbours of "covid" come from the hospital cluster.
+  for (const auto& [token, score] : similar) {
+    EXPECT_TRUE(token == "presbyterian_hospital" || token == "masks" ||
+                token == "nurse" || token == "ward")
+        << token;
+  }
+}
+
+TEST(Entity2VecTest, DeterministicAcrossRuns) {
+  Entity2VecOptions options;
+  options.dim = 8;
+  options.epochs = 2;
+  Entity2Vec a(options);
+  Entity2Vec b(options);
+  a.Train(ClusteredCorpus(20));
+  b.Train(ClusteredCorpus(20));
+  EXPECT_TRUE(nn::AllClose(a.embeddings(), b.embeddings(), 0.0));
+}
+
+TEST(Entity2VecTest, MinCountFiltersRareTokens) {
+  Entity2VecOptions options;
+  options.dim = 8;
+  options.min_count = 3;
+  Entity2Vec model(options);
+  std::vector<std::vector<std::string>> corpus = {
+      {"common", "common", "common", "rare"},
+      {"common", "other", "other", "other"},
+  };
+  model.Train(corpus);
+  EXPECT_NE(model.vocab().Lookup("common"), text::Vocabulary::kNotFound);
+  EXPECT_NE(model.vocab().Lookup("other"), text::Vocabulary::kNotFound);
+  EXPECT_EQ(model.vocab().Lookup("rare"), text::Vocabulary::kNotFound);
+}
+
+TEST(Entity2VecTest, EmptyCorpusIsSafe) {
+  Entity2Vec model;
+  model.Train({});
+  EXPECT_EQ(model.vocab().size(), 0u);
+}
+
+}  // namespace
+}  // namespace edge::embedding

@@ -1,0 +1,94 @@
+#include "edge/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace edge::eval {
+namespace {
+
+/// Trivial geolocator answering a fixed point; lets the metric math be
+/// tested against hand-computed values.
+class FixedPointLocator : public Geolocator {
+ public:
+  explicit FixedPointLocator(geo::LatLon answer, size_t abstain_every = 0)
+      : answer_(answer), abstain_every_(abstain_every) {}
+
+  std::string name() const override { return "fixed"; }
+  void Fit(const data::ProcessedDataset&) override {}
+  bool PredictPoint(const data::ProcessedTweet&, geo::LatLon* out) override {
+    ++calls_;
+    if (abstain_every_ > 0 && calls_ % abstain_every_ == 0) return false;
+    *out = answer_;
+    return true;
+  }
+
+ private:
+  geo::LatLon answer_;
+  size_t abstain_every_;
+  size_t calls_ = 0;
+};
+
+data::ProcessedDataset TinyDataset() {
+  data::ProcessedDataset ds;
+  ds.region = {40.0, 41.0, -75.0, -74.0};
+  // Test tweets at known offsets (roughly along a meridian, so distances are
+  // ~111.19 km per degree of latitude).
+  for (double dlat : {0.0, 0.01, 0.02, 0.1}) {
+    data::ProcessedTweet t;
+    t.location = {40.5 + dlat, -74.5};
+    ds.test.push_back(t);
+  }
+  return ds;
+}
+
+TEST(MetricsTest, SummaryMatchesHandComputation) {
+  data::ProcessedDataset ds = TinyDataset();
+  FixedPointLocator locator({40.5, -74.5});
+  MetricResults r = EvaluateGeolocator(&locator, ds);
+  EXPECT_EQ(r.predicted, 4u);
+  EXPECT_EQ(r.abstained, 0u);
+  // Errors: 0, 1.11, 2.22, 11.12 km.
+  EXPECT_NEAR(r.mean_km, (0.0 + 1.112 + 2.224 + 11.12) / 4.0, 0.02);
+  EXPECT_NEAR(r.median_km, (1.112 + 2.224) / 2.0, 0.01);
+  EXPECT_NEAR(r.at_3km, 0.75, 1e-12);
+  EXPECT_NEAR(r.at_5km, 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(r.Coverage(), 1.0);
+}
+
+TEST(MetricsTest, AbstentionsTracked) {
+  data::ProcessedDataset ds = TinyDataset();
+  FixedPointLocator locator({40.5, -74.5}, /*abstain_every=*/2);
+  MetricResults r = EvaluateGeolocator(&locator, ds);
+  EXPECT_EQ(r.predicted, 2u);
+  EXPECT_EQ(r.abstained, 2u);
+  EXPECT_DOUBLE_EQ(r.Coverage(), 0.5);
+}
+
+TEST(MetricsTest, EmptyErrorsAreSafe) {
+  MetricResults r = SummarizeErrors("m", {}, 5);
+  EXPECT_EQ(r.predicted, 0u);
+  EXPECT_EQ(r.abstained, 5u);
+  EXPECT_DOUBLE_EQ(r.Coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_km, 0.0);
+}
+
+TEST(RdpSweepTest, MonotoneAndAnchoredToAtK) {
+  std::vector<double> errors = {0.5, 2.0, 2.9, 4.0, 6.0, 9.0, 20.0, 1.0};
+  std::vector<double> radii = {1.0, 2.0, 3.0, 4.0, 5.0, 10.0};
+  std::vector<double> rdp = RdpSweep(errors, 0, radii);
+  ASSERT_EQ(rdp.size(), radii.size());
+  for (size_t i = 1; i < rdp.size(); ++i) EXPECT_GE(rdp[i], rdp[i - 1]);
+  // RDP(3) equals @3km and RDP(5) equals @5km by construction.
+  MetricResults r = SummarizeErrors("m", errors, 0);
+  EXPECT_DOUBLE_EQ(rdp[2], r.at_3km);
+  EXPECT_DOUBLE_EQ(rdp[4], r.at_5km);
+  EXPECT_DOUBLE_EQ(rdp.back(), 7.0 / 8.0);
+}
+
+TEST(RdpSweepTest, EmptyErrors) {
+  std::vector<double> rdp = RdpSweep({}, 3, {1.0, 2.0});
+  EXPECT_EQ(rdp[0], 0.0);
+  EXPECT_EQ(rdp[1], 0.0);
+}
+
+}  // namespace
+}  // namespace edge::eval

@@ -1,0 +1,215 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edge/common/rng.h"
+#include "edge/geo/gaussian2d.h"
+#include "edge/geo/grid.h"
+#include "edge/geo/kde.h"
+#include "edge/geo/latlon.h"
+#include "edge/geo/mixture.h"
+#include "edge/geo/projection.h"
+
+namespace edge::geo {
+namespace {
+
+TEST(HaversineTest, KnownDistances) {
+  // Times Square to JFK airport: ~ 20.9 km.
+  LatLon times_square{40.7580, -73.9855};
+  LatLon jfk{40.6413, -73.7781};
+  double d = HaversineKm(times_square, jfk);
+  EXPECT_NEAR(d, 21.8, 1.0);
+
+  // New York to Los Angeles: ~ 3936 km.
+  LatLon nyc{40.7128, -74.0060};
+  LatLon la{34.0522, -118.2437};
+  EXPECT_NEAR(HaversineKm(nyc, la), 3936.0, 30.0);
+}
+
+TEST(HaversineTest, IdentityAndSymmetry) {
+  LatLon a{40.7, -74.0};
+  LatLon b{40.8, -73.9};
+  EXPECT_DOUBLE_EQ(HaversineKm(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(HaversineKm(a, b), HaversineKm(b, a));
+}
+
+TEST(BoundingBoxTest, ContainsAndClamp) {
+  BoundingBox box{40.0, 41.0, -75.0, -74.0};
+  EXPECT_TRUE(box.Contains({40.5, -74.5}));
+  EXPECT_FALSE(box.Contains({39.9, -74.5}));
+  LatLon clamped = box.Clamp({42.0, -76.0});
+  EXPECT_DOUBLE_EQ(clamped.lat, 41.0);
+  EXPECT_DOUBLE_EQ(clamped.lon, -75.0);
+  LatLon center = box.Center();
+  EXPECT_DOUBLE_EQ(center.lat, 40.5);
+}
+
+class ProjectionRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectionRoundTripTest, InvertsExactly) {
+  Rng rng(static_cast<uint64_t>(GetParam() + 1));
+  LatLon origin{rng.Uniform(-60.0, 60.0), rng.Uniform(-180.0, 180.0)};
+  LocalProjection proj(origin);
+  for (int i = 0; i < 50; ++i) {
+    LatLon p{origin.lat + rng.Uniform(-0.5, 0.5), origin.lon + rng.Uniform(-0.5, 0.5)};
+    LatLon back = proj.ToLatLon(proj.ToPlane(p));
+    EXPECT_NEAR(back.lat, p.lat, 1e-12);
+    EXPECT_NEAR(back.lon, p.lon, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionRoundTripTest, ::testing::Range(0, 8));
+
+TEST(ProjectionTest, PlaneDistanceApproximatesHaversine) {
+  LatLon origin{40.75, -73.98};
+  LocalProjection proj(origin);
+  LatLon a{40.7580, -73.9855};
+  LatLon b{40.6413, -73.7781};
+  double plane = LocalProjection::DistanceKm(proj.ToPlane(a), proj.ToPlane(b));
+  double sphere = HaversineKm(a, b);
+  EXPECT_NEAR(plane, sphere, 0.05);  // < 0.3% over ~22 km.
+}
+
+TEST(GeoGridTest, CellRoundTrip) {
+  BoundingBox box{40.0, 41.0, -75.0, -74.0};
+  GeoGrid grid(box, 10, 20);
+  EXPECT_EQ(grid.num_cells(), 200u);
+  for (size_t cell : {0u, 57u, 199u}) {
+    LatLon center = grid.CellCenter(cell);
+    EXPECT_EQ(grid.CellOf(center), cell);
+  }
+  // Out-of-box points clamp to border cells.
+  EXPECT_EQ(grid.CellOf({39.0, -76.0}), grid.CellAt(0, 0));
+  EXPECT_EQ(grid.CellOf({42.0, -73.0}), grid.CellAt(9, 19));
+}
+
+TEST(Gaussian2dTest, PdfIntegratesToOne) {
+  Gaussian2d g({1.0, -2.0}, 1.5, 0.8, 0.6);
+  double integral = 0.0;
+  double step = 0.05;
+  for (double x = -7.0; x <= 9.0; x += step) {
+    for (double y = -8.0; y <= 4.0; y += step) {
+      integral += g.Pdf({x, y}) * step * step;
+    }
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(Gaussian2dTest, SampleMomentsMatch) {
+  Gaussian2d g({2.0, 3.0}, 1.0, 2.0, 0.5);
+  Rng rng(42);
+  std::vector<PlanePoint> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(g.Sample(&rng));
+  Gaussian2d fit = Gaussian2d::Fit(samples);
+  EXPECT_NEAR(fit.mean().x, 2.0, 0.05);
+  EXPECT_NEAR(fit.mean().y, 3.0, 0.05);
+  EXPECT_NEAR(fit.sigma_x(), 1.0, 0.05);
+  EXPECT_NEAR(fit.sigma_y(), 2.0, 0.05);
+  EXPECT_NEAR(fit.rho(), 0.5, 0.05);
+}
+
+TEST(Gaussian2dTest, MahalanobisAndEllipse) {
+  Gaussian2d g({0.0, 0.0}, 2.0, 1.0, 0.0);
+  EXPECT_NEAR(g.MahalanobisSq({2.0, 0.0}), 1.0, 1e-12);
+  EXPECT_NEAR(g.MahalanobisSq({0.0, 1.0}), 1.0, 1e-12);
+  ConfidenceEllipse e = g.EllipseAt(0.75);
+  double chi_sq = -2.0 * std::log(0.25);
+  EXPECT_NEAR(e.semi_major, 2.0 * std::sqrt(chi_sq), 1e-9);
+  EXPECT_NEAR(e.semi_minor, 1.0 * std::sqrt(chi_sq), 1e-9);
+  EXPECT_NEAR(e.angle_rad, 0.0, 1e-9);
+}
+
+TEST(Gaussian2dTest, EllipseCoverageMatchesConfidence) {
+  Gaussian2d g({1.0, 2.0}, 1.2, 0.7, -0.4);
+  Rng rng(7);
+  for (double confidence : {0.75, 0.80, 0.85}) {
+    double chi_sq = -2.0 * std::log(1.0 - confidence);
+    int inside = 0;
+    const int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) {
+      if (g.MahalanobisSq(g.Sample(&rng)) <= chi_sq) ++inside;
+    }
+    EXPECT_NEAR(static_cast<double>(inside) / kSamples, confidence, 0.01);
+  }
+}
+
+TEST(MixtureTest, WeightsNormalized) {
+  GaussianMixture2d mix({Gaussian2d::Isotropic({0, 0}, 1.0),
+                         Gaussian2d::Isotropic({5, 5}, 1.0)},
+                        {2.0, 6.0});
+  EXPECT_NEAR(mix.weight(0), 0.25, 1e-12);
+  EXPECT_NEAR(mix.weight(1), 0.75, 1e-12);
+}
+
+TEST(MixtureTest, ModeOfSingleGaussianIsMean) {
+  GaussianMixture2d mix({Gaussian2d({3.0, -1.0}, 1.5, 0.5, 0.3)}, {1.0});
+  PlanePoint mode = mix.FindMode();
+  EXPECT_NEAR(mode.x, 3.0, 1e-6);
+  EXPECT_NEAR(mode.y, -1.0, 1e-6);
+}
+
+TEST(MixtureTest, ModePicksDominantComponent) {
+  // Well-separated bimodal mixture: the mode is the heavier component's mean.
+  GaussianMixture2d mix({Gaussian2d::Isotropic({0, 0}, 1.0),
+                         Gaussian2d::Isotropic({20, 0}, 1.0)},
+                        {0.3, 0.7});
+  PlanePoint mode = mix.FindMode();
+  EXPECT_NEAR(mode.x, 20.0, 1e-3);
+  EXPECT_NEAR(mode.y, 0.0, 1e-3);
+}
+
+TEST(MixtureTest, ModeBeatsMeanOnBimodal) {
+  // The mean point of a symmetric bimodal mixture sits in the density
+  // valley; the mode must not (this is Observation O1's payoff).
+  GaussianMixture2d mix({Gaussian2d::Isotropic({-10, 0}, 1.0),
+                         Gaussian2d::Isotropic({10, 0}, 1.0)},
+                        {0.5, 0.5});
+  PlanePoint mode = mix.FindMode();
+  PlanePoint mean = mix.MeanPoint();
+  EXPECT_NEAR(std::fabs(mode.x), 10.0, 1e-2);
+  EXPECT_NEAR(mean.x, 0.0, 1e-12);
+  EXPECT_GT(mix.Pdf(mode), 100.0 * mix.Pdf(mean));
+}
+
+TEST(MixtureTest, SampleFollowsWeights) {
+  GaussianMixture2d mix({Gaussian2d::Isotropic({-50, 0}, 0.5),
+                         Gaussian2d::Isotropic({50, 0}, 0.5)},
+                        {0.2, 0.8});
+  Rng rng(9);
+  int right = 0;
+  const int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (mix.Sample(&rng).x > 0) ++right;
+  }
+  EXPECT_NEAR(static_cast<double>(right) / kSamples, 0.8, 0.02);
+}
+
+TEST(KdeTest, DensityPeaksAtData) {
+  Kde2d kde({{0, 0}, {0.1, 0.0}, {-0.1, 0.0}}, 0.5);
+  EXPECT_GT(kde.Density({0, 0}), kde.Density({3, 0}));
+  EXPECT_NEAR(kde.LogDensity({1.0, 1.0}), std::log(kde.Density({1.0, 1.0})), 1e-9);
+}
+
+TEST(KdeTest, IntegratesToOne) {
+  Kde2d kde({{0, 0}, {2, 1}}, 0.8);
+  double integral = 0.0;
+  double step = 0.1;
+  for (double x = -6.0; x <= 8.0; x += step) {
+    for (double y = -6.0; y <= 7.0; y += step) {
+      integral += kde.Density({x, y}) * step * step;
+    }
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(KdeTest, RuleOfThumbBandwidth) {
+  std::vector<PlanePoint> tight = {{0, 0}, {0.1, 0.1}, {-0.1, 0.0}, {0.0, -0.1}};
+  std::vector<PlanePoint> wide = {{0, 0}, {10, 10}, {-10, 0}, {0, -10}};
+  double h_tight = Kde2d::RuleOfThumbBandwidth(tight, 0.01);
+  double h_wide = Kde2d::RuleOfThumbBandwidth(wide, 0.01);
+  EXPECT_LT(h_tight, h_wide);
+  EXPECT_GE(h_tight, 0.01);
+}
+
+}  // namespace
+}  // namespace edge::geo

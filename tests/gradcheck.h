@@ -1,0 +1,50 @@
+#ifndef EDGE_TESTS_GRADCHECK_H_
+#define EDGE_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edge/nn/autodiff.h"
+
+namespace edge::nn::testing {
+
+/// Verifies autodiff gradients against central finite differences. The
+/// builder must construct a fresh tape from the *current* values of `params`
+/// and return the scalar (1 x 1) loss node. Every element of every param is
+/// perturbed by +-eps; failures report the offending coordinate.
+inline void ExpectGradientsMatch(const std::vector<Var>& params,
+                                 const std::function<Var()>& build_loss,
+                                 double eps = 1e-5, double tol = 1e-5) {
+  Var loss = build_loss();
+  Backward(loss);
+  // Snapshot analytic gradients (Backward on later tapes overwrites them).
+  std::vector<Matrix> analytic;
+  analytic.reserve(params.size());
+  for (const Var& p : params) analytic.push_back(p->grad);
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Matrix& value = params[pi]->value;
+    for (size_t r = 0; r < value.rows(); ++r) {
+      for (size_t c = 0; c < value.cols(); ++c) {
+        double saved = value.At(r, c);
+        value.At(r, c) = saved + eps;
+        double up = build_loss()->value.At(0, 0);
+        value.At(r, c) = saved - eps;
+        double down = build_loss()->value.At(0, 0);
+        value.At(r, c) = saved;
+        double numeric = (up - down) / (2.0 * eps);
+        double exact = analytic[pi].At(r, c);
+        double scale = std::max({1.0, std::fabs(numeric), std::fabs(exact)});
+        EXPECT_NEAR(numeric, exact, tol * scale)
+            << "param " << pi << " entry (" << r << ", " << c << ")";
+      }
+    }
+  }
+}
+
+}  // namespace edge::nn::testing
+
+#endif  // EDGE_TESTS_GRADCHECK_H_

@@ -1,0 +1,166 @@
+/// Full-pipeline integration tests: generation -> NER -> entity2vec -> graph
+/// -> EDGE -> metrics, end to end on a miniature world, plus determinism and
+/// failure-injection checks that cut across modules.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edge/baselines/lockde.h"
+#include "edge/core/edge_model.h"
+#include "edge/data/generator.h"
+#include "edge/data/worlds.h"
+#include "edge/eval/heatmap.h"
+#include "edge/common/math_util.h"
+#include "edge/eval/metrics.h"
+
+namespace edge {
+namespace {
+
+data::WorldPresetOptions TinyWorld() {
+  data::WorldPresetOptions options;
+  options.num_fine_pois = 30;
+  options.num_coarse_areas = 4;
+  options.num_chains = 4;
+  options.num_topics = 16;
+  return options;
+}
+
+core::EdgeConfig TinyConfig() {
+  core::EdgeConfig config;
+  config.auto_dim = false;
+  config.embedding_dim = 32;
+  config.gcn_hidden = {32, 32};
+  config.epochs = 40;
+  config.entity2vec.epochs = 25;
+  return config;
+}
+
+TEST(IntegrationTest, EndToEndDeterministicAcrossRuns) {
+  auto run_once = [] {
+    data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
+    data::Dataset raw = generator.Generate(1200);
+    data::Pipeline pipeline(generator.BuildGazetteer());
+    data::ProcessedDataset dataset = pipeline.Process(raw);
+    core::EdgeModel model(TinyConfig());
+    model.Fit(dataset);
+    eval::MetricResults r = eval::EvaluateGeolocator(&model, dataset);
+    return r;
+  };
+  eval::MetricResults a = run_once();
+  eval::MetricResults b = run_once();
+  EXPECT_DOUBLE_EQ(a.mean_km, b.mean_km);
+  EXPECT_DOUBLE_EQ(a.median_km, b.median_km);
+  EXPECT_DOUBLE_EQ(a.at_3km, b.at_3km);
+}
+
+TEST(IntegrationTest, NerNoiseDegradesGracefully) {
+  data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
+  data::Dataset raw = generator.Generate(1500);
+  auto evaluate_with_miss_rate = [&](double miss_rate) {
+    text::NerOptions ner_options;
+    ner_options.miss_rate = miss_rate;
+    data::Pipeline pipeline(generator.BuildGazetteer(), ner_options);
+    data::ProcessedDataset dataset = pipeline.Process(raw);
+    core::EdgeModel model(TinyConfig());
+    model.Fit(dataset);
+    return eval::EvaluateGeolocator(&model, dataset);
+  };
+  eval::MetricResults clean = evaluate_with_miss_rate(0.0);
+  eval::MetricResults noisy = evaluate_with_miss_rate(0.35);
+  // The pipeline must survive a much weaker recognizer and still produce
+  // finite, in-region errors; quality may drop but not explode.
+  EXPECT_TRUE(std::isfinite(noisy.mean_km));
+  EXPECT_LT(noisy.mean_km, 60.0);
+  EXPECT_GT(noisy.predicted, 0u);
+  EXPECT_LE(clean.median_km, noisy.median_km + 5.0);
+}
+
+TEST(IntegrationTest, EdgeBeatsLocKdeOnBridgedTweets) {
+  // Observation O2's payoff, isolated: tweets that mention ONLY non-geo
+  // (topic) entities still carry location through the co-occurrence graph.
+  // Compare EDGE and LocKDE on exactly that slice.
+  data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
+  data::Dataset raw = generator.Generate(2500);
+  data::Pipeline pipeline(generator.BuildGazetteer());
+  data::ProcessedDataset dataset = pipeline.Process(raw);
+
+  core::EdgeModel edge_model(TinyConfig());
+  edge_model.Fit(dataset);
+  baselines::LocKde lockde;
+  lockde.Fit(dataset);
+
+  auto slice_median = [&dataset](eval::Geolocator* method) {
+    std::vector<double> errors;
+    for (const data::ProcessedTweet& t : dataset.test) {
+      bool any_poi_category = false;
+      for (const text::Entity& e : t.entities) {
+        if (e.category != text::EntityCategory::kOther &&
+            e.category != text::EntityCategory::kPerson) {
+          any_poi_category = true;
+        }
+      }
+      if (any_poi_category) continue;  // Keep only topic-entity-only tweets.
+      geo::LatLon p;
+      if (method->PredictPoint(t, &p)) {
+        errors.push_back(geo::HaversineKm(t.location, p));
+      }
+    }
+    return errors.size() < 10 ? -1.0 : Median(errors);
+  };
+  double edge_median = slice_median(&edge_model);
+  double lockde_median = slice_median(&lockde);
+  ASSERT_GT(edge_median, 0.0);
+  ASSERT_GT(lockde_median, 0.0);
+  // EDGE should not be worse on its home turf (allow 20% slack: this is a
+  // miniature world).
+  EXPECT_LT(edge_median, 1.2 * lockde_median)
+      << "EDGE " << edge_median << " vs LocKDE " << lockde_median;
+}
+
+TEST(IntegrationTest, HeatmapPipelineProducesRenderableOutput) {
+  data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
+  data::Dataset raw = generator.Generate(800);
+  std::vector<geo::LatLon> points;
+  for (const data::Tweet& t : raw.tweets) points.push_back(t.location);
+  std::string map = eval::AsciiHeatmap(points, raw.region, 40, 16);
+  // 16 rows, each 40 cells + 2 borders + newline.
+  EXPECT_EQ(map.size(), 16u * 43u);
+  EXPECT_NE(map.find('@'), std::string::npos);  // Some cell is densest.
+  std::string top = eval::TopCells(points, raw.region, 40, 16, 3);
+  EXPECT_FALSE(top.empty());
+}
+
+TEST(IntegrationTest, MixturePredictionCoversTrueLocation) {
+  // Calibration smoke test: the true location should fall inside the 95%
+  // highest-mass region reasonably often. We approximate with the component
+  // Mahalanobis test at the 95% level for the nearest component.
+  data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
+  data::Dataset raw = generator.Generate(2000);
+  data::Pipeline pipeline(generator.BuildGazetteer());
+  data::ProcessedDataset dataset = pipeline.Process(raw);
+  core::EdgeModel model(TinyConfig());
+  model.Fit(dataset);
+
+  double chi95 = -2.0 * std::log(0.05);
+  size_t covered = 0;
+  size_t total = 0;
+  for (const data::ProcessedTweet& t : dataset.test) {
+    core::EdgePrediction prediction = model.Predict(t);
+    geo::PlanePoint truth = model.projection().ToPlane(t.location);
+    ++total;
+    for (size_t m = 0; m < prediction.mixture.num_components(); ++m) {
+      if (prediction.mixture.component(m).MahalanobisSq(truth) <= chi95) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 100u);
+  // Not a strict calibration bound, but a collapsed or wildly misplaced
+  // mixture would fail this badly.
+  EXPECT_GT(static_cast<double>(covered) / static_cast<double>(total), 0.6);
+}
+
+}  // namespace
+}  // namespace edge

@@ -1,0 +1,111 @@
+#include "edge/data/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "edge/data/generator.h"
+#include "edge/data/worlds.h"
+
+namespace edge::data {
+namespace {
+
+Dataset MakeSmallDataset() {
+  WorldPresetOptions options;
+  options.num_fine_pois = 20;
+  options.num_coarse_areas = 3;
+  options.num_chains = 3;
+  options.num_topics = 10;
+  TweetGenerator generator(MakeNymaWorld(options));
+  return generator.Generate(150);
+}
+
+TEST(TweetsTsvTest, RoundTripPreservesEverything) {
+  Dataset original = MakeSmallDataset();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteTweetsTsv(original, &stream).ok());
+  Result<Dataset> restored = ReadTweetsTsv(&stream);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const Dataset& r = restored.value();
+  EXPECT_EQ(r.name, original.name);
+  EXPECT_EQ(r.start_date, original.start_date);
+  EXPECT_DOUBLE_EQ(r.timeline_days, original.timeline_days);
+  EXPECT_DOUBLE_EQ(r.region.min_lat, original.region.min_lat);
+  EXPECT_DOUBLE_EQ(r.region.max_lon, original.region.max_lon);
+  ASSERT_EQ(r.tweets.size(), original.tweets.size());
+  for (size_t i = 0; i < r.tweets.size(); ++i) {
+    EXPECT_EQ(r.tweets[i].id, original.tweets[i].id);
+    EXPECT_EQ(r.tweets[i].text, original.tweets[i].text);
+    EXPECT_NEAR(r.tweets[i].location.lat, original.tweets[i].location.lat, 1e-9);
+    EXPECT_NEAR(r.tweets[i].location.lon, original.tweets[i].location.lon, 1e-9);
+    EXPECT_NEAR(r.tweets[i].time_days, original.tweets[i].time_days, 1e-9);
+  }
+}
+
+TEST(TweetsTsvTest, SanitizesTabsAndNewlinesInText) {
+  Dataset ds;
+  ds.name = "t";
+  ds.start_date = "2020-01-01";
+  ds.timeline_days = 1.0;
+  ds.region = {40.0, 41.0, -75.0, -74.0};
+  Tweet tweet;
+  tweet.id = 1;
+  tweet.text = "tab\there\nand newline";
+  tweet.location = {40.5, -74.5};
+  ds.tweets.push_back(tweet);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteTweetsTsv(ds, &stream).ok());
+  Result<Dataset> restored = ReadTweetsTsv(&stream);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().tweets[0].text, "tab here and newline");
+}
+
+TEST(TweetsTsvTest, RejectsGarbage) {
+  std::stringstream no_header("1\t0.5\t40.0\t-74.0\thello\n");
+  EXPECT_FALSE(ReadTweetsTsv(&no_header).ok());
+
+  std::stringstream bad_fields(
+      "#edge-tweets v1\tn\td\t1\t40\t41\t-75\t-74\n1\t0.5\thello\n");
+  EXPECT_FALSE(ReadTweetsTsv(&bad_fields).ok());
+
+  std::stringstream bad_number(
+      "#edge-tweets v1\tn\td\t1\t40\t41\t-75\t-74\nx\t0.5\t40\t-74\thi\n");
+  EXPECT_FALSE(ReadTweetsTsv(&bad_number).ok());
+}
+
+TEST(TweetsTsvTest, ResortsChronologically) {
+  std::stringstream stream(
+      "#edge-tweets v1\tn\td\t2\t40\t41\t-75\t-74\n"
+      "2\t1.5\t40.2\t-74.2\tlater tweet\n"
+      "1\t0.5\t40.1\t-74.1\tearlier tweet\n");
+  Result<Dataset> ds = ReadTweetsTsv(&stream);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds.value().tweets.size(), 2u);
+  EXPECT_EQ(ds.value().tweets[0].text, "earlier tweet");
+}
+
+TEST(GazetteerTsvTest, ParsesCategoriesAndAliases) {
+  std::stringstream stream(
+      "# comment\n"
+      "presbyterian_hospital\tfacility\tpresbyterian hospital\n"
+      "presbyterian_hospital\tfacility\tpresby\n"
+      "brooklyn\tgeo-location\tbrooklyn\n");
+  Result<text::Gazetteer> gazetteer = ReadGazetteerTsv(&stream);
+  ASSERT_TRUE(gazetteer.ok()) << gazetteer.status().ToString();
+  text::TweetNer ner(gazetteer.value());
+  auto a = ner.Extract("stuck at #presby in Brooklyn");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].name, "presbyterian_hospital");
+  EXPECT_EQ(a[1].name, "brooklyn");
+  EXPECT_EQ(a[1].category, text::EntityCategory::kGeoLocation);
+}
+
+TEST(GazetteerTsvTest, RejectsUnknownCategoryAndEmpty) {
+  std::stringstream bad("x\tnot-a-category\tx\n");
+  EXPECT_FALSE(ReadGazetteerTsv(&bad).ok());
+  std::stringstream empty("# nothing\n");
+  EXPECT_FALSE(ReadGazetteerTsv(&empty).ok());
+}
+
+}  // namespace
+}  // namespace edge::data

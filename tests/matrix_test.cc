@@ -1,0 +1,121 @@
+#include "edge/nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace edge::nn {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m.At(r, c), 0.0);
+  }
+  m.Fill(2.5);
+  EXPECT_EQ(m.At(1, 2), 2.5);
+  EXPECT_EQ(m.Sum(), 15.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_EQ(id.At(0, 0), 1.0);
+  EXPECT_EQ(id.At(0, 1), 0.0);
+  EXPECT_EQ(id.Sum(), 3.0);
+}
+
+TEST(MatrixTest, FromRowsAndArithmetic) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix sum = a.Add(b);
+  EXPECT_EQ(sum.At(0, 0), 6.0);
+  EXPECT_EQ(sum.At(1, 1), 12.0);
+  Matrix diff = b.Sub(a);
+  EXPECT_EQ(diff.At(0, 0), 4.0);
+  Matrix scaled = a.Scaled(2.0);
+  EXPECT_EQ(scaled.At(1, 0), 6.0);
+  Matrix had = a.Hadamard(b);
+  EXPECT_EQ(had.At(0, 1), 12.0);
+}
+
+TEST(MatrixTest, AxpyAndNorms) {
+  Matrix a = Matrix::FromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+  Matrix b = Matrix::FromRows({{1, 1}});
+  a.Axpy(2.0, b);
+  EXPECT_EQ(a.At(0, 0), 5.0);
+  EXPECT_EQ(a.At(0, 1), 6.0);
+}
+
+TEST(MatrixTest, MatMulHandComputed) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix b = Matrix::FromRows({{7, 8}, {9, 10}, {11, 12}});
+  Matrix c = MatMul(a, b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c.At(0, 0), 58.0);
+  EXPECT_EQ(c.At(0, 1), 64.0);
+  EXPECT_EQ(c.At(1, 0), 139.0);
+  EXPECT_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposeVariantsAgree) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});  // 3x2
+  Matrix b = Matrix::FromRows({{1, 0, 2}, {0, 1, 3}, {2, 2, 2}});  // 3x3
+  Matrix expected = MatMul(a.Transposed(), b);
+  Matrix actual = MatMulTransposeA(a, b);
+  EXPECT_TRUE(AllClose(expected, actual, 1e-12));
+
+  Matrix c = Matrix::FromRows({{1, 2}, {3, 4}});          // 2x2
+  Matrix d = Matrix::FromRows({{5, 6}, {7, 8}, {9, 1}});  // 3x2
+  Matrix expected2 = MatMul(c, d.Transposed());
+  Matrix actual2 = MatMulTransposeB(c, d);
+  EXPECT_TRUE(AllClose(expected2, actual2, 1e-12));
+}
+
+TEST(MatrixTest, RowExtraction) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix row = a.Row(1);
+  EXPECT_EQ(row.rows(), 1u);
+  EXPECT_EQ(row.At(0, 0), 3.0);
+  EXPECT_EQ(row.At(0, 1), 4.0);
+}
+
+TEST(MatrixTest, AllCloseShapeMismatch) {
+  EXPECT_FALSE(AllClose(Matrix(1, 2), Matrix(2, 1), 1.0));
+  EXPECT_TRUE(AllClose(Matrix(2, 2, 1.0), Matrix(2, 2, 1.0), 0.0));
+}
+
+/// Property sweep: (A B)^T == B^T A^T over random shapes.
+class MatMulPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulPropertyTest, TransposeOfProduct) {
+  int seed = GetParam();
+  // Small deterministic pseudo-random fill.
+  auto fill = [seed](size_t rows, size_t cols, int salt) {
+    Matrix m(rows, cols);
+    uint64_t state = static_cast<uint64_t>(seed * 2654435761u + salt);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        m.At(r, c) = static_cast<double>((state >> 33) % 1000) / 100.0 - 5.0;
+      }
+    }
+    return m;
+  };
+  size_t n = 2 + static_cast<size_t>(seed % 4);
+  size_t k = 3 + static_cast<size_t>(seed % 3);
+  size_t p = 2 + static_cast<size_t>(seed % 5);
+  Matrix a = fill(n, k, 1);
+  Matrix b = fill(k, p, 2);
+  Matrix lhs = MatMul(a, b).Transposed();
+  Matrix rhs = MatMul(b.Transposed(), a.Transposed());
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace edge::nn

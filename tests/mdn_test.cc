@@ -1,0 +1,202 @@
+#include "edge/nn/mdn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edge/common/math_util.h"
+#include "edge/common/rng.h"
+#include "gradcheck.h"
+
+namespace edge::nn {
+namespace {
+
+using testing::ExpectGradientsMatch;
+
+Matrix RandomTheta(size_t batch, const MdnOptions& options, Rng* rng) {
+  Matrix theta(batch, 6 * options.num_components);
+  size_t mc = options.num_components;
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t m = 0; m < mc; ++m) {
+      theta.At(b, m) = rng->Uniform(-5.0, 5.0);           // mu_x
+      theta.At(b, mc + m) = rng->Uniform(-5.0, 5.0);      // mu_y
+      theta.At(b, 2 * mc + m) = rng->Uniform(0.3, 2.0);   // sigma_x raw
+      theta.At(b, 3 * mc + m) = rng->Uniform(0.3, 2.0);   // sigma_y raw
+      theta.At(b, 4 * mc + m) = rng->Uniform(0.2, 1.5) * (rng->Bernoulli(0.5) ? 1 : -1);
+      theta.At(b, 5 * mc + m) = rng->Uniform(-1.0, 1.0);  // pi raw
+    }
+  }
+  return theta;
+}
+
+TEST(MdnActivationTest, RespectsParameterRanges) {
+  MdnOptions options;
+  options.num_components = 3;
+  Rng rng(5);
+  Matrix theta = RandomTheta(4, options, &rng);
+  for (const MdnMixture& mix : ActivateMdn(theta, options)) {
+    double weight_sum = 0.0;
+    for (size_t m = 0; m < mix.num_components(); ++m) {
+      EXPECT_GT(mix.sigma_x[m], 0.0);
+      EXPECT_GT(mix.sigma_y[m], 0.0);
+      EXPECT_LT(std::fabs(mix.rho[m]), 1.0);
+      EXPECT_GT(mix.weight[m], 0.0);
+      weight_sum += mix.weight[m];
+    }
+    EXPECT_NEAR(weight_sum, 1.0, 1e-12);  // Eq. 12.
+  }
+}
+
+TEST(MdnActivationTest, SoftplusAndSoftsignApplied) {
+  MdnOptions options;
+  options.num_components = 1;
+  options.sigma_min = 0.0;
+  double theta[6] = {1.0, 2.0, 0.0, 0.0, 1.0, 0.5};
+  MdnMixture mix = ActivateMdnRow(theta, options);
+  EXPECT_DOUBLE_EQ(mix.mean_x[0], 1.0);
+  EXPECT_DOUBLE_EQ(mix.mean_y[0], 2.0);
+  EXPECT_NEAR(mix.sigma_x[0], std::log(2.0), 1e-12);  // softplus(0) = ln 2.
+  EXPECT_NEAR(mix.rho[0], options.rho_max * 0.5, 1e-12);  // softsign(1) = 1/2.
+  EXPECT_DOUBLE_EQ(mix.weight[0], 1.0);
+}
+
+TEST(MdnMixtureTest, PdfIntegratesToOneOnGrid) {
+  MdnOptions options;
+  options.num_components = 2;
+  double theta[12] = {0.0, 1.0,   // mu_x
+                      0.0, -1.0,  // mu_y
+                      0.2, 0.4,   // sigma raw
+                      0.3, 0.2,   //
+                      0.5, -0.8,  // rho raw
+                      0.3, 0.9};  // pi raw
+  MdnMixture mix = ActivateMdnRow(theta, options);
+  // Riemann sum over a wide box.
+  double integral = 0.0;
+  double step = 0.05;
+  for (double x = -8.0; x <= 9.0; x += step) {
+    for (double y = -9.0; y <= 8.0; y += step) {
+      integral += mix.Pdf(x, y) * step * step;
+    }
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(MdnMixtureTest, LogPdfMatchesPdf) {
+  MdnOptions options;
+  options.num_components = 2;
+  Rng rng(11);
+  Matrix theta = RandomTheta(1, options, &rng);
+  MdnMixture mix = ActivateMdnRow(theta.row_data(0), options);
+  double lp = mix.LogPdf(0.5, -0.25);
+  EXPECT_NEAR(std::exp(lp), mix.Pdf(0.5, -0.25), 1e-12);
+}
+
+TEST(MdnLossTest, MatchesHandComputedNll) {
+  MdnOptions options;
+  options.num_components = 1;
+  options.sigma_min = 0.0;
+  // One standard-normal-ish component: sigma = softplus(s) with s chosen so
+  // sigma = 1; rho raw = 0 -> rho = 0; single component -> weight 1.
+  double s_raw = SoftplusInverse(1.0);
+  Matrix theta_values(1, 6);
+  theta_values.At(0, 0) = 0.0;
+  theta_values.At(0, 1) = 0.0;
+  theta_values.At(0, 2) = s_raw;
+  theta_values.At(0, 3) = s_raw;
+  theta_values.At(0, 4) = 0.0;
+  theta_values.At(0, 5) = 0.0;
+  Matrix target(1, 2);
+  target.At(0, 0) = 1.0;
+  target.At(0, 1) = -2.0;
+  Var theta = Param(theta_values);
+  Var loss = BivariateMdnLoss(theta, target, options);
+  // -log N((1,-2); 0, I) = log(2 pi) + (1 + 4) / 2.
+  EXPECT_NEAR(loss->value.At(0, 0), std::log(2.0 * kPi) + 2.5, 1e-12);
+}
+
+TEST(MdnLossTest, LowerForCloserTargets) {
+  MdnOptions options;
+  options.num_components = 2;
+  Rng rng(3);
+  Matrix theta_values = RandomTheta(1, options, &rng);
+  MdnMixture mix = ActivateMdnRow(theta_values.row_data(0), options);
+  Matrix near_target(1, 2);
+  near_target.At(0, 0) = mix.mean_x[0];
+  near_target.At(0, 1) = mix.mean_y[0];
+  Matrix far_target(1, 2);
+  far_target.At(0, 0) = mix.mean_x[0] + 50.0;
+  far_target.At(0, 1) = mix.mean_y[0] + 50.0;
+  Var theta = Param(theta_values);
+  double near_loss = BivariateMdnLoss(theta, near_target, options)->value.At(0, 0);
+  double far_loss = BivariateMdnLoss(theta, far_target, options)->value.At(0, 0);
+  EXPECT_LT(near_loss, far_loss);
+}
+
+class MdnGradcheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MdnGradcheckTest, LossGradients) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 104729 + 7));
+  MdnOptions options;
+  options.num_components = 1 + static_cast<size_t>(GetParam() % 4);
+  size_t batch = 1 + static_cast<size_t>(GetParam() % 3);
+  Var theta = Param(RandomTheta(batch, options, &rng));
+  Matrix targets(batch, 2);
+  for (size_t b = 0; b < batch; ++b) {
+    targets.At(b, 0) = rng.Uniform(-4.0, 4.0);
+    targets.At(b, 1) = rng.Uniform(-4.0, 4.0);
+  }
+  ExpectGradientsMatch({theta},
+                       [&] { return BivariateMdnLoss(theta, targets, options); },
+                       1e-6, 1e-5);
+}
+
+TEST_P(MdnGradcheckTest, LossGradientsThroughUpstreamLayer) {
+  // Gradients must flow through a dense layer feeding theta.
+  Rng rng(static_cast<uint64_t>(GetParam() * 31 + 5));
+  MdnOptions options;
+  options.num_components = 2;
+  size_t batch = 2;
+  size_t hidden = 3;
+  Matrix z_values(batch, hidden);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t h = 0; h < hidden; ++h) z_values.At(b, h) = rng.Uniform(-1.0, 1.0);
+  }
+  Var z = Constant(z_values);
+  Var w = Param(RandomTheta(hidden, options, &rng));  // hidden x 6M reuse helper.
+  Var bias = Param(RandomTheta(1, options, &rng));
+  Matrix targets(batch, 2);
+  for (size_t b = 0; b < batch; ++b) {
+    targets.At(b, 0) = rng.Uniform(-2.0, 2.0);
+    targets.At(b, 1) = rng.Uniform(-2.0, 2.0);
+  }
+  ExpectGradientsMatch(
+      {w, bias},
+      [&] {
+        Var theta = AddRowBroadcast(MatMul(z, w), bias);
+        return BivariateMdnLoss(theta, targets, options);
+      },
+      1e-6, 1e-5);
+}
+
+TEST_P(MdnGradcheckTest, FixedComponentMixtureLossGradients) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 17 + 3));
+  size_t batch = 2 + static_cast<size_t>(GetParam() % 2);
+  size_t m_count = 3 + static_cast<size_t>(GetParam() % 3);
+  Matrix logits_values(batch, m_count);
+  Matrix logdens(batch, m_count);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t m = 0; m < m_count; ++m) {
+      logits_values.At(b, m) = rng.Uniform(-1.5, 1.5);
+      logdens.At(b, m) = rng.Uniform(-30.0, 0.0);
+    }
+  }
+  Var logits = Param(logits_values);
+  ExpectGradientsMatch({logits},
+                       [&] { return FixedComponentMixtureLoss(logits, logdens); },
+                       1e-6, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MdnGradcheckTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace edge::nn

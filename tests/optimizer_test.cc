@@ -1,0 +1,82 @@
+#include "edge/nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edge/nn/autodiff.h"
+
+namespace edge::nn {
+namespace {
+
+/// loss = sum((x - target)^2), built per step.
+Var QuadraticLoss(const Var& x, const Matrix& target) {
+  Var diff = Sub(x, Constant(target));
+  Var sq = SumAll(MatMul(diff, Transpose(diff)));
+  return sq;
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  Var x = Param(Matrix::FromRows({{5.0, -3.0}}));
+  Matrix target = Matrix::FromRows({{1.0, 2.0}});
+  AdamOptions options;
+  options.learning_rate = 0.1;
+  options.weight_decay = 0.0;
+  Adam adam({x}, options);
+  for (int step = 0; step < 300; ++step) {
+    Var loss = QuadraticLoss(x, target);
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_NEAR(x->value.At(0, 0), 1.0, 1e-3);
+  EXPECT_NEAR(x->value.At(0, 1), 2.0, 1e-3);
+  EXPECT_EQ(adam.step_count(), 300);
+}
+
+TEST(AdamTest, WeightDecayShrinksSolution) {
+  Matrix target = Matrix::FromRows({{4.0}});
+  auto solve = [&target](double weight_decay) {
+    Var x = Param(Matrix::FromRows({{0.0}}));
+    AdamOptions options;
+    options.learning_rate = 0.05;
+    options.weight_decay = weight_decay;
+    Adam adam({x}, options);
+    for (int step = 0; step < 600; ++step) {
+      Var loss = QuadraticLoss(x, target);
+      Backward(loss);
+      adam.Step();
+    }
+    return x->value.At(0, 0);
+  };
+  double plain = solve(0.0);
+  double decayed = solve(1.0);
+  EXPECT_NEAR(plain, 4.0, 1e-2);
+  EXPECT_LT(decayed, plain - 0.1);  // L2 pull towards zero.
+}
+
+TEST(SgdTest, MinimizesQuadratic) {
+  Var x = Param(Matrix::FromRows({{-2.0}}));
+  Matrix target = Matrix::FromRows({{3.0}});
+  Sgd sgd({x}, 0.1);
+  for (int step = 0; step < 200; ++step) {
+    Var loss = QuadraticLoss(x, target);
+    Backward(loss);
+    sgd.Step();
+  }
+  EXPECT_NEAR(x->value.At(0, 0), 3.0, 1e-6);
+}
+
+TEST(ClipGradientNormTest, ClipsOnlyWhenAboveThreshold) {
+  Var x = Param(Matrix::FromRows({{3.0, 4.0}}));
+  x->grad = Matrix::FromRows({{3.0, 4.0}});  // Norm 5.
+  double norm = ClipGradientNorm({x}, 10.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_DOUBLE_EQ(x->grad.At(0, 0), 3.0);  // Unchanged.
+
+  norm = ClipGradientNorm({x}, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(x->grad.FrobeniusNorm(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace edge::nn

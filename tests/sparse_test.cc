@@ -1,0 +1,76 @@
+#include "edge/nn/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "edge/common/rng.h"
+#include "edge/nn/layers.h"
+
+namespace edge::nn {
+namespace {
+
+TEST(CsrMatrixTest, FromTripletsSortsAndMergesDuplicates) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 3, {{1, 2, 4.0}, {0, 1, 1.0}, {1, 2, 0.5}, {0, 0, 2.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 3u);  // (1,2) entries merged.
+  Matrix dense = m.ToDense();
+  EXPECT_DOUBLE_EQ(dense.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(dense.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(dense.At(1, 2), 4.5);
+  EXPECT_DOUBLE_EQ(dense.At(1, 0), 0.0);
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix m = CsrMatrix::FromTriplets(3, 3, {});
+  EXPECT_EQ(m.nnz(), 0u);
+  Matrix out = m.Multiply(Matrix(3, 2, 1.0));
+  EXPECT_DOUBLE_EQ(out.Sum(), 0.0);
+}
+
+class CsrPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrPropertyTest, MultiplyMatchesDense) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 101 + 1));
+  size_t rows = 3 + rng.UniformInt(6);
+  size_t cols = 3 + rng.UniformInt(6);
+  size_t nnz = 1 + rng.UniformInt(rows * cols);
+  std::vector<Triplet> triplets;
+  for (size_t i = 0; i < nnz; ++i) {
+    triplets.push_back({rng.UniformInt(rows), rng.UniformInt(cols),
+                        rng.Uniform(-2.0, 2.0)});
+  }
+  CsrMatrix sparse = CsrMatrix::FromTriplets(rows, cols, triplets);
+  Matrix dense_version = sparse.ToDense();
+  Matrix x(cols, 4);
+  for (size_t r = 0; r < cols; ++r) {
+    for (size_t c = 0; c < 4; ++c) x.At(r, c) = rng.Uniform(-1.0, 1.0);
+  }
+  EXPECT_TRUE(AllClose(sparse.Multiply(x), MatMul(dense_version, x), 1e-12));
+
+  Matrix y(rows, 4);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < 4; ++c) y.At(r, c) = rng.Uniform(-1.0, 1.0);
+  }
+  EXPECT_TRUE(AllClose(sparse.MultiplyTranspose(y),
+                       MatMul(dense_version.Transposed(), y), 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrPropertyTest, ::testing::Range(0, 8));
+
+TEST(DenseLayerTest, ForwardMatchesManualAffine) {
+  Rng rng(5);
+  DenseLayer layer(3, 2, &rng);
+  Matrix x_values = Matrix::FromRows({{1.0, -0.5, 2.0}});
+  Var x = Constant(x_values);
+  Var out = layer.Forward(x);
+  ASSERT_EQ(out->value.rows(), 1u);
+  ASSERT_EQ(out->value.cols(), 2u);
+  Matrix expected = MatMul(x_values, layer.weight()->value);
+  expected.AddInPlace(layer.bias()->value);
+  EXPECT_TRUE(AllClose(out->value, expected, 1e-12));
+  EXPECT_EQ(layer.Params().size(), 2u);
+}
+
+}  // namespace
+}  // namespace edge::nn

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "edge/text/ner.h"
+#include "edge/text/phrase.h"
+#include "edge/text/tokenizer.h"
+#include "edge/text/vocabulary.h"
+
+namespace edge::text {
+namespace {
+
+TEST(TokenizerTest, BasicSplitAndLowercase) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("Hello, World! This is GREAT.");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[4], "great");
+}
+
+TEST(TokenizerTest, KeepsHashtagsAndMentions) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("Watching @PhantomOpera tonight #broadway #nyc!");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "watching");
+  EXPECT_EQ(tokens[1], "@phantomopera");
+  EXPECT_EQ(tokens[3], "#broadway");
+  EXPECT_EQ(tokens[4], "#nyc");
+}
+
+TEST(TokenizerTest, DropsUrls) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("check https://t.co/abc and www.example.com now");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "check");
+  EXPECT_EQ(tokens[1], "and");
+  EXPECT_EQ(tokens[2], "now");
+}
+
+TEST(TokenizerTest, PreservesIntraWordApostrophe) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("New Year's Eve at 'Quoted'");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2], "eve");
+  EXPECT_EQ(tokens[1], "year's");
+  EXPECT_EQ(tokens[4], "quoted");  // Surrounding quotes trimmed.
+}
+
+TEST(TokenizerTest, OptionsDisableSigils) {
+  TokenizerOptions options;
+  options.keep_hashtags = false;
+  options.keep_mentions = false;
+  Tokenizer tokenizer(options);
+  auto tokens = tokenizer.Tokenize("hi @there #tag word");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "hi");
+  EXPECT_EQ(tokens[1], "word");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("!!! ... ???").empty());
+}
+
+TEST(VocabularyTest, AddLookupCounts) {
+  Vocabulary vocab;
+  size_t a = vocab.Add("alpha");
+  size_t b = vocab.Add("beta");
+  EXPECT_EQ(vocab.Add("alpha"), a);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.CountOf(a), 2);
+  EXPECT_EQ(vocab.CountOf(b), 1);
+  EXPECT_EQ(vocab.total_count(), 3);
+  EXPECT_EQ(vocab.Lookup("alpha"), a);
+  EXPECT_EQ(vocab.Lookup("gamma"), Vocabulary::kNotFound);
+  EXPECT_EQ(vocab.TokenOf(b), "beta");
+}
+
+Gazetteer MakeGazetteer() {
+  Gazetteer g;
+  g.AddEntry("majestic theatre", EntityCategory::kFacility);
+  g.AddEntry("broadway", EntityCategory::kGeoLocation);
+  g.AddEntry("times square", EntityCategory::kGeoLocation);
+  g.AddEntry("covid", EntityCategory::kOther);
+  g.AddEntry("new year's eve", EntityCategory::kOther);
+  return g;
+}
+
+TEST(GazetteerTest, LongestMatchWins) {
+  Gazetteer g;
+  g.AddEntry("new york", EntityCategory::kGeoLocation);
+  g.AddEntry("new york public library", EntityCategory::kFacility);
+  std::vector<std::string> tokens = {"new", "york", "public", "library"};
+  EntityCategory category;
+  std::string canonical;
+  EXPECT_EQ(g.MatchAt(tokens, 0, &category, &canonical), 4u);
+  EXPECT_EQ(category, EntityCategory::kFacility);
+  EXPECT_EQ(canonical, "new_york_public_library");
+  std::vector<std::string> tokens2 = {"new", "york", "city"};
+  EXPECT_EQ(g.MatchAt(tokens2, 0, &category, &canonical), 2u);
+  EXPECT_EQ(category, EntityCategory::kGeoLocation);
+  EXPECT_EQ(canonical, "new_york");
+}
+
+TEST(GazetteerTest, AliasLinksToCanonicalEntity) {
+  Gazetteer g;
+  g.AddEntry("presbyterian hospital", EntityCategory::kFacility);
+  g.AddEntry("presby", EntityCategory::kFacility, "presbyterian_hospital");
+  g.AddEntry("nyphospital", EntityCategory::kFacility, "presbyterian_hospital");
+  TweetNer ner(g);
+  auto a = ner.Extract("long shift at Presbyterian Hospital today");
+  auto b = ner.Extract("long shift at #presby today");
+  auto c = ner.Extract("long shift, thanks @nyphospital");
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(a[0].name, "presbyterian_hospital");
+  EXPECT_EQ(b[0].name, a[0].name);  // Entity linking unifies aliases.
+  EXPECT_EQ(c[0].name, a[0].name);
+  EXPECT_EQ(b[0].category, EntityCategory::kFacility);
+}
+
+TEST(TweetNerTest, GazetteerEntitiesWithCategories) {
+  TweetNer ner(MakeGazetteer());
+  auto entities = ner.Extract("Saw a show at the Majestic Theatre on Broadway tonight");
+  ASSERT_EQ(entities.size(), 2u);
+  EXPECT_EQ(entities[0].name, "majestic_theatre");
+  EXPECT_EQ(entities[0].category, EntityCategory::kFacility);
+  EXPECT_EQ(entities[1].name, "broadway");
+  EXPECT_EQ(entities[1].category, EntityCategory::kGeoLocation);
+}
+
+TEST(TweetNerTest, HashtagsAndMentionsPromoted) {
+  TweetNer ner(MakeGazetteer());
+  auto entities = ner.Extract("quarantine life #covid @phantomopera");
+  ASSERT_EQ(entities.size(), 2u);
+  // "#covid" links to the registered "covid" entry (its own canonical form);
+  // "@phantomopera" is unregistered, so the sigiled token is the entity.
+  EXPECT_EQ(entities[0].name, "covid");
+  EXPECT_EQ(entities[0].category, EntityCategory::kOther);  // From gazetteer.
+  EXPECT_EQ(entities[1].name, "@phantomopera");
+}
+
+TEST(TweetNerTest, EntityMentionedTwiceCountsOnce) {
+  TweetNer ner(MakeGazetteer());
+  auto entities = ner.Extract("Broadway Broadway broadway!");
+  ASSERT_EQ(entities.size(), 1u);
+  EXPECT_EQ(entities[0].name, "broadway");
+}
+
+TEST(TweetNerTest, CapitalizedChunking) {
+  TweetNer ner(MakeGazetteer());
+  auto entities = ner.Extract("we met Alex Rivers at the station");
+  ASSERT_EQ(entities.size(), 1u);
+  EXPECT_EQ(entities[0].name, "alex_rivers");
+  EXPECT_EQ(entities[0].category, EntityCategory::kOther);
+}
+
+TEST(TweetNerTest, SentenceInitialSingleCapitalizedWordIgnored) {
+  TweetNer ner(MakeGazetteer());
+  auto entities = ner.Extract("Tonight was fun");
+  EXPECT_TRUE(entities.empty());
+}
+
+TEST(TweetNerTest, MultiWordApostropheEntity) {
+  TweetNer ner(MakeGazetteer());
+  auto entities = ner.Extract("celebrating New Year's Eve at Times Square");
+  ASSERT_EQ(entities.size(), 2u);
+  EXPECT_EQ(entities[0].name, "new_year's_eve");
+  EXPECT_EQ(entities[1].name, "times_square");
+  EXPECT_EQ(entities[1].category, EntityCategory::kGeoLocation);
+}
+
+TEST(TweetNerTest, MissRateDropsDeterministically) {
+  NerOptions drop_all;
+  drop_all.miss_rate = 1.0;
+  TweetNer ner(MakeGazetteer(), drop_all);
+  EXPECT_TRUE(ner.Extract("Majestic Theatre on Broadway").empty());
+
+  NerOptions half;
+  half.miss_rate = 0.5;
+  half.seed = 3;
+  TweetNer ner_half(MakeGazetteer(), half);
+  auto first = ner_half.Extract("Majestic Theatre on Broadway at Times Square");
+  auto second = ner_half.Extract("Majestic Theatre on Broadway at Times Square");
+  ASSERT_EQ(first.size(), second.size());  // Deterministic.
+  for (size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i].name, second[i].name);
+}
+
+TEST(TweetNerTest, EntityCategoryNames) {
+  EXPECT_STREQ(EntityCategoryName(EntityCategory::kGeoLocation), "geo-location");
+  EXPECT_STREQ(EntityCategoryName(EntityCategory::kPerson), "person");
+  EXPECT_STREQ(EntityCategoryName(EntityCategory::kOther), "other");
+}
+
+TEST(PhraseDetectorTest, JoinsFrequentCollocations) {
+  PhraseOptions options;
+  options.threshold = 3.0;
+  options.min_count = 3;
+  options.discount = 1.0;
+  PhraseDetector detector(options);
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.push_back({"went", "to", "times", "square", "today"});
+    corpus.push_back({"the", "times", "square", "lights"});
+    corpus.push_back({"random", "words", "here", "today"});
+    corpus.push_back({"more", "filler", "text", "square"});
+    corpus.push_back({"times", "change", "every", "day"});
+  }
+  detector.Train(corpus);
+  EXPECT_GT(detector.Score("times", "square"), options.threshold);
+  auto joined = detector.Apply({"at", "times", "square", "now"});
+  ASSERT_EQ(joined.size(), 3u);
+  EXPECT_EQ(joined[1], "times_square");
+}
+
+TEST(PhraseDetectorTest, RarePairsNotJoined) {
+  PhraseDetector detector;
+  detector.Train({{"one", "off", "pair"}});
+  EXPECT_EQ(detector.Score("one", "off"), 0.0);
+  auto out = detector.Apply({"one", "off"});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(CanonicalEntityNameTest, JoinsAndLowercases) {
+  EXPECT_EQ(CanonicalEntityName({"Majestic", "Theatre"}, 0, 2), "majestic_theatre");
+  EXPECT_EQ(CanonicalEntityName({"a", "B", "c"}, 1, 2), "b_c");
+}
+
+}  // namespace
+}  // namespace edge::text

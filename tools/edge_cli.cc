@@ -1,0 +1,268 @@
+/// edge_cli — command-line front end for the EDGE library.
+///
+/// Subcommands:
+///   simulate  --world nyma|lama|ny2020 [--tweets N] [--covid-filter]
+///             [--out tweets.tsv]
+///       Generate a synthetic tweet stream and write it as TSV.
+///   train     --tweets tweets.tsv --gazetteer gaz.tsv --model model.edge
+///             [--epochs N] [--components M]
+///       Preprocess (NER + split), train EDGE, report test metrics, save the
+///       inference model.
+///   predict   --model model.edge --gazetteer gaz.tsv --text "..."
+///       Load a saved model, run the NER on the text and print the predicted
+///       mixture, attention weights and Eq. 14 point estimate.
+///
+/// Gazetteer TSV: canonical<TAB>category<TAB>surface (see edge/data/io.h).
+/// For simulated worlds, `simulate` also writes `<out>.gazetteer.tsv`.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "edge/core/edge_model.h"
+#include "edge/data/generator.h"
+#include "edge/data/io.h"
+#include "edge/data/pipeline.h"
+#include "edge/data/worlds.h"
+#include "edge/eval/metrics.h"
+
+namespace {
+
+using namespace edge;
+
+/// Minimal --flag value parser; flags without '--' are rejected.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    // A trailing no-value flag is also an error, except boolean switches
+    // handled by Has() with an explicit "true".
+    if ((argc - 2) % 2 != 0) {
+      const char* last = argv[argc - 1];
+      if (std::strncmp(last, "--", 2) == 0) {
+        values_[last + 2] = "true";
+      } else {
+        std::fprintf(stderr, "dangling argument: %s\n", last);
+        ok_ = false;
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  edge_cli simulate --world nyma|lama|ny2020 [--tweets N]\n"
+               "                    [--covid-filter true] [--out tweets.tsv]\n"
+               "  edge_cli train    --tweets t.tsv --gazetteer g.tsv --model m.edge\n"
+               "                    [--epochs N] [--components M]\n"
+               "  edge_cli predict  --model m.edge --gazetteer g.tsv --text \"...\"\n");
+  return 2;
+}
+
+/// Writes the generator's gazetteer in the io.h TSV format.
+bool WriteWorldGazetteer(const data::WorldConfig& world, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << "# canonical\tcategory\tsurface\n";
+  auto canonical_of = [](const std::string& name) { return data::CanonicalName(name); };
+  for (const data::PoiSpec& poi : world.pois) {
+    std::string canonical = canonical_of(poi.name);
+    out << canonical << "\t" << text::EntityCategoryName(poi.category) << "\t"
+        << poi.name << "\n";
+    for (const std::string& alias : poi.aliases) {
+      std::string bare = (alias[0] == '#' || alias[0] == '@') ? alias.substr(1) : alias;
+      out << canonical << "\t" << text::EntityCategoryName(poi.category) << "\t" << bare
+          << "\n";
+    }
+  }
+  for (const data::TopicSpec& topic : world.topics) {
+    std::string bare = (topic.name[0] == '#' || topic.name[0] == '@')
+                           ? topic.name.substr(1)
+                           : topic.name;
+    out << canonical_of(topic.name) << "\t" << text::EntityCategoryName(topic.category)
+        << "\t" << bare << "\n";
+  }
+  return out.good();
+}
+
+int RunSimulate(const Args& args) {
+  std::string world_name = args.Get("world", "nyma");
+  data::WorldConfig world;
+  if (world_name == "nyma") {
+    world = data::MakeNymaWorld();
+  } else if (world_name == "lama") {
+    world = data::MakeLamaWorld();
+  } else if (world_name == "ny2020") {
+    world = data::MakeNy2020World();
+  } else {
+    std::fprintf(stderr, "unknown world '%s'\n", world_name.c_str());
+    return 2;
+  }
+  size_t tweets = static_cast<size_t>(args.GetInt("tweets", 8000));
+  std::string out_path = args.Get("out", "tweets.tsv");
+
+  data::TweetGenerator generator(world);
+  data::Dataset dataset = args.Has("covid-filter")
+                              ? generator.GenerateWithKeywords(tweets,
+                                                               data::CovidKeywords())
+                              : generator.Generate(tweets);
+  std::ofstream out(out_path);
+  Status status = WriteTweetsTsv(dataset, &out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::string gaz_path = out_path + ".gazetteer.tsv";
+  if (!WriteWorldGazetteer(generator.config(), gaz_path)) {
+    std::fprintf(stderr, "gazetteer write failed: %s\n", gaz_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu tweets to %s and the entity dictionary to %s\n",
+              dataset.tweets.size(), out_path.c_str(), gaz_path.c_str());
+  return 0;
+}
+
+Result<text::Gazetteer> LoadGazetteer(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("cannot open " + path);
+  return data::ReadGazetteerTsv(&in);
+}
+
+int RunTrain(const Args& args) {
+  std::string tweets_path = args.Get("tweets");
+  std::string gaz_path = args.Get("gazetteer");
+  std::string model_path = args.Get("model");
+  if (tweets_path.empty() || gaz_path.empty() || model_path.empty()) return Usage();
+
+  std::ifstream tweets_in(tweets_path);
+  if (!tweets_in.good()) {
+    std::fprintf(stderr, "cannot open %s\n", tweets_path.c_str());
+    return 1;
+  }
+  Result<data::Dataset> dataset = data::ReadTweetsTsv(&tweets_in);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "bad tweets file: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  Result<text::Gazetteer> gazetteer = LoadGazetteer(gaz_path);
+  if (!gazetteer.ok()) {
+    std::fprintf(stderr, "bad gazetteer: %s\n", gazetteer.status().ToString().c_str());
+    return 1;
+  }
+
+  data::Pipeline pipeline(gazetteer.value());
+  data::ProcessedDataset processed = pipeline.Process(dataset.value());
+  std::printf("train %zu / test %zu tweets, %zu entities\n", processed.train.size(),
+              processed.test.size(), processed.stats.train_distinct_entities);
+
+  core::EdgeConfig config;
+  config.epochs = static_cast<int>(args.GetInt("epochs", config.epochs));
+  config.num_components = static_cast<size_t>(
+      args.GetInt("components", static_cast<long>(config.num_components)));
+  core::EdgeModel model(config);
+  model.Fit(processed);
+
+  eval::MetricResults metrics = eval::EvaluateGeolocator(&model, processed);
+  std::printf("test metrics: mean %.2f km, median %.2f km, @3km %.4f, @5km %.4f\n",
+              metrics.mean_km, metrics.median_km, metrics.at_3km, metrics.at_5km);
+
+  std::ofstream model_out(model_path);
+  Status status = model.SaveInference(&model_out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "model save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved inference model to %s\n", model_path.c_str());
+  return 0;
+}
+
+int RunPredict(const Args& args) {
+  std::string model_path = args.Get("model");
+  std::string gaz_path = args.Get("gazetteer");
+  std::string tweet_text = args.Get("text");
+  if (model_path.empty() || gaz_path.empty() || tweet_text.empty()) return Usage();
+
+  std::ifstream model_in(model_path);
+  if (!model_in.good()) {
+    std::fprintf(stderr, "cannot open %s\n", model_path.c_str());
+    return 1;
+  }
+  auto model = core::EdgeModel::LoadInference(&model_in);
+  if (!model.ok()) {
+    std::fprintf(stderr, "bad model: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  Result<text::Gazetteer> gazetteer = LoadGazetteer(gaz_path);
+  if (!gazetteer.ok()) {
+    std::fprintf(stderr, "bad gazetteer: %s\n", gazetteer.status().ToString().c_str());
+    return 1;
+  }
+
+  text::TweetNer ner(gazetteer.value());
+  data::ProcessedTweet tweet;
+  tweet.text = tweet_text;
+  tweet.entities = ner.Extract(tweet_text);
+  std::printf("entities:");
+  for (const text::Entity& e : tweet.entities) {
+    std::printf(" %s(%s)", e.name.c_str(), text::EntityCategoryName(e.category));
+  }
+  std::printf("\n");
+
+  core::EdgePrediction prediction = model.value()->Predict(tweet);
+  if (prediction.used_fallback) {
+    std::printf("note: no known entity; answering the training-set prior\n");
+  }
+  for (const core::EntityAttention& a : prediction.attention) {
+    std::printf("attention %-24s %.4f\n", a.entity.c_str(), a.weight);
+  }
+  const geo::LocalProjection& proj = model.value()->projection();
+  for (size_t m = 0; m < prediction.mixture.num_components(); ++m) {
+    const geo::Gaussian2d& g = prediction.mixture.component(m);
+    geo::LatLon center = proj.ToLatLon(g.mean());
+    std::printf("component %zu: pi=%.4f center=(%.5f, %.5f) sigma=(%.2f, %.2f) km "
+                "rho=%.3f\n",
+                m, prediction.mixture.weight(m), center.lat, center.lon, g.sigma_x(),
+                g.sigma_y(), g.rho());
+  }
+  std::printf("point estimate: (%.5f, %.5f)\n", prediction.point.lat,
+              prediction.point.lon);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args(argc, argv);
+  if (!args.ok()) return Usage();
+  std::string command = argv[1];
+  if (command == "simulate") return RunSimulate(args);
+  if (command == "train") return RunTrain(args);
+  if (command == "predict") return RunPredict(args);
+  return Usage();
+}

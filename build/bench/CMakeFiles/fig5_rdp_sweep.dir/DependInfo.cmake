@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_rdp_sweep.cc" "bench/CMakeFiles/fig5_rdp_sweep.dir/fig5_rdp_sweep.cc.o" "gcc" "bench/CMakeFiles/fig5_rdp_sweep.dir/fig5_rdp_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/core/CMakeFiles/edge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/baselines/CMakeFiles/edge_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/eval/CMakeFiles/edge_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/embedding/CMakeFiles/edge_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/graph/CMakeFiles/edge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/nn/CMakeFiles/edge_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/data/CMakeFiles/edge_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/geo/CMakeFiles/edge_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/text/CMakeFiles/edge_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/common/CMakeFiles/edge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mixture_demo.dir/fig7_mixture_demo.cc.o"
+  "CMakeFiles/fig7_mixture_demo.dir/fig7_mixture_demo.cc.o.d"
+  "fig7_mixture_demo"
+  "fig7_mixture_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mixture_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

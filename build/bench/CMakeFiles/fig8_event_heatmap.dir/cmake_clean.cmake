@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_event_heatmap.dir/fig8_event_heatmap.cc.o"
+  "CMakeFiles/fig8_event_heatmap.dir/fig8_event_heatmap.cc.o.d"
+  "fig8_event_heatmap"
+  "fig8_event_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_event_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_festival.dir/fig9_festival.cc.o"
+  "CMakeFiles/fig9_festival.dir/fig9_festival.cc.o.d"
+  "fig9_festival"
+  "fig9_festival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_festival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_dynamics.dir/event_dynamics.cpp.o"
+  "CMakeFiles/event_dynamics.dir/event_dynamics.cpp.o.d"
+  "event_dynamics"
+  "event_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/festival_tracking.dir/festival_tracking.cpp.o"
+  "CMakeFiles/festival_tracking.dir/festival_tracking.cpp.o.d"
+  "festival_tracking"
+  "festival_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/festival_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

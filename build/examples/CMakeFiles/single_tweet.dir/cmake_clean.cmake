@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_tweet.dir/single_tweet.cpp.o"
+  "CMakeFiles/single_tweet.dir/single_tweet.cpp.o.d"
+  "single_tweet"
+  "single_tweet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_tweet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("edge/common")
+subdirs("edge/nn")
+subdirs("edge/geo")
+subdirs("edge/text")
+subdirs("edge/embedding")
+subdirs("edge/graph")
+subdirs("edge/data")
+subdirs("edge/eval")
+subdirs("edge/core")
+subdirs("edge/baselines")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/baselines/bow_mdn.cc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/bow_mdn.cc.o" "gcc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/bow_mdn.cc.o.d"
+  "/root/repo/src/edge/baselines/grid_models.cc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/grid_models.cc.o" "gcc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/grid_models.cc.o.d"
+  "/root/repo/src/edge/baselines/hyperlocal.cc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/hyperlocal.cc.o" "gcc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/hyperlocal.cc.o.d"
+  "/root/repo/src/edge/baselines/lockde.cc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/lockde.cc.o" "gcc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/lockde.cc.o.d"
+  "/root/repo/src/edge/baselines/term_density.cc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/term_density.cc.o" "gcc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/term_density.cc.o.d"
+  "/root/repo/src/edge/baselines/unicode_cnn.cc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/unicode_cnn.cc.o" "gcc" "src/edge/baselines/CMakeFiles/edge_baselines.dir/unicode_cnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edge/common/CMakeFiles/edge_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/nn/CMakeFiles/edge_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/geo/CMakeFiles/edge_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/text/CMakeFiles/edge_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/data/CMakeFiles/edge_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/eval/CMakeFiles/edge_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_baselines.dir/bow_mdn.cc.o"
+  "CMakeFiles/edge_baselines.dir/bow_mdn.cc.o.d"
+  "CMakeFiles/edge_baselines.dir/grid_models.cc.o"
+  "CMakeFiles/edge_baselines.dir/grid_models.cc.o.d"
+  "CMakeFiles/edge_baselines.dir/hyperlocal.cc.o"
+  "CMakeFiles/edge_baselines.dir/hyperlocal.cc.o.d"
+  "CMakeFiles/edge_baselines.dir/lockde.cc.o"
+  "CMakeFiles/edge_baselines.dir/lockde.cc.o.d"
+  "CMakeFiles/edge_baselines.dir/term_density.cc.o"
+  "CMakeFiles/edge_baselines.dir/term_density.cc.o.d"
+  "CMakeFiles/edge_baselines.dir/unicode_cnn.cc.o"
+  "CMakeFiles/edge_baselines.dir/unicode_cnn.cc.o.d"
+  "libedge_baselines.a"
+  "libedge_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/common/math_util.cc" "src/edge/common/CMakeFiles/edge_common.dir/math_util.cc.o" "gcc" "src/edge/common/CMakeFiles/edge_common.dir/math_util.cc.o.d"
+  "/root/repo/src/edge/common/rng.cc" "src/edge/common/CMakeFiles/edge_common.dir/rng.cc.o" "gcc" "src/edge/common/CMakeFiles/edge_common.dir/rng.cc.o.d"
+  "/root/repo/src/edge/common/status.cc" "src/edge/common/CMakeFiles/edge_common.dir/status.cc.o" "gcc" "src/edge/common/CMakeFiles/edge_common.dir/status.cc.o.d"
+  "/root/repo/src/edge/common/string_util.cc" "src/edge/common/CMakeFiles/edge_common.dir/string_util.cc.o" "gcc" "src/edge/common/CMakeFiles/edge_common.dir/string_util.cc.o.d"
+  "/root/repo/src/edge/common/table_writer.cc" "src/edge/common/CMakeFiles/edge_common.dir/table_writer.cc.o" "gcc" "src/edge/common/CMakeFiles/edge_common.dir/table_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_common.dir/math_util.cc.o"
+  "CMakeFiles/edge_common.dir/math_util.cc.o.d"
+  "CMakeFiles/edge_common.dir/rng.cc.o"
+  "CMakeFiles/edge_common.dir/rng.cc.o.d"
+  "CMakeFiles/edge_common.dir/status.cc.o"
+  "CMakeFiles/edge_common.dir/status.cc.o.d"
+  "CMakeFiles/edge_common.dir/string_util.cc.o"
+  "CMakeFiles/edge_common.dir/string_util.cc.o.d"
+  "CMakeFiles/edge_common.dir/table_writer.cc.o"
+  "CMakeFiles/edge_common.dir/table_writer.cc.o.d"
+  "libedge_common.a"
+  "libedge_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

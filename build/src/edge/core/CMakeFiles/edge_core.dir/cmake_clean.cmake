@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_core.dir/edge_config.cc.o"
+  "CMakeFiles/edge_core.dir/edge_config.cc.o.d"
+  "CMakeFiles/edge_core.dir/edge_model.cc.o"
+  "CMakeFiles/edge_core.dir/edge_model.cc.o.d"
+  "libedge_core.a"
+  "libedge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

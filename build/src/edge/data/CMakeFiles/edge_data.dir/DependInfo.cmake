@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/data/generator.cc" "src/edge/data/CMakeFiles/edge_data.dir/generator.cc.o" "gcc" "src/edge/data/CMakeFiles/edge_data.dir/generator.cc.o.d"
+  "/root/repo/src/edge/data/io.cc" "src/edge/data/CMakeFiles/edge_data.dir/io.cc.o" "gcc" "src/edge/data/CMakeFiles/edge_data.dir/io.cc.o.d"
+  "/root/repo/src/edge/data/pipeline.cc" "src/edge/data/CMakeFiles/edge_data.dir/pipeline.cc.o" "gcc" "src/edge/data/CMakeFiles/edge_data.dir/pipeline.cc.o.d"
+  "/root/repo/src/edge/data/worlds.cc" "src/edge/data/CMakeFiles/edge_data.dir/worlds.cc.o" "gcc" "src/edge/data/CMakeFiles/edge_data.dir/worlds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edge/common/CMakeFiles/edge_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/geo/CMakeFiles/edge_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/text/CMakeFiles/edge_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

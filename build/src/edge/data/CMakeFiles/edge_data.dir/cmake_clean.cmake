@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_data.dir/generator.cc.o"
+  "CMakeFiles/edge_data.dir/generator.cc.o.d"
+  "CMakeFiles/edge_data.dir/io.cc.o"
+  "CMakeFiles/edge_data.dir/io.cc.o.d"
+  "CMakeFiles/edge_data.dir/pipeline.cc.o"
+  "CMakeFiles/edge_data.dir/pipeline.cc.o.d"
+  "CMakeFiles/edge_data.dir/worlds.cc.o"
+  "CMakeFiles/edge_data.dir/worlds.cc.o.d"
+  "libedge_data.a"
+  "libedge_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

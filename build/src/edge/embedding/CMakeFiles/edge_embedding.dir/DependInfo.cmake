@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/embedding/entity2vec.cc" "src/edge/embedding/CMakeFiles/edge_embedding.dir/entity2vec.cc.o" "gcc" "src/edge/embedding/CMakeFiles/edge_embedding.dir/entity2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edge/common/CMakeFiles/edge_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/nn/CMakeFiles/edge_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/text/CMakeFiles/edge_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_embedding.dir/entity2vec.cc.o"
+  "CMakeFiles/edge_embedding.dir/entity2vec.cc.o.d"
+  "libedge_embedding.a"
+  "libedge_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

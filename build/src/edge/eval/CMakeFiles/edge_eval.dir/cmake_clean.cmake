@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_eval.dir/heatmap.cc.o"
+  "CMakeFiles/edge_eval.dir/heatmap.cc.o.d"
+  "CMakeFiles/edge_eval.dir/metrics.cc.o"
+  "CMakeFiles/edge_eval.dir/metrics.cc.o.d"
+  "libedge_eval.a"
+  "libedge_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/geo/gaussian2d.cc" "src/edge/geo/CMakeFiles/edge_geo.dir/gaussian2d.cc.o" "gcc" "src/edge/geo/CMakeFiles/edge_geo.dir/gaussian2d.cc.o.d"
+  "/root/repo/src/edge/geo/grid.cc" "src/edge/geo/CMakeFiles/edge_geo.dir/grid.cc.o" "gcc" "src/edge/geo/CMakeFiles/edge_geo.dir/grid.cc.o.d"
+  "/root/repo/src/edge/geo/kde.cc" "src/edge/geo/CMakeFiles/edge_geo.dir/kde.cc.o" "gcc" "src/edge/geo/CMakeFiles/edge_geo.dir/kde.cc.o.d"
+  "/root/repo/src/edge/geo/latlon.cc" "src/edge/geo/CMakeFiles/edge_geo.dir/latlon.cc.o" "gcc" "src/edge/geo/CMakeFiles/edge_geo.dir/latlon.cc.o.d"
+  "/root/repo/src/edge/geo/mixture.cc" "src/edge/geo/CMakeFiles/edge_geo.dir/mixture.cc.o" "gcc" "src/edge/geo/CMakeFiles/edge_geo.dir/mixture.cc.o.d"
+  "/root/repo/src/edge/geo/projection.cc" "src/edge/geo/CMakeFiles/edge_geo.dir/projection.cc.o" "gcc" "src/edge/geo/CMakeFiles/edge_geo.dir/projection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edge/common/CMakeFiles/edge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

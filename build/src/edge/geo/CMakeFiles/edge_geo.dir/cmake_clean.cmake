@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_geo.dir/gaussian2d.cc.o"
+  "CMakeFiles/edge_geo.dir/gaussian2d.cc.o.d"
+  "CMakeFiles/edge_geo.dir/grid.cc.o"
+  "CMakeFiles/edge_geo.dir/grid.cc.o.d"
+  "CMakeFiles/edge_geo.dir/kde.cc.o"
+  "CMakeFiles/edge_geo.dir/kde.cc.o.d"
+  "CMakeFiles/edge_geo.dir/latlon.cc.o"
+  "CMakeFiles/edge_geo.dir/latlon.cc.o.d"
+  "CMakeFiles/edge_geo.dir/mixture.cc.o"
+  "CMakeFiles/edge_geo.dir/mixture.cc.o.d"
+  "CMakeFiles/edge_geo.dir/projection.cc.o"
+  "CMakeFiles/edge_geo.dir/projection.cc.o.d"
+  "libedge_geo.a"
+  "libedge_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

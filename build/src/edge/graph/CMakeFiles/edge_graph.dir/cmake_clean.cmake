@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_graph.dir/entity_graph.cc.o"
+  "CMakeFiles/edge_graph.dir/entity_graph.cc.o.d"
+  "CMakeFiles/edge_graph.dir/gcn.cc.o"
+  "CMakeFiles/edge_graph.dir/gcn.cc.o.d"
+  "libedge_graph.a"
+  "libedge_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/nn/autodiff.cc" "src/edge/nn/CMakeFiles/edge_nn.dir/autodiff.cc.o" "gcc" "src/edge/nn/CMakeFiles/edge_nn.dir/autodiff.cc.o.d"
+  "/root/repo/src/edge/nn/conv.cc" "src/edge/nn/CMakeFiles/edge_nn.dir/conv.cc.o" "gcc" "src/edge/nn/CMakeFiles/edge_nn.dir/conv.cc.o.d"
+  "/root/repo/src/edge/nn/init.cc" "src/edge/nn/CMakeFiles/edge_nn.dir/init.cc.o" "gcc" "src/edge/nn/CMakeFiles/edge_nn.dir/init.cc.o.d"
+  "/root/repo/src/edge/nn/matrix.cc" "src/edge/nn/CMakeFiles/edge_nn.dir/matrix.cc.o" "gcc" "src/edge/nn/CMakeFiles/edge_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/edge/nn/mdn.cc" "src/edge/nn/CMakeFiles/edge_nn.dir/mdn.cc.o" "gcc" "src/edge/nn/CMakeFiles/edge_nn.dir/mdn.cc.o.d"
+  "/root/repo/src/edge/nn/optimizer.cc" "src/edge/nn/CMakeFiles/edge_nn.dir/optimizer.cc.o" "gcc" "src/edge/nn/CMakeFiles/edge_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/edge/nn/sparse.cc" "src/edge/nn/CMakeFiles/edge_nn.dir/sparse.cc.o" "gcc" "src/edge/nn/CMakeFiles/edge_nn.dir/sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edge/common/CMakeFiles/edge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

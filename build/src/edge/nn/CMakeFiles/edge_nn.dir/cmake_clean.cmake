@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_nn.dir/autodiff.cc.o"
+  "CMakeFiles/edge_nn.dir/autodiff.cc.o.d"
+  "CMakeFiles/edge_nn.dir/conv.cc.o"
+  "CMakeFiles/edge_nn.dir/conv.cc.o.d"
+  "CMakeFiles/edge_nn.dir/init.cc.o"
+  "CMakeFiles/edge_nn.dir/init.cc.o.d"
+  "CMakeFiles/edge_nn.dir/matrix.cc.o"
+  "CMakeFiles/edge_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/edge_nn.dir/mdn.cc.o"
+  "CMakeFiles/edge_nn.dir/mdn.cc.o.d"
+  "CMakeFiles/edge_nn.dir/optimizer.cc.o"
+  "CMakeFiles/edge_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/edge_nn.dir/sparse.cc.o"
+  "CMakeFiles/edge_nn.dir/sparse.cc.o.d"
+  "libedge_nn.a"
+  "libedge_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/text/ner.cc" "src/edge/text/CMakeFiles/edge_text.dir/ner.cc.o" "gcc" "src/edge/text/CMakeFiles/edge_text.dir/ner.cc.o.d"
+  "/root/repo/src/edge/text/phrase.cc" "src/edge/text/CMakeFiles/edge_text.dir/phrase.cc.o" "gcc" "src/edge/text/CMakeFiles/edge_text.dir/phrase.cc.o.d"
+  "/root/repo/src/edge/text/tokenizer.cc" "src/edge/text/CMakeFiles/edge_text.dir/tokenizer.cc.o" "gcc" "src/edge/text/CMakeFiles/edge_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/edge/text/vocabulary.cc" "src/edge/text/CMakeFiles/edge_text.dir/vocabulary.cc.o" "gcc" "src/edge/text/CMakeFiles/edge_text.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edge/common/CMakeFiles/edge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

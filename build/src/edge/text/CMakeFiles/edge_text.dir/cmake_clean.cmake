@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_text.dir/ner.cc.o"
+  "CMakeFiles/edge_text.dir/ner.cc.o.d"
+  "CMakeFiles/edge_text.dir/phrase.cc.o"
+  "CMakeFiles/edge_text.dir/phrase.cc.o.d"
+  "CMakeFiles/edge_text.dir/tokenizer.cc.o"
+  "CMakeFiles/edge_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/edge_text.dir/vocabulary.cc.o"
+  "CMakeFiles/edge_text.dir/vocabulary.cc.o.d"
+  "libedge_text.a"
+  "libedge_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_cli.dir/edge_cli.cc.o"
+  "CMakeFiles/edge_cli.dir/edge_cli.cc.o.d"
+  "edge_cli"
+  "edge_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

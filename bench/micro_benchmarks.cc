@@ -2,10 +2,22 @@
 /// substrate pieces every experiment leans on — dense/sparse linear algebra,
 /// the fused MDN loss, KDE queries, the tweet generator and the NER — plus
 /// the DESIGN.md section 4 ablation of full GCN forward+backward cost.
+///
+/// Besides the Google-benchmark registrations, main() writes
+/// BENCH_parallel.json: MatMul 512x512 and GCN CSR propagation timed at
+/// 1/2/4/8 threads with speedups vs 1 thread, so the perf trajectory of the
+/// parallel substrate is tracked run over run.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
 #include "edge/common/rng.h"
+#include "edge/common/stopwatch.h"
+#include "edge/common/thread_pool.h"
 #include "edge/data/generator.h"
 #include "edge/data/worlds.h"
 #include "edge/geo/kde.h"
@@ -31,6 +43,23 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulThreads(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  ScopedNumThreads scoped(static_cast<int>(state.range(1)));
+  Rng rng(1);
+  nn::Matrix a = nn::GaussianInit(n, n, 1.0, &rng);
+  nn::Matrix b = nn::GaussianInit(n, n, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 8});
 
 void BM_Haversine(benchmark::State& state) {
   geo::LatLon a{40.7580, -73.9855};
@@ -70,6 +99,24 @@ void BM_GcnForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GcnForwardBackward)->Arg(200)->Arg(800);
+
+void BM_CsrPropagateThreads(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  ScopedNumThreads scoped(static_cast<int>(state.range(1)));
+  Rng rng(2);
+  graph::EntityGraph g = BuildRandomGraph(nodes, nodes * 6, &rng);
+  nn::CsrMatrix s = g.NormalizedAdjacency();
+  nn::Matrix h = nn::GaussianInit(g.num_nodes(), 64, 0.1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Multiply(h));
+  }
+  state.SetItemsProcessed(state.iterations() * s.nnz() * h.cols());
+}
+BENCHMARK(BM_CsrPropagateThreads)
+    ->Args({800, 1})
+    ->Args({800, 2})
+    ->Args({800, 4})
+    ->Args({800, 8});
 
 void BM_MdnLossForwardBackward(benchmark::State& state) {
   size_t batch = static_cast<size_t>(state.range(0));
@@ -144,6 +191,84 @@ void BM_MixtureModeFinding(benchmark::State& state) {
 }
 BENCHMARK(BM_MixtureModeFinding);
 
+/// Best-of-3 seconds for one run of fn() at the given budget.
+template <typename Fn>
+double BestSeconds(int threads, Fn fn) {
+  ScopedNumThreads scoped(threads);
+  double best = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return best;
+}
+
+/// Writes BENCH_parallel.json: wall-clock and speedup-vs-1-thread of the two
+/// tentpole kernels at 1/2/4/8 threads. On a 1-core host the speedups will
+/// hover around 1.0 — the file records hardware_concurrency so trajectory
+/// dashboards can normalize.
+void WriteParallelJson(const char* path) {
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  Rng rng(1);
+  nn::Matrix a = nn::GaussianInit(512, 512, 1.0, &rng);
+  nn::Matrix b = nn::GaussianInit(512, 512, 1.0, &rng);
+  std::vector<double> matmul_seconds;
+  for (int t : thread_counts) {
+    matmul_seconds.push_back(
+        BestSeconds(t, [&] { benchmark::DoNotOptimize(nn::MatMul(a, b)); }));
+  }
+
+  Rng graph_rng(2);
+  graph::EntityGraph g = BuildRandomGraph(800, 4800, &graph_rng);
+  nn::CsrMatrix s = g.NormalizedAdjacency();
+  nn::Matrix h = nn::GaussianInit(g.num_nodes(), 64, 0.1, &graph_rng);
+  std::vector<double> gcn_seconds;
+  for (int t : thread_counts) {
+    gcn_seconds.push_back(BestSeconds(t, [&] {
+      for (int rep = 0; rep < 20; ++rep) benchmark::DoNotOptimize(s.Multiply(h));
+    }));
+  }
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  auto write_series = [out, &thread_counts](const char* name,
+                                            const std::vector<double>& seconds) {
+    std::fprintf(out, "  \"%s\": {\"threads\": [", name);
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      std::fprintf(out, "%s%d", i ? ", " : "", thread_counts[i]);
+    }
+    std::fprintf(out, "], \"seconds\": [");
+    for (size_t i = 0; i < seconds.size(); ++i) {
+      std::fprintf(out, "%s%.6f", i ? ", " : "", seconds[i]);
+    }
+    std::fprintf(out, "], \"speedup_vs_1\": [");
+    for (size_t i = 0; i < seconds.size(); ++i) {
+      std::fprintf(out, "%s%.3f", i ? ", " : "", seconds[0] / seconds[i]);
+    }
+    std::fprintf(out, "]}");
+  };
+  std::fprintf(out, "{\n");
+  write_series("matmul_512", matmul_seconds);
+  std::fprintf(out, ",\n");
+  write_series("gcn_propagate_800x64", gcn_seconds);
+  std::fprintf(out, ",\n  \"hardware_concurrency\": %u\n}\n",
+               std::thread::hardware_concurrency());
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteParallelJson("BENCH_parallel.json");
+  return 0;
+}

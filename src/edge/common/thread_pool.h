@@ -1,0 +1,118 @@
+#ifndef EDGE_COMMON_THREAD_POOL_H_
+#define EDGE_COMMON_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace edge {
+
+/// Fixed-size worker pool. Tasks are plain void() callables; Submit() returns
+/// a future that becomes ready when the task finishes and rethrows any
+/// exception the task threw. The destructor drains the queue and joins every
+/// worker, so a stack-local pool is safe to use in tests.
+///
+/// This is the substrate under ParallelFor/ParallelReduce below; library code
+/// should normally use those helpers (which consult the global thread budget)
+/// rather than owning a pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues fn for execution on some worker. The returned future rethrows
+  /// fn's exception (if any) from get(). With zero workers, fn runs inline
+  /// here (degenerate pools keep single-core machines working).
+  std::future<void> Submit(std::function<void()> fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+/// Sets the process-global thread budget consulted by ParallelFor and every
+/// parallel kernel built on it (dense/sparse matmul, batched prediction):
+/// 0 = std::thread::hardware_concurrency(), 1 = serial (the exact legacy
+/// single-threaded behaviour), n > 1 = at most n-way. The default is 1 so
+/// all pre-existing numeric expectations reproduce unless a caller opts in.
+void SetNumThreads(int n);
+
+/// The resolved budget (always >= 1).
+int NumThreads();
+
+/// RAII budget override; restores the previous setting on destruction.
+/// EdgeModel::Fit/PredictPoints scope EdgeConfig::num_threads through this.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n);
+  ~ScopedNumThreads();
+
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_;  // Raw (pre-resolution) previous setting, may be 0.
+};
+
+/// True while the calling thread is executing a ParallelFor chunk. Nested
+/// ParallelFor calls check this and run inline, which is what makes nesting
+/// deadlock-free: a pool worker never blocks waiting on pool tasks.
+bool InParallelRegion();
+
+/// Splits [begin, end) into grain-sized chunks and invokes fn(lo, hi) over
+/// disjoint sub-ranges covering the whole interval, using up to NumThreads()
+/// threads (the caller participates). Contract: fn must produce identical
+/// results under ANY partition of the range — every parallel kernel in this
+/// repo guarantees that by keeping each output element's accumulation order
+/// independent of the partition, which is why num_threads > 1 is bitwise
+/// identical to num_threads == 1. The first exception thrown by fn is
+/// rethrown here after all in-flight chunks settle; remaining chunks are
+/// abandoned.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// Deterministic chunked reduction: map_chunk(lo, hi) computes a partial over
+/// each grain-sized chunk (boundaries depend only on `grain`, never on the
+/// thread count) and the partials are combined with `combine` in ascending
+/// chunk order. The result is therefore bitwise identical for every thread
+/// count, including 1 — the floating-point caveat of parallel sums is pinned
+/// down by fixing the association, not by hoping it does not matter.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(size_t begin, size_t end, size_t grain, T identity, MapFn map_chunk,
+                 CombineFn combine) {
+  if (end <= begin) return identity;
+  if (grain == 0) grain = 1;
+  size_t num_chunks = (end - begin + grain - 1) / grain;
+  std::vector<T> partial(num_chunks, identity);
+  ParallelFor(0, num_chunks, 1, [&](size_t chunk_begin, size_t chunk_end) {
+    for (size_t c = chunk_begin; c < chunk_end; ++c) {
+      size_t lo = begin + c * grain;
+      size_t hi = std::min(end, lo + grain);
+      partial[c] = map_chunk(lo, hi);
+    }
+  });
+  T acc = std::move(identity);
+  for (T& p : partial) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace edge
+
+#endif  // EDGE_COMMON_THREAD_POOL_H_

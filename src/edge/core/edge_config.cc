@@ -17,6 +17,12 @@ Status EdgeConfig::Validate() const {
   if (adam.learning_rate <= 0.0) {
     return Status::InvalidArgument("learning rate must be > 0");
   }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0 (0 = hardware)");
+  }
+  if (entity2vec.num_threads < 0) {
+    return Status::InvalidArgument("entity2vec.num_threads must be >= 0");
+  }
   return Status::Ok();
 }
 

@@ -8,6 +8,7 @@
 
 #include "edge/common/math_util.h"
 #include "edge/common/rng.h"
+#include "edge/common/thread_pool.h"
 #include "edge/nn/autodiff.h"
 #include "edge/nn/init.h"
 #include "edge/nn/mdn.h"
@@ -55,6 +56,9 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
   EDGE_CHECK(!fitted_) << "Fit() may only be called once";
   EDGE_CHECK(!dataset.train.empty()) << "empty training split";
   fitted_ = true;
+  // Scope the global kernel budget to this model's setting for the whole fit
+  // (dense matmul, CSR propagation and their backward passes all consult it).
+  ScopedNumThreads scoped_threads(config_.num_threads);
   Rng rng(config_.seed);
 
   if (config_.auto_dim) {
@@ -68,6 +72,9 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
   embedding::Entity2VecOptions e2v_options = config_.entity2vec;
   e2v_options.dim = config_.embedding_dim;
   e2v_options.seed = config_.seed ^ 0x9e3779b97f4a7c15ULL;
+  // The model-level budget wins; whether shards actually run concurrently is
+  // still gated by e2v_options.deterministic (default: stay reproducible).
+  e2v_options.num_threads = config_.num_threads;
   entity2vec_ = std::make_unique<embedding::Entity2Vec>(e2v_options);
   {
     std::vector<std::vector<std::string>> corpus;
@@ -342,6 +349,21 @@ bool EdgeModel::PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out
   EDGE_CHECK(out != nullptr);
   *out = Predict(tweet).point;
   return true;
+}
+
+void EdgeModel::PredictPoints(const std::vector<data::ProcessedTweet>& tweets,
+                              std::vector<geo::LatLon>* points,
+                              std::vector<uint8_t>* predicted) {
+  EDGE_CHECK(points != nullptr && predicted != nullptr);
+  EDGE_CHECK(fitted_) << "PredictPoints() before Fit()";
+  points->assign(tweets.size(), geo::LatLon{});
+  predicted->assign(tweets.size(), 1);  // EDGE never abstains (fallback prior).
+  ScopedNumThreads scoped_threads(config_.num_threads);
+  // Tweets are independent reads of fitted state; indexed writes keep the
+  // output identical to the serial loop at any budget.
+  ParallelFor(0, tweets.size(), /*grain=*/8, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) (*points)[i] = Predict(tweets[i]).point;
+  });
 }
 
 Status EdgeModel::SaveInference(std::ostream* out) const {

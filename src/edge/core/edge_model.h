@@ -60,6 +60,13 @@ class EdgeModel : public eval::Geolocator {
   /// Eq. 14 single-point conversion (always succeeds; see used_fallback).
   bool PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) override;
 
+  /// Tweet-parallel batched prediction under config().num_threads. Predict()
+  /// only reads fitted state, so tweets are independent; the output equals
+  /// the serial PredictPoint loop element-for-element at any budget.
+  void PredictPoints(const std::vector<data::ProcessedTweet>& tweets,
+                     std::vector<geo::LatLon>* points,
+                     std::vector<uint8_t>* predicted) override;
+
   /// Full mixture prediction with attention interpretability.
   EdgePrediction Predict(const data::ProcessedTweet& tweet) const;
 

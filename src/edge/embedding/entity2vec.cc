@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 #include <unordered_map>
 
 #include "edge/common/math_util.h"
@@ -65,10 +66,52 @@ void Entity2Vec::Train(const std::vector<std::vector<std::string>>& corpus) {
   }
   if (total_tokens == 0) return;
 
-  int64_t planned = total_tokens * options_.epochs;
+  int requested = options_.num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  int threads = requested <= 0 ? static_cast<int>(hw == 0 ? 1 : hw) : requested;
+  if (options_.deterministic || threads <= 1) {
+    // Exact legacy schedule: one block, the same Rng stream that produced the
+    // init above — bitwise identical to the pre-parallel implementation for
+    // every num_threads value (the determinism switch wins over the budget).
+    TrainRange(id_corpus, 0, id_corpus.size(), total_tokens, &rng);
+    return;
+  }
+
+  // Hogwild mode: contiguous sentence shards, one worker and one private RNG
+  // stream per shard. Workers update input_/output_ lock-free; conflicting
+  // writes are rare (touched rows are the pair's center/context/negatives)
+  // and benign, as in word2vec's reference trainer. Results depend on the OS
+  // interleaving, hence the opt-in via deterministic = false.
+  size_t shards = std::min<size_t>(static_cast<size_t>(threads), id_corpus.size());
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  size_t base = id_corpus.size() / shards;
+  size_t extra = id_corpus.size() % shards;
+  size_t begin = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    size_t end = begin + base + (s < extra ? 1 : 0);
+    int64_t shard_tokens = 0;
+    for (size_t i = begin; i < end; ++i) {
+      shard_tokens += static_cast<int64_t>(id_corpus[i].size());
+    }
+    uint64_t shard_seed = options_.seed ^ (0x9e3779b97f4a7c15ULL * (s + 1));
+    workers.emplace_back([this, &id_corpus, begin, end, shard_tokens, shard_seed] {
+      Rng shard_rng(shard_seed);
+      TrainRange(id_corpus, begin, end, shard_tokens, &shard_rng);
+    });
+    begin = end;
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+void Entity2Vec::TrainRange(const std::vector<std::vector<size_t>>& id_corpus,
+                            size_t begin, size_t end, int64_t block_tokens, Rng* rng) {
+  int64_t planned = block_tokens * options_.epochs;
+  if (planned <= 0) return;
   int64_t processed = 0;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    for (const auto& ids : id_corpus) {
+    for (size_t sentence = begin; sentence < end; ++sentence) {
+      const std::vector<size_t>& ids = id_corpus[sentence];
       // Frequent-token subsampling (applied per epoch so rare entities keep
       // all their contexts).
       std::vector<size_t> kept;
@@ -81,7 +124,7 @@ void Entity2Vec::Train(const std::vector<std::vector<std::string>>& corpus) {
           double keep_p =
               std::sqrt(options_.subsample_threshold / freq) +
               options_.subsample_threshold / freq;
-          if (keep_p < 1.0 && rng.Uniform() >= keep_p) continue;
+          if (keep_p < 1.0 && rng->Uniform() >= keep_p) continue;
         }
         kept.push_back(id);
       }
@@ -90,12 +133,12 @@ void Entity2Vec::Train(const std::vector<std::vector<std::string>>& corpus) {
                            options_.learning_rate * (1.0 - progress));
       for (size_t pos = 0; pos < kept.size(); ++pos) {
         // Dynamic window, as in word2vec.
-        size_t span = 1 + rng.UniformInt(options_.window);
+        size_t span = 1 + rng->UniformInt(options_.window);
         size_t lo = pos >= span ? pos - span : 0;
         size_t hi = std::min(kept.size(), pos + span + 1);
         for (size_t ctx = lo; ctx < hi; ++ctx) {
           if (ctx == pos) continue;
-          TrainPair(kept[pos], kept[ctx], lr, &rng);
+          TrainPair(kept[pos], kept[ctx], lr, rng);
         }
       }
     }

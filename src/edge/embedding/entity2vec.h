@@ -27,6 +27,17 @@ struct Entity2VecOptions {
   /// Tokens rarer than this are dropped from training and the vocabulary.
   int64_t min_count = 1;
   uint64_t seed = 42;
+  /// Worker threads for Train(): 0 = hardware concurrency, 1 = serial. More
+  /// than one thread only takes effect when `deterministic` is false.
+  int num_threads = 1;
+  /// When true (default), Train() follows the exact legacy single-threaded
+  /// schedule regardless of num_threads, so embeddings are bitwise
+  /// reproducible. When false with num_threads > 1, sentences are split into
+  /// contiguous shards trained concurrently Hogwild-style (word2vec's
+  /// lock-free scheme): workers race benignly on the shared embedding
+  /// matrices, so results depend on thread interleaving and are NOT
+  /// reproducible run-to-run — documented in DESIGN.md "Parallelism model".
+  bool deterministic = true;
 };
 
 /// entity2vec (§III-A1): word2vec skip-gram with negative sampling, trained
@@ -63,6 +74,12 @@ class Entity2Vec {
  private:
   size_t SampleNegative(Rng* rng) const;
   void TrainPair(size_t center, size_t context, double lr, Rng* rng);
+  /// Runs the epoch loop over the contiguous sentence block [begin, end) of
+  /// `id_corpus`, decaying the learning rate against `planned_tokens` (the
+  /// block's token count times epochs). The serial path trains the whole
+  /// corpus as one block; Hogwild workers each train one block.
+  void TrainRange(const std::vector<std::vector<size_t>>& id_corpus, size_t begin,
+                  size_t end, int64_t planned_tokens, Rng* rng);
 
   Entity2VecOptions options_;
   text::Vocabulary vocab_;

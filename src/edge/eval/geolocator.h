@@ -1,7 +1,9 @@
 #ifndef EDGE_EVAL_GEOLOCATOR_H_
 #define EDGE_EVAL_GEOLOCATOR_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "edge/data/pipeline.h"
 #include "edge/geo/latlon.h"
@@ -27,6 +29,22 @@ class Geolocator {
 
   /// Point prediction for one tweet; false when the method abstains.
   virtual bool PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) = 0;
+
+  /// Batched point prediction: resizes *points / *predicted to tweets.size();
+  /// predicted[i] != 0 iff the method produced points[i]. The default loops
+  /// PredictPoint() in order, so stateful or non-thread-safe methods keep
+  /// their exact legacy behaviour. Methods whose prediction path is const and
+  /// thread-safe (EdgeModel) override this to evaluate tweets in parallel;
+  /// overrides must return exactly what the serial loop would.
+  virtual void PredictPoints(const std::vector<data::ProcessedTweet>& tweets,
+                             std::vector<geo::LatLon>* points,
+                             std::vector<uint8_t>* predicted) {
+    points->assign(tweets.size(), geo::LatLon{});
+    predicted->assign(tweets.size(), 0);
+    for (size_t i = 0; i < tweets.size(); ++i) {
+      (*predicted)[i] = PredictPoint(tweets[i], &(*points)[i]) ? 1 : 0;
+    }
+  }
 };
 
 }  // namespace edge::eval

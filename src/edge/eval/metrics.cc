@@ -11,15 +11,20 @@ std::vector<double> PredictionErrorsKm(Geolocator* method,
   EDGE_CHECK(method != nullptr);
   EDGE_CHECK(abstained != nullptr);
   *abstained = 0;
+  // Batched so methods with a thread-safe prediction path (EdgeModel) can
+  // evaluate tweets in parallel; the error vector keeps the per-tweet order
+  // of the old serial loop either way.
+  std::vector<geo::LatLon> points;
+  std::vector<uint8_t> predicted;
+  method->PredictPoints(dataset.test, &points, &predicted);
   std::vector<double> errors;
   errors.reserve(dataset.test.size());
-  for (const data::ProcessedTweet& tweet : dataset.test) {
-    geo::LatLon predicted;
-    if (!method->PredictPoint(tweet, &predicted)) {
+  for (size_t i = 0; i < dataset.test.size(); ++i) {
+    if (!predicted[i]) {
       ++(*abstained);
       continue;
     }
-    errors.push_back(geo::HaversineKm(tweet.location, predicted));
+    errors.push_back(geo::HaversineKm(dataset.test[i].location, points[i]));
   }
   return errors;
 }

@@ -8,6 +8,8 @@ GcnLayer::GcnLayer(size_t in_dim, size_t out_dim, bool apply_relu, Rng* rng)
     : w_(nn::Param(nn::XavierUniform(in_dim, out_dim, rng))), apply_relu_(apply_relu) {}
 
 nn::Var GcnLayer::Forward(const nn::CsrMatrix* s, const nn::Var& h) const {
+  // SpMm and MatMul dispatch to the row-parallel kernels; no extra threading
+  // is needed here and nesting is safe (inner ParallelFor runs inline).
   nn::Var out = nn::MatMul(nn::SpMm(s, h), w_);
   return apply_relu_ ? nn::Relu(out) : out;
 }

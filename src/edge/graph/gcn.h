@@ -10,7 +10,10 @@ namespace edge::graph {
 
 /// One graph-convolution layer (Eq. 1): H' = sigma(S H W), where S is the
 /// symmetric-normalized adjacency held by the caller and sigma is ReLU or
-/// identity.
+/// identity. Both the propagation S H (row-parallel CSR spmm) and the dense
+/// H W run under the global thread budget (edge/common/thread_pool.h) with
+/// bitwise-deterministic results at any thread count; the backward pass goes
+/// through the same parallel kernels.
 class GcnLayer {
  public:
   GcnLayer(size_t in_dim, size_t out_dim, bool apply_relu, Rng* rng);

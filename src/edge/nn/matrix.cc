@@ -4,8 +4,24 @@
 #include <cmath>
 
 #include "edge/common/string_util.h"
+#include "edge/common/thread_pool.h"
 
 namespace edge::nn {
+
+namespace {
+
+/// Rows per ParallelFor chunk for the blocked matmul kernels: target ~16k
+/// flops per chunk so scheduling overhead stays under ~1% of chunk work, and
+/// small matrices (one chunk) never pay a dispatch at all. The grain depends
+/// only on the problem shape — never on the thread count — so chunk
+/// boundaries, and therefore results, are identical for every budget.
+size_t RowGrain(size_t rows, size_t flops_per_row) {
+  constexpr size_t kTargetFlopsPerChunk = 16384;
+  size_t grain = kTargetFlopsPerChunk / std::max<size_t>(flops_per_row, 1);
+  return std::clamp<size_t>(grain, 1, std::max<size_t>(rows, 1));
+}
+
+}  // namespace
 
 Matrix Matrix::Identity(size_t n) {
   Matrix m(n, n);
@@ -114,47 +130,64 @@ std::string Matrix::ToString() const {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   EDGE_CHECK_EQ(a.cols(), b.rows());
   Matrix out(a.rows(), b.cols());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t k = 0; k < a.cols(); ++k) {
-      double aik = a.At(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.row_data(k);
-      double* orow = out.row_data(i);
-      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
-    }
-  }
+  // Row-blocked: each chunk owns a disjoint band of output rows, and each
+  // out(i, j) accumulates over k in ascending order exactly as the serial
+  // loop did, so any thread count produces bitwise-identical results.
+  ParallelFor(0, a.rows(), RowGrain(a.rows(), 2 * a.cols() * b.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t i = row_begin; i < row_end; ++i) {
+                  for (size_t k = 0; k < a.cols(); ++k) {
+                    double aik = a.At(i, k);
+                    if (aik == 0.0) continue;
+                    const double* brow = b.row_data(k);
+                    double* orow = out.row_data(i);
+                    for (size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+                  }
+                }
+              });
   return out;
 }
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   EDGE_CHECK_EQ(a.rows(), b.rows());
   Matrix out(a.cols(), b.cols());
-  for (size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.row_data(k);
-    const double* brow = b.row_data(k);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* orow = out.row_data(i);
-      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
-    }
-  }
+  // Chunks own disjoint bands of output rows (columns of a). The k loop stays
+  // outermost inside each chunk — b rows stream through cache as before and
+  // every out(i, j) still sums its k terms in ascending order (bitwise parity
+  // with the serial kernel).
+  ParallelFor(0, a.cols(), RowGrain(a.cols(), 2 * a.rows() * b.cols()),
+              [&](size_t col_begin, size_t col_end) {
+                for (size_t k = 0; k < a.rows(); ++k) {
+                  const double* arow = a.row_data(k);
+                  const double* brow = b.row_data(k);
+                  for (size_t i = col_begin; i < col_end; ++i) {
+                    double aki = arow[i];
+                    if (aki == 0.0) continue;
+                    double* orow = out.row_data(i);
+                    for (size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+                  }
+                }
+              });
   return out;
 }
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   EDGE_CHECK_EQ(a.cols(), b.cols());
   Matrix out(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row_data(i);
-    double* orow = out.row_data(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.row_data(j);
-      double dot = 0.0;
-      for (size_t k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
-      orow[j] = dot;
-    }
-  }
+  // Independent dot products per output row — embarrassingly parallel.
+  ParallelFor(0, a.rows(), RowGrain(a.rows(), 2 * a.cols() * b.rows()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t i = row_begin; i < row_end; ++i) {
+                  const double* arow = a.row_data(i);
+                  double* orow = out.row_data(i);
+                  for (size_t j = 0; j < b.rows(); ++j) {
+                    const double* brow = b.row_data(j);
+                    double dot = 0.0;
+                    for (size_t k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+                    orow[j] = dot;
+                  }
+                }
+              });
   return out;
 }
 

@@ -99,7 +99,10 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// Returns a * b; inner dimensions must agree.
+/// Returns a * b; inner dimensions must agree. All three matmul kernels are
+/// row-blocked over the global thread budget (edge/common/thread_pool.h) and
+/// keep each output element's accumulation order independent of the
+/// partition, so results are bitwise identical for every num_threads setting.
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
 /// Returns a^T * b without materializing the transpose.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "edge/common/thread_pool.h"
+
 namespace edge::nn {
 
 CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols, std::vector<Triplet> triplets) {
@@ -37,28 +39,45 @@ CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols, std::vector<Triplet>
 Matrix CsrMatrix::Multiply(const Matrix& dense) const {
   EDGE_CHECK_EQ(cols_, dense.rows());
   Matrix out(rows_, dense.cols());
-  for (size_t r = 0; r < rows_; ++r) {
-    double* orow = out.row_data(r);
-    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
-      double v = values_[k];
-      const double* drow = dense.row_data(col_indices_[k]);
-      for (size_t c = 0; c < dense.cols(); ++c) orow[c] += v * drow[c];
+  // Row-parallel: each output row reads one CSR row and writes only itself,
+  // in the same k order as the serial loop — bitwise identical at any thread
+  // count. This is the GCN propagation kernel (S * H, Eq. 1).
+  size_t avg_row_flops =
+      rows_ == 0 ? 1 : std::max<size_t>(1, 2 * nnz() * dense.cols() / rows_);
+  size_t grain = std::clamp<size_t>(16384 / avg_row_flops, 1, std::max<size_t>(rows_, 1));
+  ParallelFor(0, rows_, grain, [&](size_t row_begin, size_t row_end) {
+    for (size_t r = row_begin; r < row_end; ++r) {
+      double* orow = out.row_data(r);
+      for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+        double v = values_[k];
+        const double* drow = dense.row_data(col_indices_[k]);
+        for (size_t c = 0; c < dense.cols(); ++c) orow[c] += v * drow[c];
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix CsrMatrix::MultiplyTranspose(const Matrix& dense) const {
   EDGE_CHECK_EQ(rows_, dense.rows());
   Matrix out(cols_, dense.cols());
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* drow = dense.row_data(r);
-    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
-      double v = values_[k];
-      double* orow = out.row_data(col_indices_[k]);
-      for (size_t c = 0; c < dense.cols(); ++c) orow[c] += v * drow[c];
+  // The transpose product scatters into out rows chosen by col_indices_, so
+  // row-parallelism would race. Instead each chunk owns a disjoint SLICE OF
+  // COLUMNS of out/dense: every thread rescans the CSR structure but touches
+  // only its columns, and per-element accumulation stays in ascending-r order
+  // (bitwise parity with serial). Column slices are kept wide so the rescan
+  // overhead is amortized over real work.
+  size_t grain = std::max<size_t>(8, dense.cols() / 16);
+  ParallelFor(0, dense.cols(), grain, [&](size_t col_begin, size_t col_end) {
+    for (size_t r = 0; r < rows_; ++r) {
+      const double* drow = dense.row_data(r);
+      for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+        double v = values_[k];
+        double* orow = out.row_data(col_indices_[k]);
+        for (size_t c = col_begin; c < col_end; ++c) orow[c] += v * drow[c];
+      }
     }
-  }
+  });
   return out;
 }
 

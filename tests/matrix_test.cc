@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "edge/common/rng.h"
+#include "edge/common/thread_pool.h"
+#include "edge/nn/autodiff.h"
+#include "edge/nn/init.h"
+#include "gradcheck.h"
+
 namespace edge::nn {
 namespace {
 
@@ -116,6 +122,35 @@ TEST_P(MatMulPropertyTest, TransposeOfProduct) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, MatMulPropertyTest, ::testing::Range(0, 12));
+
+/// The MatMul backward pass runs through the blocked parallel
+/// MatMulTransposeA/B kernels; finite differences validate it under a
+/// multi-thread budget with shapes big enough that the row-blocking engages
+/// (grain ≈ 16384 / (2·16·12) ≈ 42 rows → multiple chunks of the 96-row
+/// operand).
+TEST(MatrixTest, ParallelMatMulBackwardGradcheck) {
+  ScopedNumThreads scoped(4);
+  Rng rng(99);
+  Var a = Param(GaussianInit(96, 16, 0.5, &rng));
+  Var b = Param(GaussianInit(16, 12, 0.5, &rng));
+  testing::ExpectGradientsMatch({a, b}, [&] {
+    Var c = MatMul(a, b);
+    return MeanAll(Mul(c, c));  // Quadratic so upstream grads are non-uniform.
+  });
+}
+
+/// Same check at the serial budget: the backward must be valid — and
+/// identical — on both paths.
+TEST(MatrixTest, SerialMatMulBackwardGradcheck) {
+  ScopedNumThreads scoped(1);
+  Rng rng(99);
+  Var a = Param(GaussianInit(24, 16, 0.5, &rng));
+  Var b = Param(GaussianInit(16, 12, 0.5, &rng));
+  testing::ExpectGradientsMatch({a, b}, [&] {
+    Var c = MatMul(a, b);
+    return MeanAll(Mul(c, c));
+  });
+}
 
 }  // namespace
 }  // namespace edge::nn

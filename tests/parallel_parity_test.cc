@@ -1,0 +1,248 @@
+/// Thread-parity suite: the contract of the parallel compute substrate is
+/// that num_threads > 1 changes wall-clock, never numbers. Dense matmul, CSR
+/// propagation, full GCN forward/backward and deterministic entity2vec must
+/// be BITWISE identical at every budget; Hogwild entity2vec is the one
+/// documented exception (opt-in via deterministic = false).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edge/common/rng.h"
+#include "edge/common/thread_pool.h"
+#include "edge/core/edge_model.h"
+#include "edge/embedding/entity2vec.h"
+#include "edge/eval/metrics.h"
+#include "edge/graph/entity_graph.h"
+#include "edge/graph/gcn.h"
+#include "edge/nn/autodiff.h"
+#include "edge/nn/init.h"
+#include "edge/nn/matrix.h"
+#include "edge/nn/sparse.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define EDGE_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EDGE_UNDER_TSAN 1
+#endif
+#endif
+
+namespace edge {
+namespace {
+
+/// Exact equality, element for element — EXPECT_EQ on doubles, not a
+/// tolerance: the whole point is that the parallel schedule does not perturb
+/// a single ulp.
+void ExpectBitwiseEqual(const nn::Matrix& a, const nn::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      ASSERT_EQ(a.At(r, c), b.At(r, c)) << "entry (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(ParallelParityTest, DenseMatMulKernelsBitwiseIdentical) {
+  Rng rng(11);
+  nn::Matrix a = nn::GaussianInit(130, 70, 1.0, &rng);
+  nn::Matrix b = nn::GaussianInit(70, 90, 1.0, &rng);
+  nn::Matrix c = nn::GaussianInit(130, 90, 1.0, &rng);
+
+  nn::Matrix mm1, ta1, tb1;
+  {
+    ScopedNumThreads scoped(1);
+    mm1 = nn::MatMul(a, b);
+    ta1 = nn::MatMulTransposeA(a, c);
+    tb1 = nn::MatMulTransposeB(a, a);
+  }
+  {
+    ScopedNumThreads scoped(4);
+    ExpectBitwiseEqual(mm1, nn::MatMul(a, b));
+    ExpectBitwiseEqual(ta1, nn::MatMulTransposeA(a, c));
+    ExpectBitwiseEqual(tb1, nn::MatMulTransposeB(a, a));
+  }
+  {
+    ScopedNumThreads scoped(0);  // Hardware concurrency.
+    ExpectBitwiseEqual(mm1, nn::MatMul(a, b));
+  }
+}
+
+TEST(ParallelParityTest, CsrMultiplyBitwiseIdentical) {
+  Rng rng(12);
+  std::vector<nn::Triplet> triplets;
+  for (int e = 0; e < 900; ++e) {
+    triplets.push_back({rng.UniformInt(150), rng.UniformInt(150), rng.Uniform(-1, 1)});
+  }
+  nn::CsrMatrix s = nn::CsrMatrix::FromTriplets(150, 150, triplets);
+  nn::Matrix h = nn::GaussianInit(150, 48, 0.5, &rng);
+
+  nn::Matrix fwd1, bwd1;
+  {
+    ScopedNumThreads scoped(1);
+    fwd1 = s.Multiply(h);
+    bwd1 = s.MultiplyTranspose(h);
+  }
+  {
+    ScopedNumThreads scoped(4);
+    ExpectBitwiseEqual(fwd1, s.Multiply(h));
+    ExpectBitwiseEqual(bwd1, s.MultiplyTranspose(h));
+  }
+}
+
+graph::EntityGraph BuildRandomGraph(size_t nodes, size_t tweets, Rng* rng) {
+  std::vector<std::vector<std::string>> entity_sets(tweets);
+  for (auto& set : entity_sets) {
+    size_t k = 2 + rng->UniformInt(3);
+    for (size_t i = 0; i < k; ++i) {
+      set.push_back("e" + std::to_string(rng->UniformInt(nodes)));
+    }
+  }
+  return graph::EntityGraph::Build(entity_sets);
+}
+
+TEST(ParallelParityTest, GcnForwardAndBackwardBitwiseIdentical) {
+  Rng rng(13);
+  graph::EntityGraph g = BuildRandomGraph(120, 700, &rng);
+  nn::CsrMatrix s = g.NormalizedAdjacency();
+  const size_t dim = 32;
+  nn::Matrix features = nn::GaussianInit(g.num_nodes(), dim, 0.1, &rng);
+  graph::GcnStack stack({dim, dim, dim}, &rng);
+
+  auto run = [&](int threads, nn::Matrix* h_out, std::vector<nn::Matrix>* grads) {
+    ScopedNumThreads scoped(threads);
+    nn::Var x = nn::Constant(features);
+    nn::Var h = stack.Forward(&s, x);
+    nn::Var loss = nn::MeanAll(nn::Mul(h, h));
+    nn::Backward(loss);
+    *h_out = h->value;
+    grads->clear();
+    for (const nn::Var& p : stack.Params()) grads->push_back(p->grad);
+  };
+
+  nn::Matrix h1, h4;
+  std::vector<nn::Matrix> grads1, grads4;
+  run(1, &h1, &grads1);
+  run(4, &h4, &grads4);
+  ExpectBitwiseEqual(h1, h4);
+  ASSERT_EQ(grads1.size(), grads4.size());
+  for (size_t p = 0; p < grads1.size(); ++p) ExpectBitwiseEqual(grads1[p], grads4[p]);
+}
+
+std::vector<std::vector<std::string>> SyntheticCorpus(size_t sentences, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::string>> corpus(sentences);
+  for (auto& sentence : corpus) {
+    size_t len = 4 + rng.UniformInt(8);
+    for (size_t t = 0; t < len; ++t) {
+      sentence.push_back("tok" + std::to_string(rng.UniformInt(30)));
+    }
+  }
+  return corpus;
+}
+
+TEST(ParallelParityTest, Entity2VecDeterministicModeBitwiseIdentical) {
+  std::vector<std::vector<std::string>> corpus = SyntheticCorpus(200, 21);
+
+  embedding::Entity2VecOptions options;
+  options.dim = 16;
+  options.epochs = 2;
+  options.seed = 7;
+  options.deterministic = true;  // The determinism switch wins over the budget.
+
+  embedding::Entity2VecOptions serial = options;
+  serial.num_threads = 1;
+  embedding::Entity2VecOptions parallel = options;
+  parallel.num_threads = 4;
+
+  embedding::Entity2Vec e2v_serial(serial);
+  embedding::Entity2Vec e2v_parallel(parallel);
+  e2v_serial.Train(corpus);
+  e2v_parallel.Train(corpus);
+
+  ASSERT_EQ(e2v_serial.vocab().size(), e2v_parallel.vocab().size());
+  ExpectBitwiseEqual(e2v_serial.embeddings(), e2v_parallel.embeddings());
+}
+
+TEST(ParallelParityTest, Entity2VecHogwildTrainsValidEmbeddings) {
+#ifdef EDGE_UNDER_TSAN
+  GTEST_SKIP() << "Hogwild's lock-free updates race by design (word2vec-style, "
+                  "documented in DESIGN.md); TSAN rightly flags them.";
+#endif
+  std::vector<std::vector<std::string>> corpus = SyntheticCorpus(200, 22);
+  embedding::Entity2VecOptions options;
+  options.dim = 16;
+  options.epochs = 2;
+  options.seed = 7;
+  options.deterministic = false;
+  options.num_threads = 4;
+  embedding::Entity2Vec e2v(options);
+  e2v.Train(corpus);
+
+  // Hogwild results are schedule-dependent, so assert structure, not values:
+  // the full vocabulary was trained and every coordinate is finite and moved
+  // within the plausible range for 2 epochs of bounded-gradient updates.
+  EXPECT_EQ(e2v.vocab().size(), 30u);
+  const nn::Matrix& emb = e2v.embeddings();
+  ASSERT_EQ(emb.rows(), 30u);
+  ASSERT_EQ(emb.cols(), 16u);
+  for (size_t r = 0; r < emb.rows(); ++r) {
+    for (size_t c = 0; c < emb.cols(); ++c) {
+      ASSERT_TRUE(std::isfinite(emb.At(r, c)));
+    }
+  }
+  EXPECT_GT(emb.MaxAbs(), 0.0);
+  EXPECT_LT(emb.MaxAbs(), 10.0);
+}
+
+/// Abstains on every third tweet and predicts a deterministic function of the
+/// tweet id — a stand-in for Hyper-local-style partial coverage that makes
+/// the batched metrics path checkable against the serial contract.
+class StubGeolocator : public eval::Geolocator {
+ public:
+  std::string name() const override { return "Stub"; }
+  void Fit(const data::ProcessedDataset&) override {}
+  bool PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) override {
+    if (tweet.id % 3 == 0) return false;
+    out->lat = 40.0 + 1e-3 * static_cast<double>(tweet.id % 50);
+    out->lon = -73.0;
+    return true;
+  }
+};
+
+TEST(ParallelParityTest, BatchedMetricsMatchSerialPredictLoop) {
+  data::ProcessedDataset dataset;
+  Rng rng(31);
+  for (int64_t i = 0; i < 200; ++i) {
+    data::ProcessedTweet tweet;
+    tweet.id = i;
+    tweet.location = {40.0 + rng.Uniform(-0.05, 0.05), -73.0 + rng.Uniform(-0.05, 0.05)};
+    dataset.test.push_back(tweet);
+  }
+
+  StubGeolocator method;
+  size_t abstained = 0;
+  std::vector<double> batched =
+      eval::PredictionErrorsKm(&method, dataset, &abstained);
+
+  // Reference: the pre-batching serial loop, element for element.
+  size_t expected_abstained = 0;
+  std::vector<double> expected;
+  for (const data::ProcessedTweet& tweet : dataset.test) {
+    geo::LatLon p;
+    if (!method.PredictPoint(tweet, &p)) {
+      ++expected_abstained;
+      continue;
+    }
+    expected.push_back(geo::HaversineKm(tweet.location, p));
+  }
+  EXPECT_EQ(abstained, expected_abstained);
+  ASSERT_EQ(batched.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) EXPECT_EQ(batched[i], expected[i]);
+}
+
+}  // namespace
+}  // namespace edge

@@ -3,9 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "edge/common/stopwatch.h"
 #include "edge/common/string_util.h"
 #include "edge/eval/metrics.h"
+#include "edge/obs/json_util.h"
+#include "edge/obs/metrics.h"
 
 namespace edge::bench {
 
@@ -70,24 +71,96 @@ std::vector<BenchDataset> BuildAllDatasets(const BenchSizes& sizes) {
   return datasets;
 }
 
+namespace {
+
+/// One BENCH_obs.json entry, accumulated across every RunMethodRow call in
+/// the current bench binary and flushed at process exit — the observability
+/// sibling of micro_benchmarks' BENCH_parallel.json convention.
+struct ObsRunRow {
+  std::string dataset;
+  std::string method;
+  double train_seconds;
+  double predict_seconds;
+  std::vector<std::string> metric_row;  // Mean, Median, @3km, @5km.
+};
+
+std::vector<ObsRunRow>* ObsRunRows() {
+  static auto* rows = new std::vector<ObsRunRow>();
+  return rows;
+}
+
+void WriteBenchObsJson() {
+  const std::vector<ObsRunRow>& rows = *ObsRunRows();
+  if (rows.empty()) return;
+  std::FILE* out = std::fopen("BENCH_obs.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_obs.json for writing\n");
+    return;
+  }
+  std::string json = "{\n  \"rows\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ObsRunRow& row = rows[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\"dataset\": ";
+    obs::internal::AppendJsonString(&json, row.dataset);
+    json += ", \"method\": ";
+    obs::internal::AppendJsonString(&json, row.method);
+    json += ", \"train_seconds\": ";
+    obs::internal::AppendJsonDouble(&json, row.train_seconds);
+    json += ", \"predict_seconds\": ";
+    obs::internal::AppendJsonDouble(&json, row.predict_seconds);
+    json += ", \"metric_row\": [";
+    for (size_t m = 0; m < row.metric_row.size(); ++m) {
+      if (m > 0) json += ", ";
+      obs::internal::AppendJsonString(&json, row.metric_row[m]);
+    }
+    json += "]}";
+  }
+  json += "\n  ]\n}\n";
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::fprintf(stderr, "wrote BENCH_obs.json (%zu rows)\n", rows.size());
+}
+
+void RecordObsRow(ObsRunRow row) {
+  std::vector<ObsRunRow>* rows = ObsRunRows();
+  if (rows->empty()) std::atexit(&WriteBenchObsJson);
+  rows->push_back(std::move(row));
+}
+
+}  // namespace
+
 std::vector<std::string> RunMethodRow(eval::Geolocator* method,
                                       const data::ProcessedDataset& dataset) {
-  Stopwatch watch;
-  method->Fit(dataset);
-  double fit_seconds = watch.ElapsedSeconds();
-  watch.Restart();
-  eval::MetricResults r = eval::EvaluateGeolocator(method, dataset);
+  obs::Registry& registry = obs::Registry::Global();
+  double fit_seconds = 0.0;
+  {
+    obs::ScopedTimer timer(registry.GetHistogram("edge.bench.fit_seconds"));
+    method->Fit(dataset);
+    fit_seconds = timer.ElapsedSeconds();
+  }
+  double predict_seconds = 0.0;
+  eval::MetricResults r;
+  {
+    obs::ScopedTimer timer(registry.GetHistogram("edge.bench.predict_seconds"));
+    r = eval::EvaluateGeolocator(method, dataset);
+    predict_seconds = timer.ElapsedSeconds();
+  }
   std::fprintf(stderr, "  %-22s fit %6.1fs  eval %5.1fs  mean %6.2f median %6.2f\n",
-               method->name().c_str(), fit_seconds, watch.ElapsedSeconds(), r.mean_km,
+               method->name().c_str(), fit_seconds, predict_seconds, r.mean_km,
                r.median_km);
 
   auto with_coverage = [&r](const std::string& value) {
     if (r.abstained == 0) return value;
     return value + " (" + FormatDouble(100.0 * r.Coverage(), 1) + "%)";
   };
-  return {with_coverage(FormatDouble(r.mean_km, 2)),
-          with_coverage(FormatDouble(r.median_km, 2)), FormatDouble(r.at_3km, 4),
-          FormatDouble(r.at_5km, 4)};
+  std::vector<std::string> metric_row = {
+      with_coverage(FormatDouble(r.mean_km, 2)),
+      with_coverage(FormatDouble(r.median_km, 2)), FormatDouble(r.at_3km, 4),
+      FormatDouble(r.at_5km, 4)};
+  RecordObsRow({dataset.name, method->name(), fit_seconds, predict_seconds,
+                metric_row});
+  return metric_row;
 }
 
 }  // namespace edge::bench

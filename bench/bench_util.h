@@ -47,7 +47,11 @@ std::vector<BenchDataset> BuildAllDatasets(const BenchSizes& sizes);
 
 /// Evaluates a method on a dataset and prints one progress line; returns the
 /// Table III metric row values as strings (Mean, Median, @3km, @5km), with
-/// Hyper-local-style coverage annotations when a method abstains.
+/// Hyper-local-style coverage annotations when a method abstains. Fit and
+/// prediction are timed through obs::ScopedTimer (histograms
+/// edge.bench.fit_seconds / edge.bench.predict_seconds), and every call adds
+/// one row to a BENCH_obs.json run report written when the binary exits —
+/// the observability sibling of BENCH_parallel.json.
 std::vector<std::string> RunMethodRow(eval::Geolocator* method,
                                       const data::ProcessedDataset& dataset);
 

@@ -26,6 +26,9 @@
 #include "edge/graph/gcn.h"
 #include "edge/nn/init.h"
 #include "edge/nn/mdn.h"
+#include "edge/obs/log.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
 #include "edge/text/ner.h"
 
 namespace {
@@ -174,6 +177,41 @@ void BM_NerExtract(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NerExtract);
+
+// --- Observability overhead: the acceptance bar is "kernels within 2% at
+// default level with no trace sink", so the disabled paths must stay in the
+// few-nanosecond range. ---
+
+void BM_ObsLogFiltered(benchmark::State& state) {
+  obs::SetLogLevel(obs::LogLevel::kInfo);
+  int i = 0;
+  for (auto _ : state) {
+    EDGE_LOG(DEBUG) << "filtered" << obs::Kv("i", i);  // Below threshold.
+    benchmark::DoNotOptimize(++i);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsLogFiltered);
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::Registry::Global().GetCounter("edge.bench.obs_overhead_counter");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_ObsTraceSpanDisabled(benchmark::State& state) {
+  obs::StopTracing();
+  for (auto _ : state) {
+    EDGE_TRACE_SPAN("edge.bench.disabled_span");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTraceSpanDisabled);
 
 void BM_MixtureModeFinding(benchmark::State& state) {
   Rng rng(5);

@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "edge/common/check.h"
+#include "edge/obs/log.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
 
 namespace edge::baselines {
 
@@ -27,6 +30,11 @@ std::vector<std::string> HyperLocal::Ngrams(
 }
 
 void HyperLocal::Fit(const data::ProcessedDataset& dataset) {
+  EDGE_TRACE_SPAN("edge.baselines.fit");
+  obs::ScopedTimer fit_timer(
+      obs::Registry::Global().GetHistogram("edge.baselines.fit_seconds"));
+  EDGE_LOG(INFO) << "baseline fit" << obs::Kv("method", name())
+                 << obs::Kv("train", dataset.train.size());
   projection_ = std::make_unique<geo::LocalProjection>(dataset.region.Center());
 
   std::unordered_map<std::string, std::vector<geo::PlanePoint>> occurrences;

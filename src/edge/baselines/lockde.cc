@@ -5,6 +5,9 @@
 
 #include "edge/common/check.h"
 #include "edge/common/math_util.h"
+#include "edge/obs/log.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
 
 namespace edge::baselines {
 
@@ -14,6 +17,11 @@ LocKde::LocKde(LocKdeOptions options) : options_(options) {
 }
 
 void LocKde::Fit(const data::ProcessedDataset& dataset) {
+  EDGE_TRACE_SPAN("edge.baselines.fit");
+  obs::ScopedTimer fit_timer(
+      obs::Registry::Global().GetHistogram("edge.baselines.fit_seconds"));
+  EDGE_LOG(INFO) << "baseline fit" << obs::Kv("method", name())
+                 << obs::Kv("train", dataset.train.size());
   grid_ = std::make_unique<geo::GeoGrid>(dataset.region, options_.grid_nx,
                                          options_.grid_ny);
   index_ = std::make_unique<TermDensityIndex>(dataset, *grid_, options_.min_count);

@@ -12,6 +12,9 @@
 #include "edge/nn/init.h"
 #include "edge/nn/mdn.h"
 #include "edge/nn/optimizer.h"
+#include "edge/obs/log.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
 
 namespace edge::baselines {
 
@@ -77,6 +80,11 @@ nn::Var UnicodeCnn::ForwardLogits(const std::string& text) const {
 }
 
 void UnicodeCnn::Fit(const data::ProcessedDataset& dataset) {
+  EDGE_TRACE_SPAN("edge.baselines.fit");
+  obs::ScopedTimer fit_timer(
+      obs::Registry::Global().GetHistogram("edge.baselines.fit_seconds"));
+  EDGE_LOG(INFO) << "baseline fit" << obs::Kv("method", name())
+                 << obs::Kv("train", dataset.train.size());
   EDGE_CHECK(!fitted_) << "Fit() may only be called once";
   EDGE_CHECK(!dataset.train.empty());
   fitted_ = true;

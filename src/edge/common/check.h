@@ -1,6 +1,7 @@
 #ifndef EDGE_COMMON_CHECK_H_
 #define EDGE_COMMON_CHECK_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -14,6 +15,23 @@
 
 namespace edge::internal {
 
+/// Receives the fully-rendered failure message before the process aborts.
+/// edge::obs installs a handler that routes the message through the
+/// structured-log sinks (stderr and/or the log file), so fatal diagnostics
+/// land in the same stream as ordinary logs; without a handler the legacy
+/// raw-stderr path below applies. Kept as a header-local atomic so check.h
+/// stays usable with no link dependency on the obs library.
+using CheckFailureHandler = void (*)(const char* message);
+
+inline std::atomic<CheckFailureHandler>& CheckFailureHandlerSlot() {
+  static std::atomic<CheckFailureHandler> slot{nullptr};
+  return slot;
+}
+
+inline void SetCheckFailureHandler(CheckFailureHandler handler) {
+  CheckFailureHandlerSlot().store(handler, std::memory_order_relaxed);
+}
+
 /// Collects a streamed message and aborts the process when destroyed.
 class CheckFailure {
  public:
@@ -22,8 +40,14 @@ class CheckFailure {
   }
 
   [[noreturn]] ~CheckFailure() {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+    CheckFailureHandler handler =
+        CheckFailureHandlerSlot().load(std::memory_order_relaxed);
+    if (handler != nullptr) {
+      handler(stream_.str().c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", stream_.str().c_str());
+      std::fflush(stderr);
+    }
     std::abort();
   }
 

@@ -9,19 +9,33 @@ namespace edge {
 /// training seconds alongside quality metrics).
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
-  /// Resets the start point.
-  void Restart() { start_ = Clock::now(); }
+  /// Resets the start point (and the lap point).
+  void Restart() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   /// Seconds elapsed since construction or the last Restart().
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// Seconds since the last LapSeconds()/Restart()/construction, then starts
+  /// the next lap — per-epoch timing without resetting the total, so one
+  /// stopwatch yields both the epoch series and the overall fit time.
+  double LapSeconds() {
+    Clock::time_point now = Clock::now();
+    double seconds = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return seconds;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace edge

@@ -4,8 +4,44 @@
 #include <exception>
 
 #include "edge/common/check.h"
+#include "edge/common/stopwatch.h"
+#include "edge/obs/metrics.h"
 
 namespace edge {
+
+namespace {
+
+/// Pool-wide instruments, cached once: worker loops run one atomic add per
+/// task, never a registry lookup. Tasks here are coarse (ParallelFor drain
+/// closures spanning many chunks), so the accounting is noise-level.
+obs::Counter* TasksExecutedCounter() {
+  static obs::Counter* counter =
+      obs::Registry::Global().GetCounter("edge.common.threadpool.tasks_executed");
+  return counter;
+}
+
+obs::Counter* BusyMicrosCounter() {
+  static obs::Counter* counter =
+      obs::Registry::Global().GetCounter("edge.common.threadpool.busy_micros");
+  return counter;
+}
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge =
+      obs::Registry::Global().GetGauge("edge.common.threadpool.queue_depth");
+  return gauge;
+}
+
+/// Runs one task with busy-time/throughput accounting.
+void RunAccounted(std::packaged_task<void()>* task) {
+  Stopwatch watch;
+  (*task)();  // packaged_task routes exceptions into the task's future.
+  BusyMicrosCounter()->Increment(
+      static_cast<int64_t>(watch.ElapsedSeconds() * 1e6));
+  TasksExecutedCounter()->Increment();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   workers_.reserve(num_threads);
@@ -27,13 +63,14 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   if (workers_.empty()) {
-    task();  // Degenerate pool: run inline so futures still complete.
+    RunAccounted(&task);  // Degenerate pool: run inline so futures still complete.
     return future;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     EDGE_CHECK(!shutting_down_) << "Submit() on a destructing ThreadPool";
     queue_.push_back(std::move(task));
+    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return future;
@@ -48,8 +85,9 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // Shutting down and fully drained.
       task = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
     }
-    task();  // packaged_task routes exceptions into the task's future.
+    RunAccounted(&task);
   }
 }
 

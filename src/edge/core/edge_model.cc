@@ -8,11 +8,15 @@
 
 #include "edge/common/math_util.h"
 #include "edge/common/rng.h"
+#include "edge/common/stopwatch.h"
 #include "edge/common/thread_pool.h"
 #include "edge/nn/autodiff.h"
 #include "edge/nn/init.h"
 #include "edge/nn/mdn.h"
 #include "edge/nn/optimizer.h"
+#include "edge/obs/log.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
 
 namespace edge::core {
 
@@ -56,6 +60,12 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
   EDGE_CHECK(!fitted_) << "Fit() may only be called once";
   EDGE_CHECK(!dataset.train.empty()) << "empty training split";
   fitted_ = true;
+  EDGE_TRACE_SPAN("edge.core.fit");
+  Stopwatch fit_watch;
+  EDGE_LOG(INFO) << "fit start" << obs::Kv("model", config_.display_name)
+                 << obs::Kv("train", dataset.train.size())
+                 << obs::Kv("entities", dataset.train_entity_names.size())
+                 << obs::Kv("epochs", config_.epochs);
   // Scope the global kernel budget to this model's setting for the whole fit
   // (dense matmul, CSR propagation and their backward passes all consult it).
   ScopedNumThreads scoped_threads(config_.num_threads);
@@ -77,6 +87,7 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
   e2v_options.num_threads = config_.num_threads;
   entity2vec_ = std::make_unique<embedding::Entity2Vec>(e2v_options);
   {
+    EDGE_TRACE_SPAN("edge.core.fit.entity2vec");
     std::vector<std::vector<std::string>> corpus;
     corpus.reserve(dataset.train.size());
     for (const data::ProcessedTweet& t : dataset.train) corpus.push_back(t.tokens);
@@ -85,6 +96,7 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
 
   // --- Stage 2: co-occurrence entity graph (§III-A2). ---
   {
+    EDGE_TRACE_SPAN("edge.core.fit.entity_graph");
     std::vector<std::vector<std::string>> entity_sets;
     entity_sets.reserve(dataset.train.size());
     for (const data::ProcessedTweet& t : dataset.train) {
@@ -210,15 +222,24 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
   }
 
   // --- Stage 5: end-to-end training (Eq. 13). ---
+  // Per-epoch telemetry: the NLL/grad-norm series are what convergence tests
+  // and the MDN-baseline comparisons read back (metric scheme in DESIGN.md).
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Series* nll_series = registry.GetSeries("edge.core.epoch_nll");
+  obs::Series* grad_norm_series = registry.GetSeries("edge.core.epoch_grad_norm");
+  obs::Histogram* epoch_seconds = registry.GetHistogram("edge.core.epoch_seconds");
+  Stopwatch epoch_watch;
   std::vector<size_t> order(dataset.train.size());
   std::iota(order.begin(), order.end(), 0);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    EDGE_TRACE_SPAN("edge.core.fit.epoch");
     if (config_.lr_decay) {
       double progress = static_cast<double>(epoch) / static_cast<double>(config_.epochs);
       adam.set_learning_rate(config_.adam.learning_rate * (1.0 - 0.9 * progress));
     }
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
+    double epoch_grad_norm = 0.0;
     size_t batches = 0;
     for (size_t start = 0; start < order.size(); start += config_.batch_size) {
       size_t end = std::min(order.size(), start + config_.batch_size);
@@ -246,20 +267,32 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
         batch_targets.At(b, 0) = targets[tweet].x;
         batch_targets.At(b, 1) = targets[tweet].y;
       }
+      EDGE_TRACE_SPAN("edge.core.fit.mdn_head");
       nn::Var z_batch = nn::ConcatRows(tweet_vectors);
       nn::Var theta = nn::AddRowBroadcast(nn::MatMul(z_batch, head_w), head_b);
       nn::Var loss = nn::BivariateMdnLoss(theta, batch_targets, mdn_options);
       nn::Backward(loss);
-      nn::ClipGradientNorm(params, config_.grad_clip_norm);
+      epoch_grad_norm += nn::ClipGradientNorm(params, config_.grad_clip_norm);
       adam.Step();
       epoch_loss += loss->value.At(0, 0);
       ++batches;
     }
-    loss_history_.push_back(epoch_loss / static_cast<double>(batches));
+    double mean_nll = epoch_loss / static_cast<double>(batches);
+    double mean_grad_norm = epoch_grad_norm / static_cast<double>(batches);
+    double seconds = epoch_watch.LapSeconds();
+    loss_history_.push_back(mean_nll);
+    nll_series->Append(mean_nll);
+    grad_norm_series->Append(mean_grad_norm);
+    epoch_seconds->Observe(seconds);
+    EDGE_LOG(DEBUG) << "epoch done" << obs::Kv("epoch", epoch)
+                    << obs::Kv("nll", mean_nll)
+                    << obs::Kv("grad_norm", mean_grad_norm)
+                    << obs::Kv("sec", seconds);
   }
 
   // --- Stage 6: cache dense inference state. ---
   {
+    EDGE_TRACE_SPAN("edge.core.fit.cache_inference");
     nn::Var x = nn::Constant(features);
     nn::Var h = gcn.Forward(&normalized_adjacency_, x);
     smoothed_embeddings_ = h->value;
@@ -268,6 +301,15 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
   attention_b_ = attn_b->value.At(0, 0);
   head_w_ = head_w->value;
   head_b_ = head_b->value;
+
+  double fit_seconds = fit_watch.ElapsedSeconds();
+  registry.GetCounter("edge.core.fit_runs")->Increment();
+  registry.GetGauge("edge.core.fit_seconds")->Set(fit_seconds);
+  EDGE_LOG(INFO) << "fit done" << obs::Kv("model", config_.display_name)
+                 << obs::Kv("epochs", config_.epochs)
+                 << obs::Kv("first_nll", loss_history_.front())
+                 << obs::Kv("final_nll", loss_history_.back())
+                 << obs::Kv("sec", fit_seconds);
 }
 
 EdgePrediction EdgeModel::PredictFromIds(const std::vector<size_t>& ids,
@@ -356,6 +398,13 @@ void EdgeModel::PredictPoints(const std::vector<data::ProcessedTweet>& tweets,
                               std::vector<uint8_t>* predicted) {
   EDGE_CHECK(points != nullptr && predicted != nullptr);
   EDGE_CHECK(fitted_) << "PredictPoints() before Fit()";
+  EDGE_TRACE_SPAN("edge.core.predict_points");
+  static obs::Histogram* batch_seconds =
+      obs::Registry::Global().GetHistogram("edge.core.predict_points_seconds");
+  obs::ScopedTimer timer(batch_seconds);
+  obs::Registry::Global()
+      .GetCounter("edge.core.tweets_predicted")
+      ->Increment(static_cast<int64_t>(tweets.size()));
   points->assign(tweets.size(), geo::LatLon{});
   predicted->assign(tweets.size(), 1);  // EDGE never abstains (fallback prior).
   ScopedNumThreads scoped_threads(config_.num_threads);

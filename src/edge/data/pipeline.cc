@@ -3,6 +3,10 @@
 #include <unordered_set>
 
 #include "edge/common/check.h"
+#include "edge/common/stopwatch.h"
+#include "edge/obs/log.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
 
 namespace edge::data {
 
@@ -70,6 +74,10 @@ ProcessedTweet Pipeline::ProcessTweet(const Tweet& tweet) const {
 }
 
 ProcessedDataset Pipeline::Process(const Dataset& dataset) const {
+  // The loop below is dominated by NER + tokenization, so one span covers the
+  // whole pass; per-tweet spans would swamp the trace at corpus scale.
+  EDGE_TRACE_SPAN("edge.data.pipeline.process");
+  Stopwatch watch;
   ProcessedDataset out;
   out.name = dataset.name;
   out.region = dataset.region;
@@ -130,6 +138,22 @@ ProcessedDataset Pipeline::Process(const Dataset& dataset) const {
     out.stats.frac_location_and_other =
         static_cast<double>(with_both) / static_cast<double>(audited);
   }
+
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetCounter("edge.data.pipeline.tweets_processed")
+      ->Increment(static_cast<int64_t>(dataset.tweets.size()));
+  registry.GetCounter("edge.data.pipeline.tweets_excluded")
+      ->Increment(static_cast<int64_t>(out.stats.train_excluded_no_entity +
+                                       out.stats.test_excluded_no_entity +
+                                       out.stats.test_excluded_unseen_entities));
+  registry.GetHistogram("edge.data.pipeline.process_seconds")
+      ->Observe(watch.ElapsedSeconds());
+  EDGE_LOG(INFO) << "pipeline processed" << obs::Kv("dataset", out.name)
+                 << obs::Kv("tweets", dataset.tweets.size())
+                 << obs::Kv("train", out.stats.train_kept)
+                 << obs::Kv("test", out.stats.test_kept)
+                 << obs::Kv("entities", out.stats.train_distinct_entities)
+                 << obs::Kv("sec", watch.ElapsedSeconds());
   return out;
 }
 

@@ -6,6 +6,10 @@
 #include <unordered_map>
 
 #include "edge/common/math_util.h"
+#include "edge/common/stopwatch.h"
+#include "edge/obs/log.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
 
 namespace edge::embedding {
 
@@ -18,6 +22,8 @@ Entity2Vec::Entity2Vec(Entity2VecOptions options) : options_(options) {
 void Entity2Vec::Train(const std::vector<std::vector<std::string>>& corpus) {
   EDGE_CHECK(!trained_) << "Train() may only be called once";
   trained_ = true;
+  EDGE_TRACE_SPAN("edge.embedding.entity2vec.train");
+  Stopwatch watch;
 
   // Pass 1: raw counts for min-count filtering.
   std::unordered_map<std::string, int64_t> raw_counts;
@@ -66,6 +72,21 @@ void Entity2Vec::Train(const std::vector<std::vector<std::string>>& corpus) {
   }
   if (total_tokens == 0) return;
 
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("edge.embedding.entity2vec.vocab_size")
+      ->Set(static_cast<double>(vocab_.size()));
+  registry.GetCounter("edge.embedding.entity2vec.corpus_tokens")
+      ->Increment(total_tokens);
+  auto log_done = [&](int worker_count) {
+    double seconds = watch.ElapsedSeconds();
+    registry.GetHistogram("edge.embedding.entity2vec.train_seconds")
+        ->Observe(seconds);
+    EDGE_LOG(INFO) << "entity2vec trained" << obs::Kv("vocab", vocab_.size())
+                   << obs::Kv("tokens", total_tokens)
+                   << obs::Kv("epochs", options_.epochs)
+                   << obs::Kv("threads", worker_count) << obs::Kv("sec", seconds);
+  };
+
   int requested = options_.num_threads;
   unsigned hw = std::thread::hardware_concurrency();
   int threads = requested <= 0 ? static_cast<int>(hw == 0 ? 1 : hw) : requested;
@@ -74,6 +95,7 @@ void Entity2Vec::Train(const std::vector<std::vector<std::string>>& corpus) {
     // init above — bitwise identical to the pre-parallel implementation for
     // every num_threads value (the determinism switch wins over the budget).
     TrainRange(id_corpus, 0, id_corpus.size(), total_tokens, &rng);
+    log_done(1);
     return;
   }
 
@@ -102,6 +124,7 @@ void Entity2Vec::Train(const std::vector<std::vector<std::string>>& corpus) {
     begin = end;
   }
   for (std::thread& worker : workers) worker.join();
+  log_done(static_cast<int>(shards));
 }
 
 void Entity2Vec::TrainRange(const std::vector<std::vector<size_t>>& id_corpus,

@@ -1,6 +1,8 @@
 #include "edge/graph/gcn.h"
 
 #include "edge/nn/init.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
 
 namespace edge::graph {
 
@@ -24,6 +26,12 @@ GcnStack::GcnStack(const std::vector<size_t>& dims, Rng* rng) {
 }
 
 nn::Var GcnStack::Forward(const nn::CsrMatrix* s, const nn::Var& x) const {
+  // The diffusion step of Eq. 1 — the per-batch hot path worth a span of its
+  // own in training traces.
+  EDGE_TRACE_SPAN("edge.graph.gcn_forward");
+  static obs::Counter* forwards =
+      obs::Registry::Global().GetCounter("edge.graph.gcn_forwards");
+  forwards->Increment();
   nn::Var h = x;
   for (const GcnLayer& layer : layers_) h = layer.Forward(s, h);
   return h;

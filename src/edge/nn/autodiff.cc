@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "edge/obs/trace.h"
+
 namespace edge::nn {
 
 Var Param(Matrix value) { return std::make_shared<Node>(std::move(value), true); }
@@ -237,6 +239,7 @@ std::vector<Node*> TopologicalOrder(const Var& root) {
 }
 
 void Backward(const Var& root) {
+  EDGE_TRACE_SPAN("edge.nn.backward");
   EDGE_CHECK_EQ(root->value.rows(), 1u);
   EDGE_CHECK_EQ(root->value.cols(), 1u);
   std::vector<Node*> order = TopologicalOrder(root);

@@ -1,0 +1,255 @@
+#include "edge/obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "edge/common/check.h"
+#include "edge/obs/json_util.h"
+
+namespace edge::obs {
+
+namespace {
+
+/// Lock-free min/max update via CAS (relaxed: metrics tolerate benign races).
+void AtomicMin(std::atomic<double>* slot, double v) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* slot, double v) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>* slot, double delta) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (!slot->compare_exchange_weak(cur, cur + delta,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  EDGE_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    EDGE_CHECK_LT(bounds_[i - 1], bounds_[i]) << "bounds must be increasing";
+  }
+}
+
+void Histogram::Observe(double v) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
+}
+
+double Histogram::Percentile(double p) const {
+  int64_t total = count();
+  if (total <= 0) return 0.0;
+  double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i == buckets_.size() - 1) return max();  // Overflow bucket.
+      double lo = i == 0 ? std::min(min(), bounds_[0]) : bounds_[i - 1];
+      double hi = bounds_[i];
+      double within = (rank - static_cast<double>(cumulative)) /
+                      static_cast<double>(in_bucket);
+      // Clamp to the observed range: interpolation alone would report a
+      // bucket's upper bound even when no observation reached it.
+      return std::clamp(lo + (hi - lo) * std::clamp(within, 0.0, 1.0), min(),
+                        max());
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::ResetForTest() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBucketsSeconds() {
+  static const std::vector<double> kBounds = {
+      0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+      0.5,   1.0,    2.5,   5.0,  10.0,  30.0, 60.0, 120.0};
+  return kBounds;
+}
+
+void Series::Append(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.push_back(v);
+}
+
+std::vector<double> Series::values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+size_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_.size();
+}
+
+void Series::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+}
+
+Registry& Registry::Global() {
+  // Intentionally leaked, like the shared ThreadPool: instrument pointers are
+  // cached in function-local statics across the codebase and must outlive
+  // every other static destructor.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? DefaultLatencyBucketsSeconds() : bounds);
+  }
+  return slot.get();
+}
+
+Series* Registry::GetSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (slot == nullptr) slot = std::make_unique<Series>();
+  return slot.get();
+}
+
+std::string Registry::ToJson() const {
+  using internal::AppendJsonDouble;
+  using internal::AppendJsonString;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+
+  // Sorted copies so snapshots are diffable run over run.
+  auto sorted = [](const auto& m) {
+    std::map<std::string, typename std::decay_t<decltype(m)>::mapped_type::pointer>
+        sorted_map;
+    for (const auto& [name, instrument] : m) sorted_map[name] = instrument.get();
+    return sorted_map;
+  };
+
+  bool first = true;
+  for (const auto& [name, counter] : sorted(counters_)) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(counter->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : sorted(gauges_)) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendJsonDouble(&out, gauge->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : sorted(histograms_)) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    int64_t count = histogram->count();
+    out += ": {\"count\": " + std::to_string(count);
+    out += ", \"sum\": ";
+    AppendJsonDouble(&out, count > 0 ? histogram->sum() : 0.0);
+    out += ", \"min\": ";
+    AppendJsonDouble(&out, count > 0 ? histogram->min() : 0.0);
+    out += ", \"max\": ";
+    AppendJsonDouble(&out, count > 0 ? histogram->max() : 0.0);
+    for (double p : {50.0, 90.0, 99.0}) {
+      out += ", \"p" + std::to_string(static_cast<int>(p)) + "\": ";
+      AppendJsonDouble(&out, histogram->Percentile(p));
+    }
+    out += ", \"buckets\": [";
+    const std::vector<double>& bounds = histogram->bounds();
+    std::vector<int64_t> counts = histogram->BucketCounts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      if (i < bounds.size()) {
+        AppendJsonDouble(&out, bounds[i]);
+      } else {
+        out += "\"inf\"";
+      }
+      out += ", \"count\": " + std::to_string(counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  },\n  \"series\": {";
+  first = true;
+  for (const auto& [name, series] : sorted(series_)) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": [";
+    std::vector<double> values = series->values();
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendJsonDouble(&out, values[i]);
+    }
+    out += "]";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void Registry::ResetValuesForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetForTest();
+  for (auto& [name, gauge] : gauges_) gauge->ResetForTest();
+  for (auto& [name, histogram] : histograms_) histogram->ResetForTest();
+  for (auto& [name, series] : series_) series->ResetForTest();
+}
+
+}  // namespace edge::obs

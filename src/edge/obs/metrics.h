@@ -1,0 +1,163 @@
+#ifndef EDGE_OBS_METRICS_H_
+#define EDGE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "edge/common/stopwatch.h"
+
+/// \file
+/// Process-global metrics registry. Four instrument kinds, all thread-safe
+/// and lock-free on the hot path (Series appends take a mutex — they are
+/// per-epoch, not per-element):
+///
+///   Counter   — monotonically increasing int64 (tasks executed, tweets seen).
+///   Gauge     — last-write-wins double (queue depth, vocab size).
+///   Histogram — fixed upper-bound buckets + sum/min/max, with interpolated
+///               percentile queries (epoch seconds, predict latency).
+///   Series    — append-only double vector (per-epoch NLL curve).
+///
+/// Names follow `edge.<module>.<name>` (see DESIGN.md "Observability").
+/// Instruments are created on first Get*() and live for the process lifetime,
+/// so call sites may cache the returned pointer in a function-local static.
+/// Registry::ToJson() serializes one snapshot of everything.
+
+namespace edge::obs {
+
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Percentile(p) interpolates
+/// linearly inside the winning bucket (the overflow bucket reports max()),
+/// which is the usual fixed-bucket estimate: exact at bucket edges, at most
+/// one bucket width off inside.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// +inf / -inf when empty.
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  /// p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Snapshot of per-bucket counts; the last entry is the overflow bucket.
+  std::vector<int64_t> BucketCounts() const;
+
+  void ResetForTest();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1 entries.
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Default histogram bounds for second-valued timers: 1 ms .. ~2 min in
+/// roughly x2.5 steps (training epochs and full fits both land mid-range).
+const std::vector<double>& DefaultLatencyBucketsSeconds();
+
+/// Append-only numeric series, e.g. the per-epoch training NLL. Appends are
+/// mutex-guarded (coarse events only).
+class Series {
+ public:
+  void Append(double v);
+  std::vector<double> values() const;
+  size_t size() const;
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> values_;
+};
+
+class Registry {
+ public:
+  /// The process-global registry every edge.* metric registers in.
+  static Registry& Global();
+
+  /// Finds or creates; the pointer stays valid for the process lifetime.
+  /// A name identifies one instrument per kind.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies only on first creation (must be strictly increasing;
+  /// empty = DefaultLatencyBucketsSeconds()).
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds = {});
+  Series* GetSeries(const std::string& name);
+
+  /// One JSON document with every instrument's current value, grouped by
+  /// kind; histograms include count/sum/min/max, buckets and p50/p90/p99.
+  std::string ToJson() const;
+
+  /// Zeroes every instrument in place (pointers stay valid) — test isolation.
+  void ResetValuesForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::unordered_map<std::string, std::unique_ptr<Series>> series_;
+};
+
+/// Times a scope and records seconds into a histogram on destruction:
+///   obs::ScopedTimer timer(obs::Registry::Global().GetHistogram(
+///       "edge.core.epoch_seconds"));
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {}
+  ~ScopedTimer() { histogram_->Observe(watch_.ElapsedSeconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction, without stopping the timer.
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+ private:
+  Histogram* histogram_;
+  Stopwatch watch_;
+};
+
+}  // namespace edge::obs
+
+#endif  // EDGE_OBS_METRICS_H_

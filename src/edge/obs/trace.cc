@@ -1,0 +1,129 @@
+#include "edge/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "edge/obs/json_util.h"
+#include "edge/obs/log.h"
+
+namespace edge::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_env_resolved{false};
+
+std::mutex g_trace_mu;
+std::vector<TraceEvent> g_events;       // Guarded by g_trace_mu.
+std::string g_exit_path;                // Guarded by g_trace_mu.
+
+/// Span nesting level of the current thread (depth 0 = outermost).
+thread_local int t_span_depth = 0;
+
+uint64_t NowMicros() {
+  // One steady origin for the whole process so spans from different threads
+  // share a timeline.
+  static const std::chrono::steady_clock::time_point kOrigin =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - kOrigin)
+                                   .count());
+}
+
+void ExportAtExit() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_trace_mu);
+    path = g_exit_path;
+  }
+  if (!path.empty()) WriteTrace(path);
+}
+
+/// Resolves EDGE_TRACE_OUT once; when set, tracing turns on and the trace is
+/// exported to that path when the process exits normally.
+void ResolveEnvOnce() {
+  if (g_env_resolved.exchange(true, std::memory_order_acq_rel)) return;
+  const char* env = std::getenv("EDGE_TRACE_OUT");
+  if (env == nullptr || env[0] == '\0') return;
+  {
+    std::lock_guard<std::mutex> lock(g_trace_mu);
+    g_exit_path = env;
+  }
+  std::atexit(&ExportAtExit);
+  g_enabled.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  if (!g_env_resolved.load(std::memory_order_acquire)) ResolveEnvOnce();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void StartTracing() {
+  ResolveEnvOnce();
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void StopTracing() { g_enabled.store(false, std::memory_order_release); }
+
+std::vector<TraceEvent> TraceSnapshot() {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  return g_events;
+}
+
+void ClearTrace() {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  g_events.clear();
+}
+
+std::string TraceToJson() {
+  using internal::AppendJsonString;
+  std::vector<TraceEvent> events = TraceSnapshot();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"name\": ";
+    AppendJsonString(&out, e.name);
+    out += ", \"cat\": \"edge\", \"ph\": \"X\", \"pid\": 1";
+    out += ", \"tid\": " + std::to_string(e.thread_id);
+    out += ", \"ts\": " + std::to_string(e.start_us);
+    out += ", \"dur\": " + std::to_string(e.duration_us);
+    out += ", \"args\": {\"depth\": " + std::to_string(e.depth) + "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteTrace(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    EDGE_LOG(ERROR) << "cannot open trace output" << Kv("path", path);
+    return false;
+  }
+  std::string json = TraceToJson();
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  return true;
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(name), start_us_(0), depth_(0), active_(TracingEnabled()) {
+  if (!active_) return;
+  depth_ = t_span_depth++;
+  start_us_ = NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  uint64_t end_us = NowMicros();
+  --t_span_depth;
+  TraceEvent event{name_, start_us_, end_us - start_us_, DenseThreadId(), depth_};
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  g_events.push_back(event);
+}
+
+}  // namespace edge::obs

@@ -1,0 +1,90 @@
+#ifndef EDGE_OBS_TRACE_H_
+#define EDGE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Scoped trace spans exported as Chrome trace-event JSON — load the file at
+/// chrome://tracing or https://ui.perfetto.dev to see the training/inference
+/// timeline per thread.
+///
+///   void Fit(...) {
+///     EDGE_TRACE_SPAN("edge.core.fit");
+///     ...
+///   }
+///
+/// Tracing is off by default: a span then costs one relaxed atomic load and
+/// records nothing. It turns on when the EDGE_TRACE_OUT environment variable
+/// names an output path (the file is written automatically at process exit)
+/// or programmatically via StartTracing() + WriteTrace(path). Spans nest
+/// naturally; each records begin/end timestamps, the dense thread id and its
+/// nesting depth on that thread.
+
+namespace edge::obs {
+
+/// One completed span. Timestamps are microseconds since an arbitrary
+/// process-wide steady origin (what the Chrome "ts" field expects).
+struct TraceEvent {
+  const char* name;  ///< Static-storage span label.
+  uint64_t start_us;
+  uint64_t duration_us;
+  int thread_id;  ///< DenseThreadId() of the emitting thread.
+  int depth;      ///< 0 = outermost span on its thread.
+};
+
+/// True when spans are being recorded (cheap; callable from hot paths). The
+/// first call resolves EDGE_TRACE_OUT and, when set, enables tracing and
+/// registers the at-exit export.
+bool TracingEnabled();
+
+/// Enables span recording regardless of the environment.
+void StartTracing();
+
+/// Stops recording (already-recorded events are kept until ClearTrace()).
+void StopTracing();
+
+/// Snapshot of everything recorded so far, in completion order (a nested
+/// span therefore precedes its parent).
+std::vector<TraceEvent> TraceSnapshot();
+
+/// Drops all recorded events (test isolation).
+void ClearTrace();
+
+/// Renders recorded events as a Chrome trace-event JSON document
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}).
+std::string TraceToJson();
+
+/// Writes TraceToJson() to `path`; returns false when the file cannot be
+/// opened.
+bool WriteTrace(const std::string& path);
+
+/// RAII span; prefer the EDGE_TRACE_SPAN macro. `name` must have static
+/// storage duration (string literals) — spans store the pointer, not a copy.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_us_;
+  int depth_;
+  bool active_;
+};
+
+}  // namespace edge::obs
+
+#define EDGE_OBS_CONCAT_INNER(a, b) a##b
+#define EDGE_OBS_CONCAT(a, b) EDGE_OBS_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define EDGE_TRACE_SPAN(name) \
+  ::edge::obs::TraceSpan EDGE_OBS_CONCAT(edge_trace_span_, __COUNTER__)(name)
+
+#endif  // EDGE_OBS_TRACE_H_

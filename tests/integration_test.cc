@@ -13,6 +13,8 @@
 #include "edge/eval/heatmap.h"
 #include "edge/common/math_util.h"
 #include "edge/eval/metrics.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
 
 namespace edge {
 namespace {
@@ -160,6 +162,73 @@ TEST(IntegrationTest, MixturePredictionCoversTrueLocation) {
   // Not a strict calibration bound, but a collapsed or wildly misplaced
   // mixture would fail this badly.
   EXPECT_GT(static_cast<double>(covered) / static_cast<double>(total), 0.6);
+}
+
+TEST(IntegrationTest, FitPublishesEpochTelemetry) {
+  // The observability layer must report exactly what the model saw: the
+  // edge.core.epoch_nll series appended during Fit equals loss_history(),
+  // and tracing captures the phase structure of training.
+  data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
+  data::Dataset raw = generator.Generate(800);
+  data::Pipeline pipeline(generator.BuildGazetteer());
+  data::ProcessedDataset dataset = pipeline.Process(raw);
+
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Series* nll_series = registry.GetSeries("edge.core.epoch_nll");
+  obs::Series* grad_series = registry.GetSeries("edge.core.epoch_grad_norm");
+  size_t nll_before = nll_series->size();
+  size_t grad_before = grad_series->size();
+  obs::Histogram* epoch_seconds = registry.GetHistogram("edge.core.epoch_seconds");
+  int64_t epochs_timed_before = epoch_seconds->count();
+
+  obs::StartTracing();
+  obs::ClearTrace();
+  core::EdgeConfig config = TinyConfig();
+  config.epochs = 6;
+  core::EdgeModel model(config);
+  model.Fit(dataset);
+  obs::StopTracing();
+
+  // One series entry per epoch, bitwise equal to the model's own history.
+  const std::vector<double>& history = model.loss_history();
+  ASSERT_EQ(history.size(), 6u);
+  std::vector<double> series = nll_series->values();
+  ASSERT_EQ(series.size(), nll_before + history.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[nll_before + i], history[i]) << "epoch " << i;
+  }
+  EXPECT_EQ(grad_series->size(), grad_before + history.size());
+  EXPECT_EQ(epoch_seconds->count(),
+            epochs_timed_before + static_cast<int64_t>(history.size()));
+
+  // Tracing captured the training phases, nested inside the fit span.
+  std::vector<obs::TraceEvent> events = obs::TraceSnapshot();
+  obs::ClearTrace();
+  auto count_spans = [&events](const std::string& name) {
+    size_t n = 0;
+    for (const obs::TraceEvent& e : events) {
+      if (name == e.name) ++n;
+    }
+    return n;
+  };
+  auto find_span = [&events](const std::string& name) -> const obs::TraceEvent* {
+    for (const obs::TraceEvent& e : events) {
+      if (name == e.name) return &e;
+    }
+    return nullptr;
+  };
+  const obs::TraceEvent* fit = find_span("edge.core.fit");
+  const obs::TraceEvent* entity2vec = find_span("edge.core.fit.entity2vec");
+  ASSERT_NE(fit, nullptr);
+  ASSERT_NE(entity2vec, nullptr);
+  EXPECT_EQ(count_spans("edge.core.fit.epoch"), 6u);
+  EXPECT_GE(count_spans("edge.graph.gcn_forward"), 6u);
+  EXPECT_GE(count_spans("edge.embedding.entity2vec.train"), 1u);
+  // The entity2vec phase nests inside the fit span.
+  EXPECT_GE(entity2vec->start_us, fit->start_us);
+  EXPECT_LE(entity2vec->start_us + entity2vec->duration_us,
+            fit->start_us + fit->duration_us);
+  EXPECT_EQ(entity2vec->depth, fit->depth + 1);
 }
 
 }  // namespace

@@ -12,6 +12,13 @@
 ///       Load a saved model, run the NER on the text and print the predicted
 ///       mixture, attention weights and Eq. 14 point estimate.
 ///
+/// Observability flags (any subcommand):
+///   --log-level trace|debug|info|warn|error|off   structured-log threshold
+///                                                 (default: EDGE_LOG_LEVEL or info)
+///   --metrics-out metrics.json   write a metrics-registry snapshot at exit
+///   --trace-out trace.json       record spans; write Chrome trace JSON at exit
+///                                (open at chrome://tracing or ui.perfetto.dev)
+///
 /// Gazetteer TSV: canonical<TAB>category<TAB>surface (see edge/data/io.h).
 /// For simulated worlds, `simulate` also writes `<out>.gazetteer.tsv`.
 
@@ -20,6 +27,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "edge/core/edge_model.h"
 #include "edge/data/generator.h"
@@ -27,6 +35,9 @@
 #include "edge/data/pipeline.h"
 #include "edge/data/worlds.h"
 #include "edge/eval/metrics.h"
+#include "edge/obs/log.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
 
 namespace {
 
@@ -80,7 +91,10 @@ int Usage() {
                "                    [--covid-filter true] [--out tweets.tsv]\n"
                "  edge_cli train    --tweets t.tsv --gazetteer g.tsv --model m.edge\n"
                "                    [--epochs N] [--components M]\n"
-               "  edge_cli predict  --model m.edge --gazetteer g.tsv --text \"...\"\n");
+               "  edge_cli predict  --model m.edge --gazetteer g.tsv --text \"...\"\n"
+               "observability (any subcommand):\n"
+               "  --log-level trace|debug|info|warn|error|off\n"
+               "  --metrics-out metrics.json    --trace-out trace.json\n");
   return 2;
 }
 
@@ -187,6 +201,16 @@ int RunTrain(const Args& args) {
   core::EdgeModel model(config);
   model.Fit(processed);
 
+  // End-of-run training summary, read back from the metrics registry (the
+  // same numbers a --metrics-out snapshot would carry).
+  obs::Registry& registry = obs::Registry::Global();
+  std::vector<double> nll = registry.GetSeries("edge.core.epoch_nll")->values();
+  if (!nll.empty()) {
+    std::printf("training summary: %zu epochs, NLL %.4f -> %.4f, wall %.1fs\n",
+                nll.size(), nll.front(), nll.back(),
+                registry.GetGauge("edge.core.fit_seconds")->value());
+  }
+
   eval::MetricResults metrics = eval::EvaluateGeolocator(&model, processed);
   std::printf("test metrics: mean %.2f km, median %.2f km, @3km %.4f, @5km %.4f\n",
               metrics.mean_km, metrics.median_km, metrics.at_3km, metrics.at_5km);
@@ -254,15 +278,59 @@ int RunPredict(const Args& args) {
   return 0;
 }
 
+/// Applies the observability flags before the subcommand runs; returns false
+/// on a malformed value.
+bool SetupObservability(const Args& args) {
+  std::string level_text = args.Get("log-level");
+  if (!level_text.empty()) {
+    obs::LogLevel level;
+    if (!obs::ParseLogLevel(level_text, &level)) {
+      std::fprintf(stderr, "unknown --log-level '%s'\n", level_text.c_str());
+      return false;
+    }
+    obs::SetLogLevel(level);
+  }
+  if (args.Has("trace-out")) obs::StartTracing();
+  return true;
+}
+
+/// Writes the --metrics-out snapshot and --trace-out export, if requested.
+void FlushObservability(const Args& args) {
+  std::string metrics_path = args.Get("metrics-out");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << obs::Registry::Global().ToJson();
+    if (out.good()) {
+      std::fprintf(stderr, "wrote metrics snapshot to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics write failed: %s\n", metrics_path.c_str());
+    }
+  }
+  std::string trace_path = args.Get("trace-out");
+  if (!trace_path.empty() && obs::WriteTrace(trace_path)) {
+    std::fprintf(stderr, "wrote Chrome trace to %s (open at chrome://tracing)\n",
+                 trace_path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args(argc, argv);
   if (!args.ok()) return Usage();
+  if (!SetupObservability(args)) return 2;
   std::string command = argv[1];
-  if (command == "simulate") return RunSimulate(args);
-  if (command == "train") return RunTrain(args);
-  if (command == "predict") return RunPredict(args);
-  return Usage();
+  int rc = 2;
+  if (command == "simulate") {
+    rc = RunSimulate(args);
+  } else if (command == "train") {
+    rc = RunTrain(args);
+  } else if (command == "predict") {
+    rc = RunPredict(args);
+  } else {
+    return Usage();
+  }
+  FlushObservability(args);
+  return rc;
 }

@@ -258,7 +258,7 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
         if (config_.use_attention) {
           nn::Var scores = nn::Relu(nn::AddRowBroadcast(nn::MatMul(hk, attn_q), attn_b));
           nn::Var weights = nn::SoftmaxCol(scores);
-          z = nn::MatMul(nn::Transpose(weights), hk);
+          z = nn::TransposedMatMul(weights, hk);
         } else {
           z = nn::MatMul(nn::Constant(nn::Matrix::Constant(1, tweet_ids[tweet].size(), 1.0)),
                          hk);

@@ -132,12 +132,16 @@ void Entity2Vec::TrainRange(const std::vector<std::vector<size_t>>& id_corpus,
   int64_t planned = block_tokens * options_.epochs;
   if (planned <= 0) return;
   int64_t processed = 0;
+  // Scratch reused across every sentence and pair in this block; TrainPair
+  // and the subsampling filter never touch the heap in steady state.
+  std::vector<double> u_grad(options_.dim, 0.0);
+  std::vector<size_t> kept;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     for (size_t sentence = begin; sentence < end; ++sentence) {
       const std::vector<size_t>& ids = id_corpus[sentence];
       // Frequent-token subsampling (applied per epoch so rare entities keep
       // all their contexts).
-      std::vector<size_t> kept;
+      kept.clear();
       kept.reserve(ids.size());
       for (size_t id : ids) {
         processed += 1;
@@ -161,7 +165,7 @@ void Entity2Vec::TrainRange(const std::vector<std::vector<size_t>>& id_corpus,
         size_t hi = std::min(kept.size(), pos + span + 1);
         for (size_t ctx = lo; ctx < hi; ++ctx) {
           if (ctx == pos) continue;
-          TrainPair(kept[pos], kept[ctx], lr, rng);
+          TrainPair(kept[pos], kept[ctx], lr, rng, &u_grad);
         }
       }
     }
@@ -174,18 +178,22 @@ size_t Entity2Vec::SampleNegative(Rng* rng) const {
   return static_cast<size_t>(it - negative_cdf_.begin());
 }
 
-void Entity2Vec::TrainPair(size_t center, size_t context, double lr, Rng* rng) {
-  size_t dim = options_.dim;
-  double* u = input_.row_data(center);
-  std::vector<double> u_grad(dim, 0.0);
+void Entity2Vec::TrainPair(size_t center, size_t context, double lr, Rng* rng,
+                           std::vector<double>* u_grad) {
+  const size_t dim = options_.dim;
+  double* EDGE_RESTRICT u = input_.row_data(center);
+  double* EDGE_RESTRICT grad = u_grad->data();
+  std::fill(grad, grad + dim, 0.0);
 
+  // u lives in input_, v in output_ and grad in caller scratch, so the three
+  // restrict-qualified pointers never alias and both loops vectorize cleanly.
   auto update = [&](size_t target, double label) {
-    double* v = output_.row_data(target);
+    double* EDGE_RESTRICT v = output_.row_data(target);
     double z = 0.0;
     for (size_t d = 0; d < dim; ++d) z += u[d] * v[d];
     double g = (Sigmoid(z) - label) * lr;
     for (size_t d = 0; d < dim; ++d) {
-      u_grad[d] += g * v[d];
+      grad[d] += g * v[d];
       v[d] -= g * u[d];
     }
   };
@@ -196,7 +204,7 @@ void Entity2Vec::TrainPair(size_t center, size_t context, double lr, Rng* rng) {
     if (neg == context) continue;
     update(neg, 0.0);
   }
-  for (size_t d = 0; d < dim; ++d) u[d] -= u_grad[d];
+  for (size_t d = 0; d < dim; ++d) u[d] -= grad[d];
 }
 
 std::vector<double> Entity2Vec::EmbeddingOf(const std::string& token) const {

@@ -73,7 +73,10 @@ class Entity2Vec {
 
  private:
   size_t SampleNegative(Rng* rng) const;
-  void TrainPair(size_t center, size_t context, double lr, Rng* rng);
+  /// `u_grad` is caller-owned scratch of length dim (hoisted out of the pair
+  /// loop so the inner trainer never allocates); overwritten on entry.
+  void TrainPair(size_t center, size_t context, double lr, Rng* rng,
+                 std::vector<double>* u_grad);
   /// Runs the epoch loop over the contiguous sentence block [begin, end) of
   /// `id_corpus`, decaying the learning rate against `planned_tokens` (the
   /// block's token count times epochs). The serial path trains the whole

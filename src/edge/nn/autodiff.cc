@@ -4,13 +4,26 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "edge/nn/tape_arena.h"
 #include "edge/obs/trace.h"
 
 namespace edge::nn {
 
-Var Param(Matrix value) { return std::make_shared<Node>(std::move(value), true); }
+namespace {
 
-Var Constant(Matrix value) { return std::make_shared<Node>(std::move(value), false); }
+/// All tape nodes come from the thread-local arena: allocate_shared fuses the
+/// control block and the Node into one block that the arena recycles across
+/// training steps.
+Var NewNode(Matrix value, bool requires_grad) {
+  return std::allocate_shared<Node>(ArenaAllocator<Node>(), std::move(value),
+                                    requires_grad);
+}
+
+}  // namespace
+
+Var Param(Matrix value) { return NewNode(std::move(value), true); }
+
+Var Constant(Matrix value) { return NewNode(std::move(value), false); }
 
 Var MakeOpNode(Matrix value, std::vector<Var> parents,
                std::function<void(Node*)> backward_fn) {
@@ -19,7 +32,7 @@ Var MakeOpNode(Matrix value, std::vector<Var> parents,
     EDGE_CHECK(p != nullptr);
     requires_grad = requires_grad || p->requires_grad;
   }
-  Var node = std::make_shared<Node>(std::move(value), requires_grad);
+  Var node = NewNode(std::move(value), requires_grad);
   node->parents = std::move(parents);
   if (requires_grad) node->backward_fn = std::move(backward_fn);
   return node;
@@ -73,22 +86,39 @@ Var MatMul(const Var& a, const Var& b) {
   });
 }
 
+Var TransposedMatMul(const Var& a, const Var& b) {
+  Matrix value = MatMulTransposeA(a->value, b->value);
+  return MakeOpNode(std::move(value), {a, b}, [](Node* n) {
+    Node* pa = n->parents[0].get();
+    Node* pb = n->parents[1].get();
+    // z = A^T B: dA = B * dZ^T ; dB = A * dZ.
+    if (pa->requires_grad) pa->grad.AddInPlace(MatMulTransposeB(pb->value, n->grad));
+    if (pb->requires_grad) pb->grad.AddInPlace(MatMul(pa->value, n->grad));
+  });
+}
+
 Var AddRowBroadcast(const Var& x, const Var& bias) {
   EDGE_CHECK_EQ(bias->value.rows(), 1u);
   EDGE_CHECK_EQ(bias->value.cols(), x->value.cols());
   Matrix value = x->value;
-  for (size_t r = 0; r < value.rows(); ++r) {
-    for (size_t c = 0; c < value.cols(); ++c) value.At(r, c) += bias->value.At(0, c);
+  {
+    const size_t cols = value.cols();
+    const double* EDGE_RESTRICT brow = bias->value.data();
+    for (size_t r = 0; r < value.rows(); ++r) {
+      double* EDGE_RESTRICT row = value.row_data(r);
+      for (size_t c = 0; c < cols; ++c) row[c] += brow[c];
+    }
   }
   return MakeOpNode(std::move(value), {x, bias}, [](Node* n) {
     Node* px = n->parents[0].get();
     Node* pb = n->parents[1].get();
     if (px->requires_grad) px->grad.AddInPlace(n->grad);
     if (pb->requires_grad) {
+      const size_t cols = n->grad.cols();
+      double* EDGE_RESTRICT acc = pb->grad.row_data(0);
       for (size_t r = 0; r < n->grad.rows(); ++r) {
-        for (size_t c = 0; c < n->grad.cols(); ++c) {
-          pb->grad.At(0, c) += n->grad.At(r, c);
-        }
+        const double* EDGE_RESTRICT grow = n->grad.row_data(r);
+        for (size_t c = 0; c < cols; ++c) acc[c] += grow[c];
       }
     }
   });
@@ -96,18 +126,22 @@ Var AddRowBroadcast(const Var& x, const Var& bias) {
 
 Var Relu(const Var& x) {
   Matrix value = x->value;
-  for (size_t r = 0; r < value.rows(); ++r) {
-    for (size_t c = 0; c < value.cols(); ++c) {
-      if (value.At(r, c) < 0.0) value.At(r, c) = 0.0;
+  {
+    double* EDGE_RESTRICT v = value.data();
+    const size_t n = value.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (v[i] < 0.0) v[i] = 0.0;
     }
   }
   return MakeOpNode(std::move(value), {x}, [](Node* n) {
     Node* p = n->parents[0].get();
     if (!p->requires_grad) return;
-    for (size_t r = 0; r < n->grad.rows(); ++r) {
-      for (size_t c = 0; c < n->grad.cols(); ++c) {
-        if (p->value.At(r, c) > 0.0) p->grad.At(r, c) += n->grad.At(r, c);
-      }
+    const double* EDGE_RESTRICT v = p->value.data();
+    const double* EDGE_RESTRICT g = n->grad.data();
+    double* EDGE_RESTRICT pg = p->grad.data();
+    const size_t count = n->grad.size();
+    for (size_t i = 0; i < count; ++i) {
+      if (v[i] > 0.0) pg[i] += g[i];
     }
   });
 }
@@ -124,19 +158,19 @@ Var SpMm(const CsrMatrix* sparse, const Var& x) {
 
 Var GatherRows(const Var& x, std::vector<size_t> indices) {
   Matrix value(indices.size(), x->value.cols());
+  const size_t cols = value.cols();
   for (size_t i = 0; i < indices.size(); ++i) {
     EDGE_CHECK_LT(indices[i], x->value.rows());
-    for (size_t c = 0; c < value.cols(); ++c) {
-      value.At(i, c) = x->value.At(indices[i], c);
-    }
+    ConstRowSpan src = x->value.RowSpan(indices[i]);
+    std::copy(src.begin(), src.end(), value.row_data(i));
   }
-  return MakeOpNode(std::move(value), {x}, [indices = std::move(indices)](Node* n) {
+  return MakeOpNode(std::move(value), {x}, [indices = std::move(indices), cols](Node* n) {
     Node* p = n->parents[0].get();
     if (!p->requires_grad) return;
     for (size_t i = 0; i < indices.size(); ++i) {
-      for (size_t c = 0; c < n->grad.cols(); ++c) {
-        p->grad.At(indices[i], c) += n->grad.At(i, c);
-      }
+      const double* EDGE_RESTRICT grow = n->grad.row_data(i);
+      double* EDGE_RESTRICT prow = p->grad.row_data(indices[i]);
+      for (size_t c = 0; c < cols; ++c) prow[c] += grow[c];
     }
   });
 }
@@ -181,15 +215,17 @@ Var ConcatRows(const std::vector<Var>& rows) {
   for (size_t i = 0; i < rows.size(); ++i) {
     EDGE_CHECK_EQ(rows[i]->value.rows(), 1u);
     EDGE_CHECK_EQ(rows[i]->value.cols(), cols);
-    for (size_t c = 0; c < cols; ++c) value.At(i, c) = rows[i]->value.At(0, c);
+    ConstRowSpan src = rows[i]->value.RowSpan(0);
+    std::copy(src.begin(), src.end(), value.row_data(i));
   }
   return MakeOpNode(std::move(value), rows, [](Node* n) {
+    const size_t cols = n->grad.cols();
     for (size_t i = 0; i < n->parents.size(); ++i) {
       Node* p = n->parents[i].get();
       if (!p->requires_grad) continue;
-      for (size_t c = 0; c < n->grad.cols(); ++c) {
-        p->grad.At(0, c) += n->grad.At(i, c);
-      }
+      const double* EDGE_RESTRICT grow = n->grad.row_data(i);
+      double* EDGE_RESTRICT prow = p->grad.row_data(0);
+      for (size_t c = 0; c < cols; ++c) prow[c] += grow[c];
     }
   });
 }
@@ -200,10 +236,10 @@ Var SumAll(const Var& x) {
   return MakeOpNode(std::move(value), {x}, [](Node* n) {
     Node* p = n->parents[0].get();
     if (!p->requires_grad) return;
-    double g = n->grad.At(0, 0);
-    for (size_t r = 0; r < p->grad.rows(); ++r) {
-      for (size_t c = 0; c < p->grad.cols(); ++c) p->grad.At(r, c) += g;
-    }
+    const double g = n->grad.At(0, 0);
+    double* EDGE_RESTRICT pg = p->grad.data();
+    const size_t count = p->grad.size();
+    for (size_t i = 0; i < count; ++i) pg[i] += g;
   });
 }
 
@@ -243,9 +279,14 @@ void Backward(const Var& root) {
   EDGE_CHECK_EQ(root->value.rows(), 1u);
   EDGE_CHECK_EQ(root->value.cols(), 1u);
   std::vector<Node*> order = TopologicalOrder(root);
+  // Gradient storage only where gradients flow: closures never touch the
+  // grad of a requires_grad == false node. ResetZero recycles each node's
+  // existing buffer (params keep theirs across steps; fresh op nodes draw
+  // from the arena), so this loop allocates nothing at steady state.
   for (Node* n : order) {
-    n->grad = Matrix::Zeros(n->value.rows(), n->value.cols());
+    if (n->requires_grad) n->grad.ResetZero(n->value.rows(), n->value.cols());
   }
+  root->grad.ResetZero(1, 1);
   root->grad.At(0, 0) = 1.0;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* n = *it;

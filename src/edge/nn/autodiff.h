@@ -17,7 +17,9 @@ class Node;
 /// exactly like a define-by-run framework. Graphs are rebuilt per training
 /// step (EDGE batches are small and the entity graph dominates cost), which
 /// keeps the engine simple and the per-op backward code verifiable by
-/// finite differences.
+/// finite differences. Node storage and Matrix buffers are recycled across
+/// steps through the thread-local tape arena (edge/nn/tape_arena.h), so the
+/// rebuild is allocation-free once shapes have been seen.
 using Var = std::shared_ptr<Node>;
 
 /// A node on the tape: forward value, accumulated gradient, parents and the
@@ -60,6 +62,10 @@ Var Scale(const Var& a, double s);
 Var Mul(const Var& a, const Var& b);
 /// z = a * b (matrix product).
 Var MatMul(const Var& a, const Var& b);
+/// z = a^T * b without putting a transpose copy on the tape (the attention
+/// pooling step z = w^T H). Forward and backward both run through the
+/// transpose-free blocked kernels.
+Var TransposedMatMul(const Var& a, const Var& b);
 /// z = x + 1 * bias broadcast over rows; x is R x C, bias is 1 x C.
 Var AddRowBroadcast(const Var& x, const Var& bias);
 /// Elementwise max(x, 0).
@@ -82,9 +88,12 @@ Var SumAll(const Var& x);
 Var MeanAll(const Var& x);
 
 /// Runs reverse-mode accumulation from a 1 x 1 root: zeroes the gradient of
-/// every reachable node, seeds the root with 1 and applies backward closures
-/// in reverse topological order. After the call, each reachable Param's
-/// `grad` holds d(root)/d(param).
+/// every reachable node that requires one, seeds the root with 1 and applies
+/// backward closures in reverse topological order. After the call, each
+/// reachable Param's `grad` holds d(root)/d(param). Nodes with
+/// requires_grad == false never get gradient storage — no closure reads it —
+/// which keeps large Constant leaves (the GCN feature matrix) free of
+/// per-step zeroing cost.
 void Backward(const Var& root);
 
 /// Collects every distinct reachable node in topological order (parents

@@ -7,27 +7,58 @@
 
 #include "edge/common/check.h"
 
+/// Tells the optimizer two pointers cannot alias, which lets the compiler
+/// vectorize kernel inner loops without emitting runtime overlap checks.
+#if defined(__GNUC__) || defined(__clang__)
+#define EDGE_RESTRICT __restrict__
+#else
+#define EDGE_RESTRICT
+#endif
+
 namespace edge::nn {
+
+/// Borrowed, non-owning view of one matrix row: `cols` contiguous doubles.
+/// The backing matrix must outlive the span. This is the zero-copy currency
+/// of the row-oriented paths (GatherRows, ConcatRows, batched prediction):
+/// callers read through the span instead of materializing a 1 x C Matrix.
+struct ConstRowSpan {
+  const double* data = nullptr;
+  size_t cols = 0;
+
+  double operator[](size_t c) const {
+    EDGE_DCHECK(c < cols);
+    return data[c];
+  }
+  const double* begin() const { return data; }
+  const double* end() const { return data + cols; }
+};
 
 /// Dense row-major matrix of doubles. This is the single tensor type used by
 /// the autodiff tape, the GCN, the MDN head and the baselines. Double
 /// precision is deliberate: every op's backward pass is validated against
 /// central finite differences, which needs the head-room.
+///
+/// Storage is recycled through the thread-local tape arena
+/// (edge/nn/tape_arena.h): construction acquires a pooled buffer and the
+/// destructor parks it for the next same-shaped matrix, so steady-state
+/// training steps allocate nothing. The pooling is purely an allocation
+/// strategy — element values and numerics are identical to plain heap
+/// storage.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
 
   /// Creates rows x cols, zero-initialized.
-  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  Matrix(size_t rows, size_t cols);
 
   /// Creates rows x cols filled with `fill`.
-  Matrix(size_t rows, size_t cols, double fill)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(size_t rows, size_t cols, double fill);
 
-  Matrix(const Matrix&) = default;
-  Matrix& operator=(const Matrix&) = default;
-  Matrix(Matrix&&) = default;
-  Matrix& operator=(Matrix&&) = default;
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(Matrix&& other) noexcept;
+  ~Matrix();
 
   static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
   static Matrix Constant(size_t rows, size_t cols, double fill) {
@@ -58,6 +89,17 @@ class Matrix {
   double* row_data(size_t r) { return data_.data() + r * cols_; }
   const double* row_data(size_t r) const { return data_.data() + r * cols_; }
 
+  /// Zero-copy view of row r; valid while this matrix is alive and unresized.
+  ConstRowSpan RowSpan(size_t r) const {
+    EDGE_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Reshapes in place to rows x cols, all elements zero. Reuses the current
+  /// buffer when it is large enough — the allocation-free way to (re)build
+  /// gradient storage every step.
+  void ResetZero(size_t rows, size_t cols);
+
   /// Sets every element to `value`.
   void Fill(double value);
 
@@ -77,7 +119,7 @@ class Matrix {
   Matrix Scaled(double scale) const;
   /// Elementwise product.
   Matrix Hadamard(const Matrix& other) const;
-  /// Transpose copy.
+  /// Transpose copy (cache-blocked; see kernel notes in matrix.cc).
   Matrix Transposed() const;
 
   /// Sum of all elements.
@@ -87,7 +129,8 @@ class Matrix {
   /// Frobenius norm.
   double FrobeniusNorm() const;
 
-  /// Extracts row r as a 1 x cols matrix.
+  /// Extracts row r as a 1 x cols matrix (copying). Prefer RowSpan() on hot
+  /// paths.
   Matrix Row(size_t r) const;
 
   /// Debug rendering, e.g. "[[1, 2], [3, 4]]".
@@ -103,6 +146,10 @@ class Matrix {
 /// row-blocked over the global thread budget (edge/common/thread_pool.h) and
 /// keep each output element's accumulation order independent of the
 /// partition, so results are bitwise identical for every num_threads setting.
+/// The serial kernels themselves are cache-blocked and register-tiled, but
+/// every out(i, j) still accumulates its k terms one at a time in ascending
+/// order — bitwise identical to the naive triple loop (proved by
+/// tests/parallel_parity_test.cc against a reference kernel).
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
 /// Returns a^T * b without materializing the transpose.

@@ -21,20 +21,19 @@ void Adam::Step() {
     Node* p = params_[i].get();
     EDGE_CHECK_EQ(p->grad.size(), p->value.size())
         << "Step() called before Backward() populated gradients";
-    Matrix& m = m_[i];
-    Matrix& v = v_[i];
-    for (size_t r = 0; r < p->value.rows(); ++r) {
-      for (size_t c = 0; c < p->value.cols(); ++c) {
-        double g = p->grad.At(r, c) + options_.weight_decay * p->value.At(r, c);
-        double& mi = m.At(r, c);
-        double& vi = v.At(r, c);
-        mi = options_.beta1 * mi + (1.0 - options_.beta1) * g;
-        vi = options_.beta2 * vi + (1.0 - options_.beta2) * g * g;
-        double m_hat = mi / bias1;
-        double v_hat = vi / bias2;
-        p->value.At(r, c) -=
-            options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
-      }
+    const double* EDGE_RESTRICT grad = p->grad.data();
+    double* EDGE_RESTRICT value = p->value.data();
+    double* EDGE_RESTRICT m = m_[i].data();
+    double* EDGE_RESTRICT v = v_[i].data();
+    const size_t n = p->value.size();
+    for (size_t e = 0; e < n; ++e) {
+      double g = grad[e] + options_.weight_decay * value[e];
+      m[e] = options_.beta1 * m[e] + (1.0 - options_.beta1) * g;
+      v[e] = options_.beta2 * v[e] + (1.0 - options_.beta2) * g * g;
+      double m_hat = m[e] / bias1;
+      double v_hat = v[e] / bias2;
+      value[e] -=
+          options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
     }
   }
 }

@@ -45,13 +45,14 @@ Matrix CsrMatrix::Multiply(const Matrix& dense) const {
   size_t avg_row_flops =
       rows_ == 0 ? 1 : std::max<size_t>(1, 2 * nnz() * dense.cols() / rows_);
   size_t grain = std::clamp<size_t>(16384 / avg_row_flops, 1, std::max<size_t>(rows_, 1));
+  const size_t dense_cols = dense.cols();
   ParallelFor(0, rows_, grain, [&](size_t row_begin, size_t row_end) {
     for (size_t r = row_begin; r < row_end; ++r) {
-      double* orow = out.row_data(r);
+      double* EDGE_RESTRICT orow = out.row_data(r);
       for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
         double v = values_[k];
-        const double* drow = dense.row_data(col_indices_[k]);
-        for (size_t c = 0; c < dense.cols(); ++c) orow[c] += v * drow[c];
+        const double* EDGE_RESTRICT drow = dense.row_data(col_indices_[k]);
+        for (size_t c = 0; c < dense_cols; ++c) orow[c] += v * drow[c];
       }
     }
   });
@@ -70,10 +71,10 @@ Matrix CsrMatrix::MultiplyTranspose(const Matrix& dense) const {
   size_t grain = std::max<size_t>(8, dense.cols() / 16);
   ParallelFor(0, dense.cols(), grain, [&](size_t col_begin, size_t col_end) {
     for (size_t r = 0; r < rows_; ++r) {
-      const double* drow = dense.row_data(r);
+      const double* EDGE_RESTRICT drow = dense.row_data(r);
       for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
         double v = values_[k];
-        double* orow = out.row_data(col_indices_[k]);
+        double* EDGE_RESTRICT orow = out.row_data(col_indices_[k]);
         for (size_t c = col_begin; c < col_end; ++c) orow[c] += v * drow[c];
       }
     }

@@ -1,0 +1,166 @@
+#include "edge/nn/tape_arena.h"
+
+#include <atomic>
+
+#include "edge/obs/metrics.h"
+
+namespace edge::nn {
+
+namespace {
+
+std::atomic<bool> g_arena_enabled{true};
+
+/// Smallest b with (1 << b) >= n (n >= 1).
+size_t CeilLog2(size_t n) {
+  size_t b = 0;
+  while ((size_t{1} << b) < n) ++b;
+  return b;
+}
+
+/// Largest b with (1 << b) <= n (n >= 1).
+size_t FloorLog2(size_t n) {
+  size_t b = 0;
+  while ((size_t{2} << b) <= n) ++b;
+  return b;
+}
+
+/// Thread-teardown guard: trivially destructible, so it stays readable after
+/// the holder's destructor ran. LocalOrNull() must never hand out a destroyed
+/// arena to a static-storage Matrix dying late in process shutdown.
+thread_local bool tls_arena_alive = false;
+
+struct ArenaHolder {
+  ArenaHolder() { tls_arena_alive = true; }
+  ~ArenaHolder() { tls_arena_alive = false; }
+  TapeArena arena;
+};
+
+}  // namespace
+
+TapeArena::TapeArena()
+    : nodes_reused_counter_(obs::Registry::Global().GetCounter("edge.nn.tape.nodes_reused")),
+      buffers_reused_counter_(
+          obs::Registry::Global().GetCounter("edge.nn.tape.buffers_reused")),
+      bytes_recycled_counter_(
+          obs::Registry::Global().GetCounter("edge.nn.tape.bytes_recycled")) {}
+
+TapeArena::~TapeArena() { Trim(); }
+
+TapeArena* TapeArena::LocalOrNull() {
+  thread_local ArenaHolder holder;
+  return tls_arena_alive ? &holder.arena : nullptr;
+}
+
+std::vector<double> TapeArena::AcquireBuffer(size_t n) {
+  if (n > 0 && g_arena_enabled.load(std::memory_order_relaxed)) {
+    size_t b = CeilLog2(n);
+    if (b < kNumBuckets && !buffer_buckets_[b].empty()) {
+      std::vector<double> buffer = std::move(buffer_buckets_[b].back());
+      buffer_buckets_[b].pop_back();
+      stats_.buffer_hits += 1;
+      stats_.buffers_parked -= 1;
+      int64_t bytes = static_cast<int64_t>(buffer.capacity() * sizeof(double));
+      stats_.bytes_recycled += bytes;
+      buffers_reused_counter_->Increment();
+      bytes_recycled_counter_->Increment(bytes);
+      return buffer;
+    }
+  }
+  stats_.buffer_misses += 1;
+  std::vector<double> buffer;
+  if (n > 0) {
+    // Reserve the rounded size-class capacity so the buffer re-enters the
+    // same bucket it will be requested from next step.
+    size_t b = CeilLog2(n);
+    buffer.reserve(b < kNumBuckets ? (size_t{1} << b) : n);
+  }
+  return buffer;
+}
+
+void TapeArena::ReleaseBuffer(std::vector<double>&& buffer) {
+  if (buffer.capacity() == 0 || !g_arena_enabled.load(std::memory_order_relaxed)) return;
+  size_t b = FloorLog2(buffer.capacity());
+  if (b >= kNumBuckets || buffer_buckets_[b].size() >= kMaxPerBucket) return;
+  buffer_buckets_[b].push_back(std::move(buffer));
+  stats_.buffers_parked += 1;
+}
+
+void* TapeArena::AllocBlock(size_t bytes) {
+  size_t b = CeilLog2(bytes == 0 ? 1 : bytes);
+  // Blocks are ALWAYS allocated at the rounded size-class size, even when the
+  // arena is disabled, so a block freed into a bucket is guaranteed to be
+  // large enough for any request that bucket serves.
+  size_t rounded = b < kNumBuckets ? (size_t{1} << b) : bytes;
+  if (b < kNumBuckets && g_arena_enabled.load(std::memory_order_relaxed) &&
+      !block_buckets_[b].empty()) {
+    void* p = block_buckets_[b].back();
+    block_buckets_[b].pop_back();
+    stats_.node_hits += 1;
+    stats_.bytes_recycled += static_cast<int64_t>(rounded);
+    nodes_reused_counter_->Increment();
+    bytes_recycled_counter_->Increment(static_cast<int64_t>(rounded));
+    return p;
+  }
+  stats_.node_misses += 1;
+  return ::operator new(rounded);
+}
+
+void TapeArena::FreeBlock(void* p, size_t bytes) {
+  size_t b = CeilLog2(bytes == 0 ? 1 : bytes);
+  if (b < kNumBuckets && g_arena_enabled.load(std::memory_order_relaxed) &&
+      block_buckets_[b].size() < kMaxPerBucket) {
+    block_buckets_[b].push_back(p);
+    return;
+  }
+  ::operator delete(p);
+}
+
+void TapeArena::Trim() {
+  for (auto& bucket : buffer_buckets_) {
+    stats_.buffers_parked -= static_cast<int64_t>(bucket.size());
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+  for (auto& bucket : block_buckets_) {
+    for (void* p : bucket) ::operator delete(p);
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+}
+
+void SetTapeArenaEnabled(bool enabled) {
+  g_arena_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TapeArenaEnabled() { return g_arena_enabled.load(std::memory_order_relaxed); }
+
+std::vector<double> AcquireMatrixBuffer(size_t n) {
+  if (TapeArena* arena = TapeArena::LocalOrNull(); arena != nullptr) {
+    return arena->AcquireBuffer(n);
+  }
+  std::vector<double> buffer;
+  buffer.reserve(n);
+  return buffer;
+}
+
+void ReleaseMatrixBuffer(std::vector<double>&& buffer) {
+  if (TapeArena* arena = TapeArena::LocalOrNull(); arena != nullptr) {
+    arena->ReleaseBuffer(std::move(buffer));
+  }
+  // Otherwise the vector destructor frees it — teardown path.
+}
+
+TapeArenaStats LocalTapeArenaStats() {
+  if (TapeArena* arena = TapeArena::LocalOrNull(); arena != nullptr) {
+    return arena->stats();
+  }
+  return TapeArenaStats{};
+}
+
+void ResetLocalTapeArenaStatsForTest() {
+  if (TapeArena* arena = TapeArena::LocalOrNull(); arena != nullptr) {
+    arena->ResetStatsForTest();
+  }
+}
+
+}  // namespace edge::nn

@@ -1,0 +1,157 @@
+#ifndef EDGE_NN_TAPE_ARENA_H_
+#define EDGE_NN_TAPE_ARENA_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+/// \file
+/// Thread-local recycling arena for the define-by-run tape. Every training
+/// step rebuilds the expression graph, which in the pre-arena implementation
+/// meant one shared_ptr control block per op node plus a fresh heap buffer
+/// for every Matrix value and gradient — thousands of malloc/free pairs per
+/// step whose shapes repeat exactly from step to step. The arena exploits
+/// that repetition:
+///
+///   * Matrix buffers (`std::vector<double>` payloads) are parked in
+///     power-of-two size-class free lists on destruction and handed back on
+///     the next acquisition of a compatible size. After a warm-up step the
+///     steady state performs zero new heap allocations for tape matrices.
+///   * Node storage (the combined allocate_shared block holding the control
+///     block and the Node) is recycled through the same size-class scheme via
+///     ArenaAllocator, so op-node construction stops hitting the allocator.
+///
+/// The arena is strictly thread-local: acquisition and release touch no
+/// locks, which keeps the Matrix constructor cheap enough for the kernel hot
+/// path. A buffer released on a different thread than it was acquired on
+/// simply migrates to the releasing thread's arena — correctness never
+/// depends on which arena owns a block. Recycling is invisible to numerics:
+/// buffers are re-zeroed/overwritten exactly as freshly allocated ones were,
+/// so training trajectories are bitwise identical with the arena on or off
+/// (asserted by tests/tape_arena_test.cc).
+///
+/// Observability: hits/misses/recycled bytes are mirrored into the global
+/// metrics registry as `edge.nn.tape.nodes_reused`,
+/// `edge.nn.tape.buffers_reused` and `edge.nn.tape.bytes_recycled`.
+
+namespace edge::obs {
+class Counter;
+}  // namespace edge::obs
+
+namespace edge::nn {
+
+/// Snapshot of one thread's arena activity. Misses are genuine heap
+/// allocations; hits were served from a free list. The allocation-regression
+/// test asserts `buffer_misses` and `node_misses` stop growing once training
+/// reaches steady state.
+struct TapeArenaStats {
+  int64_t buffer_hits = 0;
+  int64_t buffer_misses = 0;
+  int64_t node_hits = 0;
+  int64_t node_misses = 0;
+  int64_t bytes_recycled = 0;  ///< Bytes served from free lists (hits only).
+  int64_t buffers_parked = 0;  ///< Buffers currently sitting in free lists.
+};
+
+class TapeArena {
+ public:
+  TapeArena();
+  ~TapeArena();
+
+  TapeArena(const TapeArena&) = delete;
+  TapeArena& operator=(const TapeArena&) = delete;
+
+  /// The calling thread's arena, or nullptr during thread/process teardown
+  /// (after the thread-local destructor ran, callers must fall back to plain
+  /// heap allocation).
+  static TapeArena* LocalOrNull();
+
+  /// Returns a vector with capacity >= n (size unspecified; callers assign or
+  /// resize). Served from the free list when a compatible buffer is parked.
+  std::vector<double> AcquireBuffer(size_t n);
+
+  /// Parks the buffer for reuse (or drops it when the size class is full).
+  void ReleaseBuffer(std::vector<double>&& buffer);
+
+  /// Raw block allocation for ArenaAllocator (node control blocks).
+  void* AllocBlock(size_t bytes);
+  void FreeBlock(void* p, size_t bytes);
+
+  const TapeArenaStats& stats() const { return stats_; }
+  void ResetStatsForTest() { stats_ = TapeArenaStats{}; }
+  /// Empties every free list (memory pressure valve / test isolation).
+  void Trim();
+
+ private:
+  static constexpr size_t kNumBuckets = 48;
+  /// Free lists are capped per size class so a one-off giant graph cannot pin
+  /// unbounded memory; beyond the cap, released buffers go back to the heap.
+  static constexpr size_t kMaxPerBucket = 512;
+
+  TapeArenaStats stats_;
+  std::array<std::vector<std::vector<double>>, kNumBuckets> buffer_buckets_;
+  std::array<std::vector<void*>, kNumBuckets> block_buckets_;
+  // Cached registry instruments (fetched once; atomic increments afterwards).
+  obs::Counter* nodes_reused_counter_;
+  obs::Counter* buffers_reused_counter_;
+  obs::Counter* bytes_recycled_counter_;
+};
+
+/// Process-global arena switch (default on). Disabling routes every
+/// acquisition to the plain heap — used by tests to prove recycling does not
+/// perturb numerics, and available as an escape hatch for leak triage.
+void SetTapeArenaEnabled(bool enabled);
+bool TapeArenaEnabled();
+
+/// Convenience wrappers used by Matrix: fall back to plain heap when the
+/// arena is disabled or already torn down.
+std::vector<double> AcquireMatrixBuffer(size_t n);
+void ReleaseMatrixBuffer(std::vector<double>&& buffer);
+
+/// Calling thread's stats (zeroes if the arena is gone).
+TapeArenaStats LocalTapeArenaStats();
+void ResetLocalTapeArenaStatsForTest();
+
+/// Minimal allocator handing blocks from the thread-local arena; used with
+/// std::allocate_shared so a tape node and its control block live in one
+/// recycled block.
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+
+  ArenaAllocator() = default;
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(size_t n) {
+    size_t bytes = n * sizeof(T);
+    if (TapeArena* arena = TapeArena::LocalOrNull(); arena != nullptr) {
+      return static_cast<T*>(arena->AllocBlock(bytes));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, size_t n) {
+    size_t bytes = n * sizeof(T);
+    if (TapeArena* arena = TapeArena::LocalOrNull(); arena != nullptr) {
+      arena->FreeBlock(p, bytes);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>&) const {
+    return false;
+  }
+};
+
+}  // namespace edge::nn
+
+#endif  // EDGE_NN_TAPE_ARENA_H_

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "edge/common/rng.h"
+#include "edge/common/thread_pool.h"
 #include "edge/nn/sparse.h"
 #include "gradcheck.h"
 
@@ -103,6 +104,48 @@ TEST_P(OpGradcheckTest, MatMulChain) {
   Var b = Param(RandomAwayFromZero(3, 4, &rng_));
   Var c = Param(RandomAwayFromZero(4, 2, &rng_));
   ExpectGradientsMatch({a, b, c}, [&] { return SumAll(MatMul(MatMul(a, b), c)); });
+}
+
+TEST_P(OpGradcheckTest, TransposedMatMulOp) {
+  // z = a^T b without a transpose node — must match MatMul(Transpose(a), b)
+  // in value and differentiate correctly through both operands.
+  Var a = Param(RandomAwayFromZero(4, 3, &rng_));
+  Var b = Param(RandomAwayFromZero(4, 2, &rng_));
+  Matrix via_transpose = MatMul(Transpose(a), b)->value;
+  Matrix direct = TransposedMatMul(a, b)->value;
+  ASSERT_EQ(direct.rows(), 3u);
+  ASSERT_EQ(direct.cols(), 2u);
+  for (size_t r = 0; r < direct.rows(); ++r) {
+    for (size_t c = 0; c < direct.cols(); ++c) {
+      ASSERT_EQ(direct.At(r, c), via_transpose.At(r, c));
+    }
+  }
+  ExpectGradientsMatch({a, b}, [&] { return SumAll(TransposedMatMul(a, b)); });
+}
+
+TEST_P(OpGradcheckTest, TransposedMatMulAttentionShaped) {
+  // The attention pooling shape: K x 1 weights against K x D rows.
+  Var w = Param(RandomAwayFromZero(5, 1, &rng_));
+  Var h = Param(RandomAwayFromZero(5, 3, &rng_));
+  Var out_w = Param(RandomAwayFromZero(3, 1, &rng_));
+  ExpectGradientsMatch({w, h, out_w}, [&] {
+    return SumAll(MatMul(TransposedMatMul(w, h), out_w));
+  });
+}
+
+TEST_P(OpGradcheckTest, MatMulOddShapesUnderThreads) {
+  // Tile-boundary shapes (1 x N, N x 1, prime dims) through the blocked
+  // kernels with a multi-thread budget: forward and backward must both stay
+  // finite-difference correct at every panel-remainder path.
+  ScopedNumThreads scoped(3);
+  int seed = GetParam();
+  size_t m = static_cast<size_t>(1 + (seed * 5) % 7);    // 1..7 rows
+  size_t k = static_cast<size_t>(1 + (seed * 11) % 13);  // 1..13 inner
+  Var a = Param(RandomAwayFromZero(m, k, &rng_));
+  Var b = Param(RandomAwayFromZero(k, 1, &rng_));
+  ExpectGradientsMatch({a, b}, [&] { return SumAll(MatMul(a, b)); });
+  Var c = Param(RandomAwayFromZero(m, k, &rng_));
+  ExpectGradientsMatch({a, c}, [&] { return SumAll(TransposedMatMul(a, c)); });
 }
 
 TEST_P(OpGradcheckTest, AddRowBroadcast) {

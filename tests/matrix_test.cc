@@ -94,6 +94,58 @@ TEST(MatrixTest, AllCloseShapeMismatch) {
   EXPECT_TRUE(AllClose(Matrix(2, 2, 1.0), Matrix(2, 2, 1.0), 0.0));
 }
 
+TEST(MatrixTest, BlockedTransposeOddShapes) {
+  // The 32x32-tiled transpose must handle shapes that are not tile multiples:
+  // vectors, tile-edge sizes and prime dimensions.
+  struct Shape {
+    size_t rows, cols;
+  };
+  for (Shape shape : {Shape{1, 1}, Shape{1, 37}, Shape{37, 1}, Shape{31, 33},
+                      Shape{32, 32}, Shape{33, 31}, Shape{67, 129}}) {
+    Matrix a(shape.rows, shape.cols);
+    for (size_t r = 0; r < shape.rows; ++r) {
+      for (size_t c = 0; c < shape.cols; ++c) {
+        a.At(r, c) = static_cast<double>(r * 1000 + c);
+      }
+    }
+    Matrix t = a.Transposed();
+    ASSERT_EQ(t.rows(), shape.cols);
+    ASSERT_EQ(t.cols(), shape.rows);
+    for (size_t r = 0; r < shape.rows; ++r) {
+      for (size_t c = 0; c < shape.cols; ++c) {
+        ASSERT_EQ(t.At(c, r), a.At(r, c))
+            << shape.rows << "x" << shape.cols << " at (" << r << ", " << c << ")";
+      }
+    }
+  }
+}
+
+TEST(MatrixTest, RowSpanViewsRowWithoutCopy) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  ConstRowSpan span = a.RowSpan(1);
+  EXPECT_EQ(span.cols, 3u);
+  EXPECT_EQ(span[0], 4.0);
+  EXPECT_EQ(span[2], 6.0);
+  EXPECT_EQ(span.data, a.row_data(1));  // A view, not a copy.
+  EXPECT_EQ(span.end() - span.begin(), 3);
+}
+
+TEST(MatrixTest, ResetZeroReusesCapacityAndZeroes) {
+  Matrix m(10, 10);
+  m.Fill(3.5);
+  const double* storage = m.data();
+  m.ResetZero(5, 8);  // Smaller: must keep the buffer.
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 8u);
+  EXPECT_EQ(m.data(), storage);
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 8; ++c) ASSERT_EQ(m.At(r, c), 0.0);
+  }
+  m.ResetZero(40, 40);  // Larger: fresh (pooled) buffer, still all zero.
+  EXPECT_EQ(m.size(), 1600u);
+  EXPECT_EQ(m.Sum(), 0.0);
+}
+
 /// Property sweep: (A B)^T == B^T A^T over random shapes.
 class MatMulPropertyTest : public ::testing::TestWithParam<int> {};
 

@@ -71,6 +71,96 @@ TEST(ParallelParityTest, DenseMatMulKernelsBitwiseIdentical) {
   }
 }
 
+// --- Reference kernels: the plain triple loops the blocked/register-tiled
+// kernels must reproduce bit for bit. Every out(i, j) accumulates its k terms
+// one at a time in ascending order; the production kernels keep exactly that
+// per-element association, so equality here is EXPECT_EQ, not a tolerance. ---
+
+nn::Matrix ReferenceMatMul(const nn::Matrix& a, const nn::Matrix& b) {
+  nn::Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out.At(i, j) += a.At(i, k) * b.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+nn::Matrix ReferenceMatMulTransposeA(const nn::Matrix& a, const nn::Matrix& b) {
+  nn::Matrix out(a.cols(), b.cols());
+  for (size_t i = 0; i < a.cols(); ++i) {
+    for (size_t k = 0; k < a.rows(); ++k) {
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out.At(i, j) += a.At(k, i) * b.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+nn::Matrix ReferenceMatMulTransposeB(const nn::Matrix& a, const nn::Matrix& b) {
+  nn::Matrix out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) dot += a.At(i, k) * b.At(j, k);
+      out.At(i, j) = dot;
+    }
+  }
+  return out;
+}
+
+nn::Matrix ReferenceTransposed(const nn::Matrix& a) {
+  nn::Matrix out(a.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  }
+  return out;
+}
+
+TEST(ParallelParityTest, BlockedKernelsMatchNaiveReferenceOnOddShapes) {
+  // Shapes straddling every tile boundary: single row/column, prime
+  // dimensions below and above the k-tile (64) and the 4/2/1-row panel split,
+  // plus a shape with all three dims prime and > 2 tiles of k.
+  struct Shape {
+    size_t m, k, n;
+  };
+  const Shape shapes[] = {{1, 1, 1},   {1, 7, 1},    {1, 64, 17},  {3, 3, 3},
+                          {5, 65, 2},  {17, 31, 17}, {31, 127, 3}, {63, 64, 65},
+                          {7, 129, 11}};
+  Rng rng(41);
+  for (const Shape& shape : shapes) {
+    SCOPED_TRACE("shape " + std::to_string(shape.m) + "x" + std::to_string(shape.k) +
+                 "x" + std::to_string(shape.n));
+    nn::Matrix a = nn::GaussianInit(shape.m, shape.k, 1.0, &rng);
+    nn::Matrix b = nn::GaussianInit(shape.k, shape.n, 1.0, &rng);
+    nn::Matrix at = nn::GaussianInit(shape.k, shape.m, 1.0, &rng);
+    nn::Matrix bt = nn::GaussianInit(shape.n, shape.k, 1.0, &rng);
+    nn::Matrix mm = ReferenceMatMul(a, b);
+    nn::Matrix ta = ReferenceMatMulTransposeA(at, b);
+    nn::Matrix tb = ReferenceMatMulTransposeB(a, bt);
+    nn::Matrix tr = ReferenceTransposed(a);
+    for (int threads : {1, 2, 3, 4, 8}) {
+      ScopedNumThreads scoped(threads);
+      ExpectBitwiseEqual(mm, nn::MatMul(a, b));
+      ExpectBitwiseEqual(ta, nn::MatMulTransposeA(at, b));
+      ExpectBitwiseEqual(tb, nn::MatMulTransposeB(a, bt));
+      ExpectBitwiseEqual(tr, a.Transposed());
+    }
+  }
+}
+
+TEST(ParallelParityTest, SelfMultiplyMatchesReference) {
+  // MatMulTransposeA/B with both operands the same matrix (gram products) —
+  // the aliasing case the EDGE_RESTRICT annotations must stay truthful for.
+  Rng rng(43);
+  nn::Matrix a = nn::GaussianInit(37, 29, 1.0, &rng);
+  ExpectBitwiseEqual(ReferenceMatMulTransposeA(a, a), nn::MatMulTransposeA(a, a));
+  ExpectBitwiseEqual(ReferenceMatMulTransposeB(a, a), nn::MatMulTransposeB(a, a));
+}
+
 TEST(ParallelParityTest, CsrMultiplyBitwiseIdentical) {
   Rng rng(12);
   std::vector<nn::Triplet> triplets;

@@ -1,0 +1,169 @@
+/// Closed-loop load benchmark for edge::serve (not a paper table): trains a
+/// small world once, then drives the service with concurrent closed-loop
+/// clients (each issues its next request when the previous answer returns)
+/// across a sweep of micro-batch sizes and worker budgets.
+///
+/// Writes BENCH_serve.json: per configuration the sustained QPS and the
+/// p50/p99 request latency, with the response cache off so every request
+/// pays the real batched-inference path, plus one cache-on row as the upper
+/// bound. Use it to pick --max-batch / --workers for a deployment: on a
+/// 1-core host larger batches trade tail latency for throughput.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "edge/common/check.h"
+#include "edge/common/stopwatch.h"
+#include "edge/data/generator.h"
+#include "edge/data/pipeline.h"
+#include "edge/data/worlds.h"
+#include "edge/serve/geo_service.h"
+
+namespace {
+
+using namespace edge;
+
+struct LoadResult {
+  size_t max_batch;
+  size_t workers;
+  bool cache;
+  size_t requests;
+  size_t degraded;
+  double seconds;
+  double p50_ms;
+  double p99_ms;
+};
+
+double PercentileMs(std::vector<double>* latencies, double q) {
+  if (latencies->empty()) return 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  size_t index = static_cast<size_t>(q * static_cast<double>(latencies->size() - 1));
+  return (*latencies)[index];
+}
+
+/// `clients` closed-loop clients, `requests_per_client` requests each.
+LoadResult RunLoad(const std::string& checkpoint, const text::Gazetteer& gazetteer,
+                   const std::vector<std::string>& texts, size_t max_batch,
+                   size_t workers, bool cache, size_t clients,
+                   size_t requests_per_client) {
+  serve::GeoServiceOptions options;
+  options.max_batch = max_batch;
+  options.max_delay_ms = 1.0;
+  options.num_workers = workers;
+  options.cache_capacity = cache ? 4096 : 0;
+  std::stringstream stream(checkpoint);
+  auto service = serve::GeoService::Create(&stream, gazetteer, options);
+  EDGE_CHECK(service.ok()) << service.status().ToString();
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<size_t> degraded{0};
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(requests_per_client);
+      for (size_t r = 0; r < requests_per_client; ++r) {
+        const std::string& text = texts[(c * 131 + r * 17) % texts.size()];
+        serve::ServeResponse response = service.value()->Predict(text);
+        latencies[c].push_back(response.latency_ms);
+        if (response.degraded) degraded.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double seconds = watch.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const std::vector<double>& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  LoadResult result;
+  result.max_batch = max_batch;
+  result.workers = workers;
+  result.cache = cache;
+  result.requests = all.size();
+  result.degraded = degraded.load();
+  result.seconds = seconds;
+  result.p50_ms = PercentileMs(&all, 0.50);
+  result.p99_ms = PercentileMs(&all, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  data::WorldPresetOptions world_options;
+  world_options.num_fine_pois = 12;
+  world_options.num_coarse_areas = 2;
+  world_options.num_chains = 2;
+  world_options.num_topics = 6;
+  data::TweetGenerator generator(data::MakeNymaWorld(world_options));
+  data::Dataset dataset = generator.Generate(900);
+  text::Gazetteer gazetteer = generator.BuildGazetteer();
+  data::Pipeline pipeline(gazetteer);
+  data::ProcessedDataset processed = pipeline.Process(dataset);
+
+  core::EdgeConfig config;
+  config.auto_dim = false;
+  config.embedding_dim = 16;
+  config.gcn_hidden = {16};
+  config.epochs = 8;
+  config.batch_size = 128;
+  config.entity2vec.epochs = 2;
+  core::EdgeModel model(config);
+  std::fprintf(stderr, "training the benchmark world...\n");
+  model.Fit(processed);
+  std::stringstream checkpoint_stream;
+  Status status = model.SaveInference(&checkpoint_stream);
+  EDGE_CHECK(status.ok()) << status.ToString();
+  std::string checkpoint = checkpoint_stream.str();
+
+  std::vector<std::string> texts;
+  for (const data::Tweet& tweet : dataset.tweets) texts.push_back(tweet.text);
+
+  const size_t kClients = 4;
+  const size_t kRequestsPerClient = 250;
+  std::vector<LoadResult> results;
+  for (size_t max_batch : {1, 8, 32}) {
+    for (size_t workers : {1, 2}) {
+      std::fprintf(stderr, "load: max_batch=%zu workers=%zu cache=off\n", max_batch,
+                   workers);
+      results.push_back(RunLoad(checkpoint, gazetteer, texts, max_batch, workers,
+                                /*cache=*/false, kClients, kRequestsPerClient));
+    }
+  }
+  std::fprintf(stderr, "load: max_batch=8 workers=1 cache=on\n");
+  results.push_back(RunLoad(checkpoint, gazetteer, texts, 8, 1, /*cache=*/true,
+                            kClients, kRequestsPerClient));
+
+  std::FILE* out = std::fopen("BENCH_serve.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_serve.json for writing\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"closed_loop_clients\": %zu,\n", kClients);
+  std::fprintf(out, "  \"requests_per_client\": %zu,\n", kRequestsPerClient);
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"runs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const LoadResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"max_batch\": %zu, \"workers\": %zu, \"cache\": %s, "
+                 "\"requests\": %zu, \"degraded\": %zu, \"qps\": %.1f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                 r.max_batch, r.workers, r.cache ? "true" : "false", r.requests,
+                 r.degraded, static_cast<double>(r.requests) / r.seconds, r.p50_ms,
+                 r.p99_ms, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote BENCH_serve.json (%zu runs)\n", results.size());
+  return 0;
+}

@@ -53,6 +53,11 @@ std::vector<size_t> EdgeModel::GraphIds(const data::ProcessedTweet& tweet) const
     size_t id = graph_.NodeId(e.name);
     if (id != graph::EntityGraph::kNotFound) ids.push_back(id);
   }
+  // Canonical ascending-id order: attention/aggregation are mathematically
+  // permutation-invariant, but fixing the floating-point summation order
+  // makes the prediction a pure function of the entity set (not the mention
+  // order) — the property the serve-layer cache keys on.
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 
@@ -375,16 +380,47 @@ EdgePrediction EdgeModel::PredictFromIds(const std::vector<size_t>& ids,
 
 EdgePrediction EdgeModel::Predict(const data::ProcessedTweet& tweet) const {
   EDGE_CHECK(fitted_) << "Predict() before Fit()";
-  std::vector<size_t> ids;
-  std::vector<std::string> names;
+  std::vector<std::pair<size_t, std::string>> known;
   for (const text::Entity& e : tweet.entities) {
     size_t id = graph_.NodeId(e.name);
-    if (id != graph::EntityGraph::kNotFound) {
-      ids.push_back(id);
-      names.push_back(e.name);
-    }
+    if (id != graph::EntityGraph::kNotFound) known.emplace_back(id, e.name);
+  }
+  // Canonical ascending-id order (see GraphIds): the prediction depends only
+  // on the entity set, never on mention order.
+  std::sort(known.begin(), known.end());
+  std::vector<size_t> ids;
+  std::vector<std::string> names;
+  ids.reserve(known.size());
+  names.reserve(known.size());
+  for (auto& [id, name] : known) {
+    ids.push_back(id);
+    names.push_back(std::move(name));
   }
   return PredictFromIds(ids, names);
+}
+
+EdgePrediction EdgeModel::FallbackPrediction() const {
+  EDGE_CHECK(fitted_) << "FallbackPrediction() before Fit()";
+  return PredictFromIds({}, {});
+}
+
+void EdgeModel::set_num_threads(int n) {
+  EDGE_CHECK_GE(n, 0) << "num_threads must be >= 0 (0 = hardware)";
+  config_.num_threads = n;
+}
+
+void EdgeModel::PredictBatch(const std::vector<data::ProcessedTweet>& tweets,
+                             std::vector<EdgePrediction>* out) const {
+  EDGE_CHECK(out != nullptr);
+  EDGE_CHECK(fitted_) << "PredictBatch() before Fit()";
+  EDGE_TRACE_SPAN("edge.core.predict_batch");
+  out->assign(tweets.size(), EdgePrediction{});
+  ScopedNumThreads scoped_threads(config_.num_threads);
+  // Tweets are independent reads of fitted state; indexed writes keep the
+  // output identical to the serial loop at any budget.
+  ParallelFor(0, tweets.size(), /*grain=*/8, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) (*out)[i] = Predict(tweets[i]);
+  });
 }
 
 bool EdgeModel::PredictPoint(const data::ProcessedTweet& tweet, geo::LatLon* out) {
@@ -447,23 +483,50 @@ Status EdgeModel::SaveInference(std::ostream* out) const {
 }
 
 Result<std::unique_ptr<EdgeModel>> EdgeModel::LoadInference(std::istream* in) {
+  // A serving process restarts on a bad checkpoint, so every malformation —
+  // truncation, wrong magic, dimension mismatch, absurd sizes, non-finite
+  // parameters — must come back as a Status, never an EDGE_CHECK abort or a
+  // garbage-initialized matrix. Each read below is therefore checked before
+  // its value is used (in particular before any allocation is sized by it).
   EDGE_CHECK(in != nullptr);
   std::istream& is = *in;
   std::string magic, version;
   is >> magic >> version;
-  if (magic != "EDGE-INFERENCE" || version != "v1") {
+  if (is.fail() || magic != "EDGE-INFERENCE" || version != "v1") {
     return Status::InvalidArgument("bad header: " + magic + " " + version);
   }
   EdgeConfig config;
   int use_attention = 1;
   is >> config.display_name;
   is >> config.num_components >> config.sigma_min_km >> config.rho_max >> use_attention;
+  if (is.fail()) return Status::InvalidArgument("truncated config header");
   config.use_attention = use_attention != 0;
+  // A corrupt config must not reach the EdgeModel constructor: its Validate()
+  // failure is an EDGE_CHECK abort there. Bound num_components explicitly —
+  // a negative token wraps to a huge size_t that Validate() would accept.
+  constexpr size_t kMaxComponents = 1024;
+  if (config.num_components == 0 || config.num_components > kMaxComponents) {
+    return Status::InvalidArgument("implausible mixture component count");
+  }
+  Status config_status = config.Validate();
+  if (!config_status.ok()) {
+    return Status::InvalidArgument("corrupt checkpoint config: " +
+                                   config_status.ToString());
+  }
   double lat = 0.0, lon = 0.0;
   is >> lat >> lon;
   size_t num_nodes = 0, hidden = 0;
   is >> num_nodes >> hidden;
-  if (!is.good()) return Status::InvalidArgument("truncated header");
+  if (is.fail()) return Status::InvalidArgument("truncated header");
+  if (!(lat >= -90.0 && lat <= 90.0) || !(lon >= -360.0 && lon <= 360.0)) {
+    return Status::InvalidArgument("projection origin out of range");
+  }
+  // Reject absurd dimensions before they size an allocation (a corrupt
+  // header must not OOM the loader).
+  constexpr size_t kMaxDim = size_t{1} << 26;
+  if (num_nodes == 0 || hidden == 0 || num_nodes > kMaxDim || hidden > kMaxDim) {
+    return Status::InvalidArgument("implausible graph dimensions");
+  }
 
   auto model = std::make_unique<EdgeModel>(config);
   model->fitted_ = true;
@@ -474,35 +537,63 @@ Result<std::unique_ptr<EdgeModel>> EdgeModel::LoadInference(std::istream* in) {
   for (size_t n = 0; n < num_nodes; ++n) {
     std::string name;
     is >> name;
-    singleton_sets.push_back({name});
+    if (is.fail() || name.empty()) {
+      return Status::InvalidArgument("truncated node-name table");
+    }
+    singleton_sets.push_back({std::move(name)});
   }
   model->graph_ = graph::EntityGraph::Build(singleton_sets);
   if (model->graph_.num_nodes() != num_nodes) {
     return Status::InvalidArgument("duplicate node names in stream");
   }
 
-  auto read_matrix = [&is](nn::Matrix* m) {
+  auto read_matrix = [&is](nn::Matrix* m, size_t want_rows, size_t want_cols,
+                           const char* what) -> Status {
     size_t rows = 0, cols = 0;
     is >> rows >> cols;
+    if (is.fail()) return Status::InvalidArgument(std::string("truncated ") + what);
+    if (rows != want_rows || cols != want_cols) {
+      return Status::InvalidArgument(std::string(what) + " dimension mismatch");
+    }
     *m = nn::Matrix(rows, cols);
     for (size_t r = 0; r < rows; ++r) {
-      for (size_t c = 0; c < cols; ++c) is >> m->At(r, c);
+      for (size_t c = 0; c < cols; ++c) {
+        double v = 0.0;
+        is >> v;
+        if (is.fail()) {
+          return Status::InvalidArgument(std::string("truncated ") + what);
+        }
+        if (!std::isfinite(v)) {
+          return Status::InvalidArgument(std::string("non-finite value in ") + what);
+        }
+        m->At(r, c) = v;
+      }
     }
+    return Status::Ok();
   };
-  read_matrix(&model->smoothed_embeddings_);
-  read_matrix(&model->attention_q_);
+  size_t theta_dim = 6 * config.num_components;
+  Status status = read_matrix(&model->smoothed_embeddings_, num_nodes, hidden,
+                              "smoothed embeddings");
+  if (status.ok()) status = read_matrix(&model->attention_q_, hidden, 1, "attention q");
+  if (!status.ok()) return status;
   is >> model->attention_b_;
-  read_matrix(&model->head_w_);
-  read_matrix(&model->head_b_);
+  if (is.fail()) return Status::InvalidArgument("truncated attention bias");
+  status = read_matrix(&model->head_w_, hidden, theta_dim, "head weights");
+  if (status.ok()) status = read_matrix(&model->head_b_, 1, theta_dim, "head bias");
+  if (!status.ok()) return status;
   is >> model->fallback_mean_.x >> model->fallback_mean_.y >> model->fallback_sigma_km_;
   is >> model->coord_scale_km_;
   if (is.fail()) return Status::InvalidArgument("truncated body");
-  if (model->coord_scale_km_ <= 0.0) {
-    return Status::InvalidArgument("non-positive coordinate scale");
+  if (!std::isfinite(model->attention_b_) || !std::isfinite(model->fallback_mean_.x) ||
+      !std::isfinite(model->fallback_mean_.y)) {
+    return Status::InvalidArgument("non-finite scalar parameters");
   }
-  if (model->smoothed_embeddings_.rows() != num_nodes ||
-      model->smoothed_embeddings_.cols() != hidden) {
-    return Status::InvalidArgument("embedding shape mismatch");
+  if (!(model->fallback_sigma_km_ > 0.0) ||
+      !std::isfinite(model->fallback_sigma_km_)) {
+    return Status::InvalidArgument("non-positive fallback sigma");
+  }
+  if (!(model->coord_scale_km_ > 0.0) || !std::isfinite(model->coord_scale_km_)) {
+    return Status::InvalidArgument("non-positive coordinate scale");
   }
   return model;
 }

@@ -67,8 +67,27 @@ class EdgeModel : public eval::Geolocator {
                      std::vector<geo::LatLon>* points,
                      std::vector<uint8_t>* predicted) override;
 
-  /// Full mixture prediction with attention interpretability.
+  /// Full mixture prediction with attention interpretability. The tweet's
+  /// in-graph entities are canonicalized to ascending node-id order before
+  /// aggregation, so the prediction is a pure (bitwise-deterministic)
+  /// function of the entity *set* — the invariant edge::serve's response
+  /// cache keys on.
   EdgePrediction Predict(const data::ProcessedTweet& tweet) const;
+
+  /// Tweet-parallel batched Predict() under config().num_threads; output
+  /// equals the serial Predict() loop element-for-element at any budget.
+  /// This is the batch path edge::serve drains its micro-batches through.
+  void PredictBatch(const std::vector<data::ProcessedTweet>& tweets,
+                    std::vector<EdgePrediction>* out) const;
+
+  /// The training-set prior answered for tweets with no in-graph entity —
+  /// what a serving layer degrades to for shed or timed-out requests.
+  EdgePrediction FallbackPrediction() const;
+
+  /// Overrides the inference thread budget (EdgeConfig::num_threads
+  /// semantics: 0 = hardware, 1 = serial). Serving processes tune this on a
+  /// loaded checkpoint, whose stream does not carry a thread budget.
+  void set_num_threads(int n);
 
   /// Mean training NLL per epoch (Eq. 13), for convergence tests/plots.
   const std::vector<double>& loss_history() const { return loss_history_; }
@@ -89,11 +108,14 @@ class EdgeModel : public eval::Geolocator {
   Status SaveInference(std::ostream* out) const;
 
   /// Restores a Predict()-capable model saved by SaveInference. The restored
-  /// model cannot be Fit() again.
+  /// model cannot be Fit() again. Truncated, dimension-mismatched or
+  /// otherwise corrupt streams are rejected with a Status error — never an
+  /// abort — so a serving process can refuse a bad checkpoint and keep
+  /// running.
   static Result<std::unique_ptr<EdgeModel>> LoadInference(std::istream* in);
 
  private:
-  /// Node ids of a tweet's in-graph entities.
+  /// Node ids of a tweet's in-graph entities, in canonical ascending order.
   std::vector<size_t> GraphIds(const data::ProcessedTweet& tweet) const;
   EdgePrediction PredictFromIds(const std::vector<size_t>& ids,
                                 const std::vector<std::string>& names) const;

@@ -7,16 +7,28 @@
 namespace edge::geo {
 
 GaussianMixture2d::GaussianMixture2d(std::vector<Gaussian2d> components,
-                                     std::vector<double> weights)
-    : components_(std::move(components)), weights_(std::move(weights)) {
-  EDGE_CHECK_EQ(components_.size(), weights_.size());
-  EDGE_CHECK(!components_.empty());
+                                     std::vector<double> weights) {
+  EDGE_CHECK_EQ(components.size(), weights.size());
+  EDGE_CHECK(!components.empty());
   double total = 0.0;
-  for (double w : weights_) {
-    EDGE_CHECK_GT(w, 0.0);
+  for (double w : weights) {
+    EDGE_CHECK(std::isfinite(w) && w >= 0.0)
+        << "mixture weight must be finite and non-negative, got " << w;
     total += w;
   }
-  for (double& w : weights_) w /= total;
+  EDGE_CHECK_GT(total, 0.0) << "at least one mixture weight must be positive";
+  // An MDN softmax weight underflows to exactly 0.0 under extreme logits
+  // (exp(-800) == 0.0); such components carry no probability mass, so they
+  // are dropped rather than aborting, and the survivors renormalize. This
+  // also keeps LogPdf free of log(0) terms.
+  components_.reserve(components.size());
+  weights_.reserve(weights.size());
+  for (size_t m = 0; m < weights.size(); ++m) {
+    if (weights[m] > 0.0) {
+      components_.push_back(std::move(components[m]));
+      weights_.push_back(weights[m] / total);
+    }
+  }
 }
 
 double GaussianMixture2d::LogPdf(const PlanePoint& p) const {

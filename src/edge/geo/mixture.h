@@ -13,7 +13,10 @@ class GaussianMixture2d {
  public:
   GaussianMixture2d() = default;
 
-  /// `weights` must be positive and is normalized to sum to 1; sizes match.
+  /// `weights` must be finite and non-negative with at least one positive
+  /// entry; sizes match. Zero-weight components (e.g. underflowed MDN softmax
+  /// weights) are dropped and the remainder is normalized to sum to 1, so
+  /// num_components() can be smaller than components.size().
   GaussianMixture2d(std::vector<Gaussian2d> components, std::vector<double> weights);
 
   size_t num_components() const { return components_.size(); }

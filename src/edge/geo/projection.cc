@@ -1,5 +1,6 @@
 #include "edge/geo/projection.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "edge/common/check.h"
@@ -10,20 +11,40 @@ namespace edge::geo {
 namespace {
 // Kilometres per degree of latitude on the mean-radius sphere.
 constexpr double kKmPerDegLat = 111.19492664455873;  // 2 pi R / 360.
+
+// Floor on cos(origin latitude): an origin within ~0.06 degrees of a pole
+// would otherwise collapse km_per_deg_lon toward 0 and make ToLatLon divide
+// by ~0. The clamp keeps both directions finite (east-west distances degrade
+// gracefully instead of blowing up; nobody geolocates tweets at the pole).
+constexpr double kMinCosLat = 1e-3;
 }  // namespace
+
+double WrapLonDelta(double delta_deg) {
+  // Fast path: in-range deltas pass through untouched, so mid-longitude
+  // worlds keep their exact pre-wrap arithmetic bit for bit.
+  if (delta_deg >= -180.0 && delta_deg < 180.0) return delta_deg;
+  double wrapped = std::fmod(delta_deg + 180.0, 360.0);
+  if (wrapped < 0.0) wrapped += 360.0;
+  return wrapped - 180.0;
+}
 
 LocalProjection::LocalProjection(const LatLon& origin) : origin_(origin) {
   km_per_deg_lat_ = kKmPerDegLat;
-  km_per_deg_lon_ = kKmPerDegLat * std::cos(origin.lat * kPi / 180.0);
-  EDGE_CHECK_GT(km_per_deg_lon_, 1e-6) << "projection origin too close to a pole";
+  km_per_deg_lon_ =
+      kKmPerDegLat * std::max(std::cos(origin.lat * kPi / 180.0), kMinCosLat);
 }
 
 PlanePoint LocalProjection::ToPlane(const LatLon& p) const {
-  return {(p.lon - origin_.lon) * km_per_deg_lon_, (p.lat - origin_.lat) * km_per_deg_lat_};
+  // The raw lon delta for a world centered near +-180 degrees can reach
+  // +-360; wrapping keeps antimeridian-straddling points local instead of a
+  // hemisphere away.
+  return {WrapLonDelta(p.lon - origin_.lon) * km_per_deg_lon_,
+          (p.lat - origin_.lat) * km_per_deg_lat_};
 }
 
 LatLon LocalProjection::ToLatLon(const PlanePoint& p) const {
-  return {origin_.lat + p.y / km_per_deg_lat_, origin_.lon + p.x / km_per_deg_lon_};
+  return {origin_.lat + p.y / km_per_deg_lat_,
+          WrapLonDelta(origin_.lon + p.x / km_per_deg_lon_)};
 }
 
 double LocalProjection::DistanceKm(const PlanePoint& a, const PlanePoint& b) {

@@ -12,6 +12,11 @@ struct PlanePoint {
   double y = 0.0;
 };
 
+/// Wraps a longitude difference (or a longitude) into [-180, 180). In-range
+/// values are returned unchanged (bitwise), so only antimeridian-straddling
+/// deltas pay the fmod.
+double WrapLonDelta(double delta_deg);
+
 /// Equirectangular projection around a region centroid. EDGE's MDN works in
 /// this km-scale plane rather than raw degrees: over a metropolitan area the
 /// projection error is negligible (< 0.1% at 50 km), it is exactly
@@ -19,13 +24,18 @@ struct PlanePoint {
 /// axes instead of a latitude-dependent anisotropy). DESIGN.md §4(3).
 class LocalProjection {
  public:
-  /// Creates a projection centred at `origin`.
+  /// Creates a projection centred at `origin`. Near-polar origins are legal:
+  /// the east-west scale is clamped away from zero (cos(lat) floored at
+  /// 1e-3) so ToLatLon never divides by ~0, at the cost of distorted
+  /// east-west distances within ~0.06 degrees of a pole.
   explicit LocalProjection(const LatLon& origin);
 
-  /// Degrees -> local km plane.
+  /// Degrees -> local km plane. The lon delta is wrapped into [-180, 180),
+  /// so a world centered near +-180 degrees projects antimeridian-straddling
+  /// points locally instead of ~360 degrees away.
   PlanePoint ToPlane(const LatLon& p) const;
 
-  /// Local km plane -> degrees.
+  /// Local km plane -> degrees; the returned lon is wrapped into [-180, 180).
   LatLon ToLatLon(const PlanePoint& p) const;
 
   const LatLon& origin() const { return origin_; }

@@ -1,0 +1,316 @@
+#include "edge/serve/geo_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "edge/obs/log.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
+
+namespace edge::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration MsToDuration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+double DurationMs(Clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Service-wide instruments, cached once (hot path: one lookup per process).
+struct ServeMetrics {
+  obs::Counter* requests;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* shed;
+  obs::Counter* deadline_expired;
+  obs::Counter* batches;
+  obs::Histogram* batch_size;
+  obs::Histogram* latency_seconds;
+  obs::Gauge* queue_depth;
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Global();
+    ServeMetrics m;
+    m.requests = registry.GetCounter("edge.serve.requests");
+    m.cache_hits = registry.GetCounter("edge.serve.cache_hits");
+    m.cache_misses = registry.GetCounter("edge.serve.cache_misses");
+    m.shed = registry.GetCounter("edge.serve.shed");
+    m.deadline_expired = registry.GetCounter("edge.serve.deadline_expired");
+    m.batches = registry.GetCounter("edge.serve.batches");
+    m.batch_size = registry.GetHistogram("edge.serve.batch_size",
+                                         {1, 2, 4, 8, 16, 32, 64, 128, 256});
+    m.latency_seconds = registry.GetHistogram("edge.serve.latency_seconds");
+    m.queue_depth = registry.GetGauge("edge.serve.queue_depth");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+Status GeoServiceOptions::Validate() const {
+  if (max_batch == 0) return Status::InvalidArgument("max_batch must be > 0");
+  if (max_delay_ms < 0.0) return Status::InvalidArgument("max_delay_ms must be >= 0");
+  if (num_workers == 0) return Status::InvalidArgument("num_workers must be > 0");
+  if (queue_capacity == 0) return Status::InvalidArgument("queue_capacity must be > 0");
+  if (default_deadline_ms < 0.0) {
+    return Status::InvalidArgument("default_deadline_ms must be >= 0");
+  }
+  if (predict_threads < 0) {
+    return Status::InvalidArgument("predict_threads must be >= 0 (0 = hardware)");
+  }
+  return Status::Ok();
+}
+
+const char* DegradeReasonName(DegradeReason reason) {
+  switch (reason) {
+    case DegradeReason::kNone: return "none";
+    case DegradeReason::kShed: return "shed";
+    case DegradeReason::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<GeoService>> GeoService::Create(std::istream* checkpoint,
+                                                       text::Gazetteer gazetteer,
+                                                       GeoServiceOptions options) {
+  EDGE_CHECK(checkpoint != nullptr);
+  auto model = core::EdgeModel::LoadInference(checkpoint);
+  if (!model.ok()) return model.status();
+  return Create(std::move(model).value(), std::move(gazetteer), options);
+}
+
+Result<std::unique_ptr<GeoService>> GeoService::Create(
+    std::unique_ptr<core::EdgeModel> model, text::Gazetteer gazetteer,
+    GeoServiceOptions options) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  Status status = options.Validate();
+  if (!status.ok()) return status;
+  model->set_num_threads(options.predict_threads);
+  return std::unique_ptr<GeoService>(
+      new GeoService(std::move(model), std::move(gazetteer), options));
+}
+
+GeoService::GeoService(std::unique_ptr<core::EdgeModel> model,
+                       text::Gazetteer gazetteer, const GeoServiceOptions& options)
+    : options_(options),
+      model_(std::move(model)),
+      ner_(std::move(gazetteer)),
+      fallback_prediction_(model_->FallbackPrediction()),
+      cache_(options.cache_capacity) {
+  workers_.reserve(options_.num_workers);
+  for (size_t w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  EDGE_LOG(INFO) << "geo service up" << obs::Kv("workers", options_.num_workers)
+                 << obs::Kv("max_batch", options_.max_batch)
+                 << obs::Kv("max_delay_ms", options_.max_delay_ms)
+                 << obs::Kv("queue_capacity", options_.queue_capacity)
+                 << obs::Kv("cache_capacity", options_.cache_capacity);
+}
+
+GeoService::~GeoService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    paused_ = false;  // A paused service still drains on shutdown.
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::string GeoService::CacheKey(const std::vector<text::Entity>& entities) const {
+  std::vector<size_t> ids;
+  ids.reserve(entities.size());
+  const graph::EntityGraph& graph = model_->entity_graph();
+  for (const text::Entity& e : entities) {
+    size_t id = graph.NodeId(e.name);
+    if (id != graph::EntityGraph::kNotFound) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  std::string key;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) key.push_back(',');
+    key += std::to_string(ids[i]);
+  }
+  return key;
+}
+
+ServeResponse GeoService::DegradedResponse(DegradeReason reason,
+                                           Clock::time_point submitted) const {
+  ServeResponse response;
+  response.prediction = fallback_prediction_;
+  response.degraded = true;
+  response.degrade_reason = reason;
+  response.latency_ms = DurationMs(Clock::now() - submitted);
+  return response;
+}
+
+std::future<ServeResponse> GeoService::SubmitAsync(std::string text) {
+  return SubmitAsync(std::move(text), options_.default_deadline_ms);
+}
+
+std::future<ServeResponse> GeoService::SubmitAsync(std::string text,
+                                                   double deadline_ms) {
+  EDGE_TRACE_SPAN("edge.serve.submit");
+  ServeMetrics& metrics = Metrics();
+  metrics.requests->Increment();
+  Clock::time_point submitted = Clock::now();
+
+  Pending pending;
+  pending.entities = ner_.Extract(text);
+  pending.cache_key = CacheKey(pending.entities);
+  pending.submitted = submitted;
+  pending.deadline = deadline_ms > 0.0 ? submitted + MsToDuration(deadline_ms)
+                                       : Clock::time_point::max();
+  std::future<ServeResponse> future = pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const core::EdgePrediction* hit = cache_.Get(pending.cache_key)) {
+      metrics.cache_hits->Increment();
+      ServeResponse response;
+      response.prediction = *hit;
+      response.from_cache = true;
+      response.latency_ms = DurationMs(Clock::now() - submitted);
+      metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
+      pending.promise.set_value(std::move(response));
+      return future;
+    }
+    metrics.cache_misses->Increment();
+    if (queue_.size() >= options_.queue_capacity) {
+      // Backpressure: answer the fallback prior now instead of growing an
+      // unbounded queue (or erroring) under overload.
+      metrics.shed->Increment();
+      ServeResponse response = DegradedResponse(DegradeReason::kShed, submitted);
+      metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
+      pending.promise.set_value(std::move(response));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    metrics.queue_depth->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+ServeResponse GeoService::Predict(const std::string& text) {
+  return SubmitAsync(text).get();
+}
+
+size_t GeoService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void GeoService::PauseWorkersForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void GeoService::ResumeWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+bool GeoService::NextBatch(std::vector<Pending>* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || (!paused_ && !queue_.empty()); });
+    if (queue_.empty()) {
+      if (stop_) return false;  // Drained and shutting down.
+      continue;
+    }
+    if (paused_ && !stop_) continue;
+    // Work exists: flush once the batch fills or the oldest request has
+    // waited max_delay_ms (shutdown flushes immediately).
+    Clock::duration max_delay = MsToDuration(options_.max_delay_ms);
+    while (!stop_ && !paused_ && queue_.size() < options_.max_batch) {
+      Clock::time_point flush_at = queue_.front().submitted + max_delay;
+      if (Clock::now() >= flush_at) break;
+      cv_.wait_until(lock, flush_at);
+      if (queue_.empty()) break;  // Another worker took everything.
+    }
+    if (queue_.empty()) {
+      if (stop_) return false;
+      continue;
+    }
+    if (paused_ && !stop_) continue;
+    size_t n = std::min(queue_.size(), options_.max_batch);
+    batch->clear();
+    batch->reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+    return true;
+  }
+}
+
+void GeoService::ProcessBatch(std::vector<Pending>* batch) {
+  EDGE_TRACE_SPAN("edge.serve.batch");
+  ServeMetrics& metrics = Metrics();
+  metrics.batches->Increment();
+  metrics.batch_size->Observe(static_cast<double>(batch->size()));
+
+  // Expired requests degrade to the prior; the rest go through the model's
+  // tweet-parallel batch path.
+  Clock::time_point now = Clock::now();
+  std::vector<size_t> live;
+  std::vector<data::ProcessedTweet> tweets;
+  live.reserve(batch->size());
+  tweets.reserve(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    Pending& request = (*batch)[i];
+    if (now >= request.deadline) {
+      metrics.deadline_expired->Increment();
+      ServeResponse response =
+          DegradedResponse(DegradeReason::kDeadline, request.submitted);
+      metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
+      request.promise.set_value(std::move(response));
+      continue;
+    }
+    data::ProcessedTweet tweet;
+    tweet.entities = request.entities;
+    tweets.push_back(std::move(tweet));
+    live.push_back(i);
+  }
+  if (live.empty()) return;
+
+  std::vector<core::EdgePrediction> predictions;
+  model_->PredictBatch(tweets, &predictions);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t j = 0; j < live.size(); ++j) {
+      cache_.Put((*batch)[live[j]].cache_key, predictions[j]);
+    }
+  }
+  for (size_t j = 0; j < live.size(); ++j) {
+    Pending& request = (*batch)[live[j]];
+    ServeResponse response;
+    response.prediction = std::move(predictions[j]);
+    response.latency_ms = DurationMs(Clock::now() - request.submitted);
+    metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
+    request.promise.set_value(std::move(response));
+  }
+}
+
+void GeoService::WorkerLoop() {
+  std::vector<Pending> batch;
+  while (NextBatch(&batch)) ProcessBatch(&batch);
+}
+
+}  // namespace edge::serve

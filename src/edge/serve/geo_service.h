@@ -1,0 +1,168 @@
+#ifndef EDGE_SERVE_GEO_SERVICE_H_
+#define EDGE_SERVE_GEO_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "edge/common/status.h"
+#include "edge/core/edge_model.h"
+#include "edge/serve/lru_cache.h"
+#include "edge/text/ner.h"
+
+/// \file
+/// In-process batched inference service over a trained EDGE checkpoint —
+/// the request-serving layer the ROADMAP's "heavy traffic" north star needs.
+///
+/// A request is one raw tweet text. The calling thread runs NER, resolves
+/// entities to graph node ids and consults an LRU response cache; on a miss
+/// the request enters a bounded admission queue. Worker threads drain the
+/// queue in micro-batches — a batch flushes when it reaches `max_batch`
+/// requests or the oldest request has waited `max_delay_ms`, whichever comes
+/// first — through the tweet-parallel EdgeModel::PredictBatch path.
+///
+/// Degradation instead of failure: requests that would overflow the queue
+/// (backpressure shed) or whose deadline expires while queued answer the
+/// model's training-set fallback prior immediately; they never error. Since
+/// EdgeModel::Predict is a bitwise-deterministic pure function of the entity
+/// set, served responses are bitwise-equal to a serial Predict() loop at any
+/// (worker count x batch size x thread budget) combination — which is also
+/// what makes the entity-set-keyed cache exact rather than approximate.
+
+namespace edge::serve {
+
+/// Tuning knobs for the service. Defaults favour latency on small hosts.
+struct GeoServiceOptions {
+  /// Flush a micro-batch at this many requests.
+  size_t max_batch = 16;
+  /// ... or when the oldest queued request has waited this long.
+  double max_delay_ms = 2.0;
+  /// Worker threads draining the queue.
+  size_t num_workers = 1;
+  /// Admission-queue bound; submissions beyond it shed to the fallback prior.
+  size_t queue_capacity = 1024;
+  /// LRU response-cache entries, keyed on the sorted entity-id set. 0 = off.
+  size_t cache_capacity = 4096;
+  /// Default per-request deadline in ms; 0 = no deadline. Requests still
+  /// queued past their deadline answer the fallback prior.
+  double default_deadline_ms = 0.0;
+  /// EdgeModel thread budget while draining one batch (0 = hardware).
+  int predict_threads = 1;
+
+  Status Validate() const;
+};
+
+/// Why a response was degraded to the fallback prior.
+enum class DegradeReason {
+  kNone = 0,
+  kShed,      ///< Admission queue was full at submit time.
+  kDeadline,  ///< Deadline expired while the request was queued.
+};
+
+/// "none" / "shed" / "deadline".
+const char* DegradeReasonName(DegradeReason reason);
+
+/// One served answer: the full mixture prediction plus serving metadata.
+struct ServeResponse {
+  core::EdgePrediction prediction;
+  bool from_cache = false;
+  /// True when the service answered the fallback prior because the request
+  /// was shed or timed out (prediction.used_fallback additionally covers
+  /// tweets with no known entity — that one is a model answer, not
+  /// degradation).
+  bool degraded = false;
+  DegradeReason degrade_reason = DegradeReason::kNone;
+  /// Submit-to-completion wall time.
+  double latency_ms = 0.0;
+};
+
+/// The batched inference service. Thread-safe: any number of threads may
+/// Submit/Predict concurrently. Destruction drains every queued request
+/// (fulfilling all futures) and joins the workers.
+class GeoService {
+ public:
+  /// Loads an EDGE-INFERENCE v1 checkpoint; corrupt streams come back as a
+  /// Status error (the process keeps running). The gazetteer drives the NER
+  /// that maps raw text to entity ids.
+  static Result<std::unique_ptr<GeoService>> Create(std::istream* checkpoint,
+                                                    text::Gazetteer gazetteer,
+                                                    GeoServiceOptions options = {});
+
+  /// As above from an already-loaded (or freshly trained) model.
+  static Result<std::unique_ptr<GeoService>> Create(
+      std::unique_ptr<core::EdgeModel> model, text::Gazetteer gazetteer,
+      GeoServiceOptions options = {});
+
+  ~GeoService();
+
+  GeoService(const GeoService&) = delete;
+  GeoService& operator=(const GeoService&) = delete;
+
+  /// Enqueues one request; the future completes when its batch is served
+  /// (immediately on a cache hit, shed or expired deadline). `deadline_ms`
+  /// overrides options.default_deadline_ms; 0 = no deadline.
+  std::future<ServeResponse> SubmitAsync(std::string text);
+  std::future<ServeResponse> SubmitAsync(std::string text, double deadline_ms);
+
+  /// Blocking convenience: SubmitAsync + get().
+  ServeResponse Predict(const std::string& text);
+
+  /// The model being served (e.g. for projection() when rendering output).
+  const core::EdgeModel& model() const { return *model_; }
+
+  /// Requests currently queued (diagnostics; racy by nature).
+  size_t queue_depth() const;
+
+  /// Test hooks: freeze/unfreeze the workers so queue states (full, expired
+  /// deadlines) can be constructed deterministically.
+  void PauseWorkersForTest();
+  void ResumeWorkers();
+
+ private:
+  struct Pending {
+    std::string cache_key;
+    std::vector<text::Entity> entities;
+    std::promise<ServeResponse> promise;
+    std::chrono::steady_clock::time_point submitted;
+    /// time_point::max() = no deadline.
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  GeoService(std::unique_ptr<core::EdgeModel> model, text::Gazetteer gazetteer,
+             const GeoServiceOptions& options);
+
+  void WorkerLoop();
+  /// Blocks until a micro-batch is ready (or the service is stopping and
+  /// drained); returns false to terminate the worker.
+  bool NextBatch(std::vector<Pending>* batch);
+  void ProcessBatch(std::vector<Pending>* batch);
+  /// Sorted-entity-id cache key ("3,17,42"); "" when no entity is in-graph.
+  std::string CacheKey(const std::vector<text::Entity>& entities) const;
+  ServeResponse DegradedResponse(DegradeReason reason,
+                                 std::chrono::steady_clock::time_point submitted) const;
+
+  GeoServiceOptions options_;
+  std::unique_ptr<core::EdgeModel> model_;
+  text::TweetNer ner_;
+  /// The prior answered for degraded requests, computed once at startup.
+  core::EdgePrediction fallback_prediction_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  LruCache<std::string, core::EdgePrediction> cache_;
+  bool stop_ = false;
+  bool paused_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace edge::serve
+
+#endif  // EDGE_SERVE_GEO_SERVICE_H_

@@ -1,0 +1,248 @@
+#include "edge/serve/json_codec.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "edge/obs/json_util.h"
+
+namespace edge::serve {
+
+namespace {
+
+using obs::internal::AppendJsonDouble;
+using obs::internal::AppendJsonString;
+
+/// Cursor over a flat JSON object. Only the subset edge_serve speaks:
+/// one object of string/number/bool/null values, no nesting.
+struct JsonCursor {
+  const std::string& line;
+  size_t pos = 0;
+  std::string* error;
+
+  bool Fail(const std::string& message) {
+    *error = message + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Expect(char c) {
+    SkipSpace();
+    if (pos >= line.size() || line[pos] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (pos >= line.size() || line[pos] != '"') return Fail("expected string");
+    ++pos;
+    out->clear();
+    while (pos < line.size()) {
+      char c = line[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos >= line.size()) break;
+      char esc = line[pos++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos + 4 > line.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = line[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // Tweets are ASCII in this codebase; encode BMP code points as
+          // UTF-8 so round-trips stay lossless anyway.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(double* out) {
+    SkipSpace();
+    const char* begin = line.c_str() + pos;
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin) return Fail("expected number");
+    pos += static_cast<size_t>(end - begin);
+    *out = v;
+    return true;
+  }
+
+  /// Skips a scalar value we don't care about (string/number/true/false/null).
+  bool SkipScalar() {
+    SkipSpace();
+    if (pos >= line.size()) return Fail("expected value");
+    char c = line[pos];
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (c == '{' || c == '[') return Fail("nested values are not supported");
+    while (pos < line.size() && line[pos] != ',' && line[pos] != '}') ++pos;
+    return true;
+  }
+};
+
+void AppendLatLonObject(std::string* out, const geo::LatLon& p) {
+  *out += "{\"lat\":";
+  AppendJsonDouble(out, p.lat);
+  *out += ",\"lon\":";
+  AppendJsonDouble(out, p.lon);
+  out->push_back('}');
+}
+
+}  // namespace
+
+bool ParseRequestLine(const std::string& line, ServeRequest* request,
+                      std::string* error) {
+  *request = ServeRequest();
+  size_t first = line.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos || line[first] != '{') {
+    // Raw text line (possibly empty): the whole line is the tweet.
+    request->text = line;
+    return true;
+  }
+
+  JsonCursor cursor{line, first, error};
+  if (!cursor.Expect('{')) return false;
+  cursor.SkipSpace();
+  if (cursor.pos < line.size() && line[cursor.pos] == '}') {
+    ++cursor.pos;
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    if (!cursor.ParseString(&key)) return false;
+    if (!cursor.Expect(':')) return false;
+    if (key == "text") {
+      if (!cursor.ParseString(&request->text)) return false;
+    } else if (key == "id") {
+      if (!cursor.ParseString(&request->id)) return false;
+    } else if (key == "deadline_ms") {
+      if (!cursor.ParseNumber(&request->deadline_ms)) return false;
+      if (request->deadline_ms < 0.0) {
+        return cursor.Fail("deadline_ms must be >= 0");
+      }
+    } else {
+      if (!cursor.SkipScalar()) return false;
+    }
+    cursor.SkipSpace();
+    if (cursor.pos >= line.size()) return cursor.Fail("unterminated object");
+    if (line[cursor.pos] == ',') {
+      ++cursor.pos;
+      continue;
+    }
+    if (line[cursor.pos] == '}') {
+      ++cursor.pos;
+      return true;
+    }
+    return cursor.Fail("expected ',' or '}'");
+  }
+}
+
+std::string ResponseToJsonLine(const ServeResponse& response,
+                               const core::EdgeModel& model,
+                               const std::string& id) {
+  const geo::LocalProjection& projection = model.projection();
+  const core::EdgePrediction& prediction = response.prediction;
+
+  std::string out;
+  out.reserve(512);
+  out.push_back('{');
+  if (!id.empty()) {
+    out += "\"id\":";
+    AppendJsonString(&out, id);
+    out.push_back(',');
+  }
+  out += "\"point\":";
+  AppendLatLonObject(&out, prediction.point);
+
+  out += ",\"components\":[";
+  for (size_t m = 0; m < prediction.mixture.num_components(); ++m) {
+    if (m > 0) out.push_back(',');
+    const geo::Gaussian2d& g = prediction.mixture.component(m);
+    geo::ConfidenceEllipse ellipse = g.EllipseAt(0.95);
+    out += "{\"weight\":";
+    AppendJsonDouble(&out, prediction.mixture.weight(m));
+    out += ",\"center\":";
+    AppendLatLonObject(&out, projection.ToLatLon(g.mean()));
+    out += ",\"sigma_x_km\":";
+    AppendJsonDouble(&out, g.sigma_x());
+    out += ",\"sigma_y_km\":";
+    AppendJsonDouble(&out, g.sigma_y());
+    out += ",\"rho\":";
+    AppendJsonDouble(&out, g.rho());
+    out += ",\"ellipse95\":{\"center\":";
+    AppendLatLonObject(&out, projection.ToLatLon(ellipse.center));
+    out += ",\"semi_major_km\":";
+    AppendJsonDouble(&out, ellipse.semi_major);
+    out += ",\"semi_minor_km\":";
+    AppendJsonDouble(&out, ellipse.semi_minor);
+    out += ",\"angle_rad\":";
+    AppendJsonDouble(&out, ellipse.angle_rad);
+    out += "}}";
+  }
+  out.push_back(']');
+
+  out += ",\"attention\":[";
+  for (size_t i = 0; i < prediction.attention.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "{\"entity\":";
+    AppendJsonString(&out, prediction.attention[i].entity);
+    out += ",\"weight\":";
+    AppendJsonDouble(&out, prediction.attention[i].weight);
+    out.push_back('}');
+  }
+  out.push_back(']');
+
+  out += ",\"used_fallback\":";
+  out += prediction.used_fallback ? "true" : "false";
+  out += ",\"from_cache\":";
+  out += response.from_cache ? "true" : "false";
+  out += ",\"degraded\":";
+  out += response.degraded ? "true" : "false";
+  out += ",\"degrade_reason\":\"";
+  out += DegradeReasonName(response.degrade_reason);
+  out += "\",\"latency_ms\":";
+  AppendJsonDouble(&out, response.latency_ms);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace edge::serve

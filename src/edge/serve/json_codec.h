@@ -1,0 +1,46 @@
+#ifndef EDGE_SERVE_JSON_CODEC_H_
+#define EDGE_SERVE_JSON_CODEC_H_
+
+#include <string>
+
+#include "edge/core/edge_model.h"
+#include "edge/serve/geo_service.h"
+
+/// \file
+/// Line-delimited JSON wire format for tools/edge_serve. One request line in,
+/// one response line out, in order.
+///
+/// Request lines are either raw tweet text or a flat JSON object:
+///   {"text": "pizza near @nypl", "id": "req-7", "deadline_ms": 15}
+/// A line whose first non-space character is '{' is parsed as JSON; anything
+/// else is taken verbatim as the tweet text.
+///
+/// Response lines carry the full mixture (per-component weight, lat/lon
+/// center, km sigmas, rho and the 95% confidence ellipse), the Eq. 14 mode
+/// point, per-entity attention and the serving metadata (cache/degrade flags,
+/// latency). See README "Serving" for the schema.
+
+namespace edge::serve {
+
+/// One parsed request line.
+struct ServeRequest {
+  std::string text;
+  std::string id;  ///< Echoed back in the response; may be empty.
+  /// Per-request deadline override; < 0 = use the service default.
+  double deadline_ms = -1.0;
+};
+
+/// Parses a raw-text or flat-JSON request line (see file comment). Returns
+/// false and sets *error on malformed JSON; raw text lines always succeed.
+bool ParseRequestLine(const std::string& line, ServeRequest* request,
+                      std::string* error);
+
+/// Renders one response as a single JSON line (no trailing newline). `model`
+/// supplies the plane->lat/lon projection for component centers and ellipses.
+std::string ResponseToJsonLine(const ServeResponse& response,
+                               const core::EdgeModel& model,
+                               const std::string& id);
+
+}  // namespace edge::serve
+
+#endif  // EDGE_SERVE_JSON_CODEC_H_

@@ -1,0 +1,58 @@
+#ifndef EDGE_SERVE_LRU_CACHE_H_
+#define EDGE_SERVE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace edge::serve {
+
+/// Least-recently-used map with a fixed entry budget. Not thread-safe: the
+/// GeoService guards it with its queue mutex (cache operations are O(1) and
+/// far cheaper than the model inference they save). A capacity of 0 disables
+/// caching entirely (Get always misses, Put is a no-op).
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value and promotes the entry to most-recent, or
+  /// nullptr on a miss. The pointer is invalidated by the next Put().
+  const V* Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, evicting the least-recently-used entry
+  /// when over budget.
+  void Put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<K, V>> order_;  ///< Front = most recently used.
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> index_;
+};
+
+}  // namespace edge::serve
+
+#endif  // EDGE_SERVE_LRU_CACHE_H_

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "edge/common/check.h"
 #include "edge/common/math_util.h"
 #include "edge/data/generator.h"
 #include "edge/data/worlds.h"
@@ -209,6 +210,92 @@ TEST_F(EdgeModelTest, LoadRejectsGarbage) {
   std::stringstream bad("not a model");
   auto result = EdgeModel::LoadInference(&bad);
   EXPECT_FALSE(result.ok());
+}
+
+/// Returns the fixture model's checkpoint with text line `index` (0-based)
+/// replaced by `replacement`.
+std::string CorruptCheckpointLine(EdgeModel* model, size_t index,
+                                  const std::string& replacement) {
+  std::stringstream stream;
+  EDGE_CHECK(model->SaveInference(&stream).ok());
+  std::string text = stream.str();
+  size_t begin = 0;
+  for (size_t i = 0; i < index; ++i) begin = text.find('\n', begin) + 1;
+  size_t end = text.find('\n', begin);
+  return text.substr(0, begin) + replacement + text.substr(end);
+}
+
+TEST_F(EdgeModelTest, LoadRejectsTruncatedStreams) {
+  // Regression: a checkpoint cut off mid-write (full disk, killed trainer)
+  // used to abort the loader or construct garbage-sized matrices.
+  std::stringstream stream;
+  ASSERT_TRUE(model_->SaveInference(&stream).ok());
+  std::string full = stream.str();
+  for (size_t cut : {full.size() / 2, full.size() / 4, size_t{40}}) {
+    std::stringstream truncated(full.substr(0, cut));
+    auto result = EdgeModel::LoadInference(&truncated);
+    EXPECT_FALSE(result.ok()) << "accepted a checkpoint truncated to " << cut
+                              << " of " << full.size() << " bytes";
+  }
+}
+
+TEST_F(EdgeModelTest, LoadRejectsWrongMagic) {
+  std::stringstream bad(
+      CorruptCheckpointLine(model_, 0, "EDGE-TRAINING v1"));
+  auto result = EdgeModel::LoadInference(&bad);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("header"), std::string::npos);
+}
+
+TEST_F(EdgeModelTest, LoadRejectsDimensionMismatch) {
+  // Inflate the declared node count on line 4 ("num_nodes hidden"): the
+  // embedding matrix that follows no longer matches and must be rejected,
+  // not read past.
+  size_t num_nodes = model_->entity_graph().num_nodes();
+  std::stringstream bad(CorruptCheckpointLine(
+      model_, 4, std::to_string(num_nodes + 1) + " 32"));
+  auto result = EdgeModel::LoadInference(&bad);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(EdgeModelTest, LoadRejectsCorruptComponentCount) {
+  // Line 2 is "num_components sigma_min rho_max use_attention". Zero used to
+  // abort inside the EdgeModel constructor's config check; a negative token
+  // wraps size_t extraction to ~2^64 and used to size an allocation.
+  for (const char* count : {"0", "-5", "99999999"}) {
+    std::stringstream bad(CorruptCheckpointLine(
+        model_, 2, std::string(count) + " 0.5 0.9 1"));
+    auto result = EdgeModel::LoadInference(&bad);
+    EXPECT_FALSE(result.ok()) << "accepted num_components = " << count;
+  }
+}
+
+TEST_F(EdgeModelTest, RoundTripPredictPointsBitwiseAcrossThreadBudgets) {
+  // The serving chain (save -> load -> batched predict at any thread budget)
+  // must answer bit-for-bit what the trained model answers serially.
+  std::stringstream stream;
+  ASSERT_TRUE(model_->SaveInference(&stream).ok());
+  auto loaded = EdgeModel::LoadInference(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  size_t n = std::min<size_t>(200, dataset_->test.size());
+  std::vector<data::ProcessedTweet> tweets(dataset_->test.begin(),
+                                           dataset_->test.begin() + n);
+  std::vector<geo::LatLon> reference(n);
+  for (size_t i = 0; i < n; ++i) {
+    reference[i] = model_->Predict(tweets[i]).point;
+  }
+  for (int budget : {1, 2, 4}) {
+    loaded.value()->set_num_threads(budget);
+    std::vector<geo::LatLon> points;
+    std::vector<uint8_t> predicted;
+    loaded.value()->PredictPoints(tweets, &points, &predicted);
+    ASSERT_EQ(points.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(points[i].lat, reference[i].lat) << "budget " << budget << " tweet " << i;
+      EXPECT_EQ(points[i].lon, reference[i].lon) << "budget " << budget << " tweet " << i;
+    }
+  }
 }
 
 TEST_F(EdgeModelTest, FallbackForUnknownEntities) {

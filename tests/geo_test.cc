@@ -202,6 +202,100 @@ TEST(KdeTest, IntegratesToOne) {
   EXPECT_NEAR(integral, 1.0, 0.01);
 }
 
+TEST(WrapLonDeltaTest, InRangeValuesAreBitwiseUnchanged) {
+  // The fast path must not pay (or round through) fmod: existing worlds rely
+  // on the projection being exactly invertible.
+  for (double d : {-180.0, -179.999, -1.5, 0.0, 0.1 + 0.2, 123.456789, 179.999}) {
+    double w = WrapLonDelta(d);
+    EXPECT_EQ(w, d);
+  }
+}
+
+TEST(WrapLonDeltaTest, WrapsAcrossTheAntimeridian) {
+  EXPECT_NEAR(WrapLonDelta(359.8), -0.2, 1e-9);
+  EXPECT_NEAR(WrapLonDelta(-359.8), 0.2, 1e-9);
+  EXPECT_NEAR(WrapLonDelta(180.0), -180.0, 1e-12);
+  EXPECT_NEAR(WrapLonDelta(540.0), -180.0, 1e-12);
+  EXPECT_NEAR(WrapLonDelta(-720.7), -0.7, 1e-9);
+}
+
+TEST(ProjectionTest, AntimeridianNeighborsProjectLocally) {
+  // Regression: a Fiji-like world centered at lon 179.9 sees a point at
+  // -179.9 as 0.2 degrees east, not 359.8 degrees west. Pre-fix the raw
+  // lon delta put the neighbor ~40000 km away in the plane.
+  LocalProjection proj({0.0, 179.9});
+  PlanePoint plane = proj.ToPlane({0.0, -179.9});
+  EXPECT_NEAR(plane.x, 0.2 * 111.32, 1.0);
+  EXPECT_NEAR(plane.y, 0.0, 1e-9);
+
+  LatLon back = proj.ToLatLon(plane);
+  EXPECT_NEAR(back.lat, 0.0, 1e-9);
+  EXPECT_NEAR(back.lon, -179.9, 1e-9);
+}
+
+TEST(ProjectionTest, DatelineCenteredRoundTripStaysLocal) {
+  Rng rng(7);
+  LocalProjection proj({-17.8, -179.95});  // Roughly Fiji.
+  for (int i = 0; i < 50; ++i) {
+    double lat = -17.8 + rng.Uniform(-0.5, 0.5);
+    double lon = WrapLonDelta(-179.95 + rng.Uniform(-0.5, 0.5));
+    PlanePoint plane = proj.ToPlane({lat, lon});
+    // Local points must project locally (within ~80 km), never a world away.
+    EXPECT_LT(std::fabs(plane.x), 80.0);
+    LatLon back = proj.ToLatLon(plane);
+    EXPECT_NEAR(back.lat, lat, 1e-9);
+    EXPECT_NEAR(back.lon, lon, 1e-9);
+  }
+}
+
+TEST(ProjectionTest, PolarOriginDoesNotBlowUp) {
+  // Regression: cos(90 degrees) is ~6e-17, and the old constructor aborted on
+  // its km-per-degree-longitude sanity check (and would otherwise divide by
+  // ~0 in ToLatLon). The east-west scale is now floored instead.
+  LocalProjection proj({90.0, 0.0});
+  PlanePoint plane = proj.ToPlane({89.5, 10.0});
+  EXPECT_TRUE(std::isfinite(plane.x));
+  EXPECT_TRUE(std::isfinite(plane.y));
+  LatLon back = proj.ToLatLon({1.0, 1.0});
+  EXPECT_TRUE(std::isfinite(back.lat));
+  EXPECT_TRUE(std::isfinite(back.lon));
+  EXPECT_GE(back.lon, -180.0);
+  EXPECT_LT(back.lon, 180.0);
+}
+
+TEST(MixtureTest, DropsUnderflowedZeroWeightComponents) {
+  // Regression: an MDN softmax over logits like {0, -800} underflows the
+  // second weight to exactly 0.0, and the constructor used to abort on its
+  // per-weight > 0 check mid-request.
+  double w0 = 1.0 / (1.0 + std::exp(-800.0));
+  double w1 = std::exp(-800.0) / (1.0 + std::exp(-800.0));
+  ASSERT_EQ(w1, 0.0);  // The underflow this regression test is about.
+  GaussianMixture2d mix({Gaussian2d::Isotropic({0, 0}, 1.0),
+                         Gaussian2d::Isotropic({50, 0}, 1.0)},
+                        {w0, w1});
+  ASSERT_EQ(mix.num_components(), 1u);
+  EXPECT_DOUBLE_EQ(mix.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(mix.component(0).mean().x, 0.0);
+}
+
+TEST(MixtureTest, RenormalizesAfterDroppingZeroWeights) {
+  GaussianMixture2d mix({Gaussian2d::Isotropic({-10, 0}, 1.0),
+                         Gaussian2d::Isotropic({0, 0}, 1.0),
+                         Gaussian2d::Isotropic({10, 0}, 1.0)},
+                        {0.25, 0.0, 0.25});
+  ASSERT_EQ(mix.num_components(), 2u);
+  EXPECT_DOUBLE_EQ(mix.weight(0), 0.5);
+  EXPECT_DOUBLE_EQ(mix.weight(1), 0.5);
+  EXPECT_DOUBLE_EQ(mix.component(1).mean().x, 10.0);
+}
+
+TEST(MixtureTest, AllZeroWeightsStillAbort) {
+  // Dropping zero weights must not weaken the "at least one positive"
+  // invariant.
+  EXPECT_DEATH(GaussianMixture2d({Gaussian2d::Isotropic({0, 0}, 1.0)}, {0.0}),
+               "positive");
+}
+
 TEST(KdeTest, RuleOfThumbBandwidth) {
   std::vector<PlanePoint> tight = {{0, 0}, {0.1, 0.1}, {-0.1, 0.0}, {0.0, -0.1}};
   std::vector<PlanePoint> wide = {{0, 0}, {10, 10}, {-10, 0}, {0, -10}};

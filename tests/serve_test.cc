@@ -1,0 +1,430 @@
+#include "edge/serve/geo_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edge/common/check.h"
+#include "edge/data/generator.h"
+#include "edge/data/pipeline.h"
+#include "edge/data/worlds.h"
+#include "edge/serve/json_codec.h"
+#include "edge/serve/lru_cache.h"
+
+namespace edge::serve {
+namespace {
+
+/// Exact equality across the whole prediction — the serve contract is
+/// bitwise, not approximately, equal to the serial path.
+void ExpectBitwiseEqual(const core::EdgePrediction& a,
+                        const core::EdgePrediction& b) {
+  EXPECT_EQ(a.point.lat, b.point.lat);
+  EXPECT_EQ(a.point.lon, b.point.lon);
+  EXPECT_EQ(a.used_fallback, b.used_fallback);
+  ASSERT_EQ(a.mixture.num_components(), b.mixture.num_components());
+  for (size_t m = 0; m < a.mixture.num_components(); ++m) {
+    EXPECT_EQ(a.mixture.weight(m), b.mixture.weight(m));
+    EXPECT_EQ(a.mixture.component(m).mean().x, b.mixture.component(m).mean().x);
+    EXPECT_EQ(a.mixture.component(m).mean().y, b.mixture.component(m).mean().y);
+    EXPECT_EQ(a.mixture.component(m).sigma_x(), b.mixture.component(m).sigma_x());
+    EXPECT_EQ(a.mixture.component(m).sigma_y(), b.mixture.component(m).sigma_y());
+    EXPECT_EQ(a.mixture.component(m).rho(), b.mixture.component(m).rho());
+  }
+  ASSERT_EQ(a.attention.size(), b.attention.size());
+  for (size_t k = 0; k < a.attention.size(); ++k) {
+    EXPECT_EQ(a.attention[k].entity, b.attention[k].entity);
+    EXPECT_EQ(a.attention[k].weight, b.attention[k].weight);
+  }
+}
+
+/// Trains one small model per test binary and hands out fresh services over
+/// checkpoint copies of it.
+class GeoServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::WorldPresetOptions world_options;
+    world_options.num_fine_pois = 12;
+    world_options.num_coarse_areas = 2;
+    world_options.num_chains = 2;
+    world_options.num_topics = 6;
+    data::TweetGenerator generator(data::MakeNymaWorld(world_options));
+    data::Dataset dataset = generator.Generate(900);
+    gazetteer_ = new text::Gazetteer(generator.BuildGazetteer());
+
+    data::Pipeline pipeline(*gazetteer_);
+    data::ProcessedDataset processed = pipeline.Process(dataset);
+
+    core::EdgeConfig config;
+    config.auto_dim = false;
+    config.embedding_dim = 16;
+    config.gcn_hidden = {16};
+    config.epochs = 8;
+    config.batch_size = 128;
+    config.entity2vec.epochs = 2;
+    core::EdgeModel model(config);
+    model.Fit(processed);
+
+    std::stringstream stream;
+    Status status = model.SaveInference(&stream);
+    EDGE_CHECK(status.ok()) << status.ToString();
+    checkpoint_ = new std::string(stream.str());
+
+    // Request texts with a mix of known entities, repeats and no-entity
+    // tweets; the degenerate cases are the point of serving every request.
+    texts_ = new std::vector<std::string>();
+    for (size_t i = dataset.TrainCount(); i < dataset.tweets.size(); ++i) {
+      texts_->push_back(dataset.tweets[i].text);
+    }
+    texts_->push_back("");
+    texts_->push_back("nothing the gazetteer knows");
+    EDGE_CHECK(texts_->size() > 50u);
+  }
+
+  static void TearDownTestSuite() {
+    delete texts_;
+    delete checkpoint_;
+    delete gazetteer_;
+    texts_ = nullptr;
+    checkpoint_ = nullptr;
+    gazetteer_ = nullptr;
+  }
+
+  static std::unique_ptr<GeoService> MakeService(GeoServiceOptions options) {
+    std::stringstream stream(*checkpoint_);
+    auto service = GeoService::Create(&stream, *gazetteer_, options);
+    EDGE_CHECK(service.ok()) << service.status().ToString();
+    return std::move(service).value();
+  }
+
+  /// What the serial unbatched path answers for `text`, computed through the
+  /// same NER the service uses.
+  static core::EdgePrediction Reference(const GeoService& service,
+                                        const std::string& text) {
+    text::TweetNer ner(*gazetteer_);
+    data::ProcessedTweet tweet;
+    tweet.text = text;
+    tweet.entities = ner.Extract(text);
+    return service.model().Predict(tweet);
+  }
+
+  static text::Gazetteer* gazetteer_;
+  static std::string* checkpoint_;
+  static std::vector<std::string>* texts_;
+};
+
+text::Gazetteer* GeoServiceTest::gazetteer_ = nullptr;
+std::string* GeoServiceTest::checkpoint_ = nullptr;
+std::vector<std::string>* GeoServiceTest::texts_ = nullptr;
+
+TEST_F(GeoServiceTest, OptionsValidation) {
+  GeoServiceOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.max_batch = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = GeoServiceOptions();
+  options.num_workers = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = GeoServiceOptions();
+  options.queue_capacity = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = GeoServiceOptions();
+  options.max_delay_ms = -1.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = GeoServiceOptions();
+  options.predict_threads = -2;
+  EXPECT_FALSE(options.Validate().ok());
+
+  std::stringstream stream(*checkpoint_);
+  options = GeoServiceOptions();
+  options.max_batch = 0;
+  auto service = GeoService::Create(&stream, *gazetteer_, options);
+  EXPECT_FALSE(service.ok());
+}
+
+TEST_F(GeoServiceTest, CreateRejectsCorruptCheckpoint) {
+  std::stringstream bad(checkpoint_->substr(0, checkpoint_->size() / 2));
+  auto service = GeoService::Create(&bad, *gazetteer_, GeoServiceOptions());
+  EXPECT_FALSE(service.ok());
+}
+
+// The tentpole contract: at every (worker count x batch size x model thread
+// budget) combination the service answers bit-for-bit what a serial
+// Predict() loop answers. Caching is off so every request really runs
+// through the batch path.
+TEST_F(GeoServiceTest, ServedMatchesSerialAtEveryBudgetAndBatch) {
+  for (size_t workers : {1, 2}) {
+    for (size_t max_batch : {1, 3, 16}) {
+      for (int predict_threads : {1, 2, 4}) {
+        GeoServiceOptions options;
+        options.max_batch = max_batch;
+        options.max_delay_ms = 0.5;
+        options.num_workers = workers;
+        options.cache_capacity = 0;
+        options.predict_threads = predict_threads;
+        std::unique_ptr<GeoService> service = MakeService(options);
+
+        size_t n = std::min<size_t>(60, texts_->size());
+        std::vector<std::future<ServeResponse>> futures;
+        futures.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          futures.push_back(service->SubmitAsync((*texts_)[i]));
+        }
+        for (size_t i = 0; i < n; ++i) {
+          ServeResponse response = futures[i].get();
+          EXPECT_FALSE(response.degraded);
+          EXPECT_FALSE(response.from_cache);
+          SCOPED_TRACE("workers=" + std::to_string(workers) +
+                       " max_batch=" + std::to_string(max_batch) +
+                       " threads=" + std::to_string(predict_threads) +
+                       " tweet=" + std::to_string(i));
+          ExpectBitwiseEqual(response.prediction,
+                             Reference(*service, (*texts_)[i]));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(GeoServiceTest, DestructorDrainsQueuedRequests) {
+  GeoServiceOptions options;
+  options.max_batch = 64;
+  options.max_delay_ms = 10000.0;  // Only shutdown can flush this batch.
+  options.cache_capacity = 0;
+  std::unique_ptr<GeoService> service = MakeService(options);
+  std::vector<std::future<ServeResponse>> futures;
+  for (size_t i = 0; i < 10; ++i) {
+    futures.push_back(service->SubmitAsync((*texts_)[i]));
+  }
+  service.reset();  // Must fulfill every future, not abandon them.
+  for (auto& future : futures) {
+    ServeResponse response = future.get();
+    EXPECT_FALSE(response.degraded);
+  }
+}
+
+TEST_F(GeoServiceTest, DeadlineExpiredRequestsDegradeToPrior) {
+  GeoServiceOptions options;
+  options.max_batch = 64;
+  options.max_delay_ms = 50.0;  // Both requests ride one flushed batch.
+  options.cache_capacity = 0;
+  std::unique_ptr<GeoService> service = MakeService(options);
+
+  // Freeze the worker, let a tiny deadline expire while queued, then serve.
+  service->PauseWorkersForTest();
+  std::future<ServeResponse> expired =
+      service->SubmitAsync((*texts_)[0], /*deadline_ms=*/0.001);
+  std::future<ServeResponse> unhurried = service->SubmitAsync((*texts_)[1]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service->ResumeWorkers();
+
+  ServeResponse degraded = expired.get();
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(degraded.degrade_reason, DegradeReason::kDeadline);
+  // Degraded answers are the model's fallback prior, not an error.
+  ExpectBitwiseEqual(degraded.prediction, service->model().FallbackPrediction());
+
+  ServeResponse normal = unhurried.get();
+  EXPECT_FALSE(normal.degraded);
+  ExpectBitwiseEqual(normal.prediction, Reference(*service, (*texts_)[1]));
+}
+
+TEST_F(GeoServiceTest, BackpressureShedsToPrior) {
+  GeoServiceOptions options;
+  options.queue_capacity = 2;
+  options.max_batch = 64;
+  options.max_delay_ms = 20.0;
+  options.cache_capacity = 0;
+  std::unique_ptr<GeoService> service = MakeService(options);
+
+  service->PauseWorkersForTest();
+  std::vector<std::future<ServeResponse>> admitted;
+  admitted.push_back(service->SubmitAsync((*texts_)[0]));
+  admitted.push_back(service->SubmitAsync((*texts_)[1]));
+  EXPECT_EQ(service->queue_depth(), 2u);
+
+  // The queue is full: this request is shed immediately, worker still frozen.
+  ServeResponse shed = service->SubmitAsync((*texts_)[2]).get();
+  EXPECT_TRUE(shed.degraded);
+  EXPECT_EQ(shed.degrade_reason, DegradeReason::kShed);
+  ExpectBitwiseEqual(shed.prediction, service->model().FallbackPrediction());
+
+  service->ResumeWorkers();
+  for (auto& future : admitted) {
+    EXPECT_FALSE(future.get().degraded);
+  }
+}
+
+TEST_F(GeoServiceTest, CacheReturnsIdenticalResponses) {
+  GeoServiceOptions options;
+  options.cache_capacity = 64;
+  options.max_delay_ms = 0.5;
+  std::unique_ptr<GeoService> service = MakeService(options);
+
+  // Find a text with at least one known entity so the key is non-trivial.
+  std::string text;
+  text::TweetNer ner(*gazetteer_);
+  for (const std::string& candidate : *texts_) {
+    if (!ner.Extract(candidate).empty()) {
+      text = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(text.empty());
+
+  ServeResponse first = service->Predict(text);
+  EXPECT_FALSE(first.from_cache);
+  ServeResponse second = service->Predict(text);
+  EXPECT_TRUE(second.from_cache);
+  ExpectBitwiseEqual(first.prediction, second.prediction);
+
+  // The cache keys on the sorted entity-id set, so a permuted mention order
+  // must hit the same entry with the same (bitwise) answer.
+  std::string doubled_ab = text + " and then " + (*texts_)[1];
+  std::string doubled_ba = (*texts_)[1] + " and then " + text;
+  ServeResponse ab = service->Predict(doubled_ab);
+  ServeResponse ba = service->Predict(doubled_ba);
+  EXPECT_TRUE(ba.from_cache);
+  ExpectBitwiseEqual(ab.prediction, ba.prediction);
+}
+
+TEST_F(GeoServiceTest, CacheEvictsLeastRecentlyUsed) {
+  GeoServiceOptions options;
+  options.cache_capacity = 1;
+  options.max_delay_ms = 0.5;
+  std::unique_ptr<GeoService> service = MakeService(options);
+
+  // Two texts with distinct non-empty entity-id keys.
+  text::TweetNer ner(*gazetteer_);
+  std::vector<std::string> keyed;
+  std::vector<std::string> seen_first_entity;
+  for (const std::string& candidate : *texts_) {
+    std::vector<text::Entity> entities = ner.Extract(candidate);
+    if (entities.empty()) continue;
+    if (!seen_first_entity.empty() && entities[0].name == seen_first_entity[0]) continue;
+    keyed.push_back(candidate);
+    seen_first_entity.push_back(entities[0].name);
+    if (keyed.size() == 2) break;
+  }
+  ASSERT_EQ(keyed.size(), 2u);
+
+  EXPECT_FALSE(service->Predict(keyed[0]).from_cache);
+  EXPECT_TRUE(service->Predict(keyed[0]).from_cache);
+  // A different key evicts the only entry...
+  service->Predict(keyed[1]);
+  // ...so the original misses again, and still answers identically.
+  ServeResponse again = service->Predict(keyed[0]);
+  EXPECT_FALSE(again.from_cache);
+  ExpectBitwiseEqual(again.prediction, Reference(*service, keyed[0]));
+}
+
+TEST_F(GeoServiceTest, ConcurrentClientStress) {
+  GeoServiceOptions options;
+  options.max_batch = 8;
+  options.max_delay_ms = 1.0;
+  options.num_workers = 2;
+  options.cache_capacity = 32;
+  std::unique_ptr<GeoService> service = MakeService(options);
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kRequestsPerClient = 50;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t r = 0; r < kRequestsPerClient; ++r) {
+        const std::string& text = (*texts_)[(c * 31 + r * 7) % texts_->size()];
+        ServeResponse response = service->Predict(text);
+        core::EdgePrediction want = Reference(*service, text);
+        if (response.degraded ||
+            response.prediction.point.lat != want.point.lat ||
+            response.prediction.point.lon != want.point.lon) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(LruCacheTest, EvictsInLruOrderAndPromotesOnGet) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  ASSERT_NE(cache.Get("a"), nullptr);  // Promote "a"; "b" is now LRU.
+  cache.Put("c", 3);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(*cache.Get("a"), 1);
+  EXPECT_EQ(*cache.Get("c"), 3);
+  cache.Put("a", 10);  // Overwrite keeps size at 2.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.Get("a"), 10);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisables) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 1);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(JsonCodecTest, ParsesRawTextLines) {
+  ServeRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseRequestLine("lunch at the deli", &request, &error));
+  EXPECT_EQ(request.text, "lunch at the deli");
+  EXPECT_EQ(request.id, "");
+  EXPECT_LT(request.deadline_ms, 0.0);
+}
+
+TEST(JsonCodecTest, ParsesJsonRequestLines) {
+  ServeRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseRequestLine(
+      R"(  {"id": "r-1", "text": "pizza \"slice\" @nypl", "deadline_ms": 12.5, "extra": 7})",
+      &request, &error))
+      << error;
+  EXPECT_EQ(request.id, "r-1");
+  EXPECT_EQ(request.text, "pizza \"slice\" @nypl");
+  EXPECT_DOUBLE_EQ(request.deadline_ms, 12.5);
+}
+
+TEST(JsonCodecTest, RejectsMalformedJson) {
+  ServeRequest request;
+  std::string error;
+  EXPECT_FALSE(ParseRequestLine(R"({"text": "unterminated)", &request, &error));
+  EXPECT_FALSE(ParseRequestLine(R"({"text": 42 "id"})", &request, &error));
+  EXPECT_FALSE(ParseRequestLine(R"({"deadline_ms": -3, "text": "x"})", &request, &error));
+  EXPECT_FALSE(ParseRequestLine(R"({"nested": {"no": 1}})", &request, &error));
+}
+
+TEST_F(GeoServiceTest, ResponseJsonIsWellFormedAndEchoesId) {
+  GeoServiceOptions options;
+  options.max_delay_ms = 0.5;
+  std::unique_ptr<GeoService> service = MakeService(options);
+  ServeResponse response = service->Predict((*texts_)[0]);
+  std::string line = ResponseToJsonLine(response, service->model(), "req-9");
+  EXPECT_NE(line.find("\"id\":\"req-9\""), std::string::npos);
+  EXPECT_NE(line.find("\"point\":{\"lat\":"), std::string::npos);
+  EXPECT_NE(line.find("\"components\":["), std::string::npos);
+  EXPECT_NE(line.find("\"ellipse95\""), std::string::npos);
+  EXPECT_NE(line.find("\"degrade_reason\":\"none\""), std::string::npos);
+  // Balanced braces/brackets and no raw newline: it is one LDJSON line.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '{'),
+            std::count(line.begin(), line.end(), '}'));
+  EXPECT_EQ(std::count(line.begin(), line.end(), '['),
+            std::count(line.begin(), line.end(), ']'));
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edge::serve

@@ -23,9 +23,7 @@
 /// For simulated worlds, `simulate` also writes `<out>.gazetteer.tsv`.
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -38,51 +36,15 @@
 #include "edge/obs/log.h"
 #include "edge/obs/metrics.h"
 #include "edge/obs/trace.h"
+#include "tool_args.h"
 
 namespace {
 
 using namespace edge;
-
-/// Minimal --flag value parser; flags without '--' are rejected.
-class Args {
- public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
-        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
-        ok_ = false;
-        return;
-      }
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-    // A trailing no-value flag is also an error, except boolean switches
-    // handled by Has() with an explicit "true".
-    if ((argc - 2) % 2 != 0) {
-      const char* last = argv[argc - 1];
-      if (std::strncmp(last, "--", 2) == 0) {
-        values_[last + 2] = "true";
-      } else {
-        std::fprintf(stderr, "dangling argument: %s\n", last);
-        ok_ = false;
-      }
-    }
-  }
-
-  bool ok() const { return ok_; }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-  std::string Get(const std::string& key, const std::string& fallback = "") const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  long GetInt(const std::string& key, long fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atol(it->second.c_str());
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-  bool ok_ = true;
-};
+using tools::Args;
+using tools::FlushObservability;
+using tools::LoadGazetteer;
+using tools::SetupObservability;
 
 int Usage() {
   std::fprintf(stderr,
@@ -159,12 +121,6 @@ int RunSimulate(const Args& args) {
   std::printf("wrote %zu tweets to %s and the entity dictionary to %s\n",
               dataset.tweets.size(), out_path.c_str(), gaz_path.c_str());
   return 0;
-}
-
-Result<text::Gazetteer> LoadGazetteer(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.good()) return Status::NotFound("cannot open " + path);
-  return data::ReadGazetteerTsv(&in);
 }
 
 int RunTrain(const Args& args) {
@@ -278,46 +234,11 @@ int RunPredict(const Args& args) {
   return 0;
 }
 
-/// Applies the observability flags before the subcommand runs; returns false
-/// on a malformed value.
-bool SetupObservability(const Args& args) {
-  std::string level_text = args.Get("log-level");
-  if (!level_text.empty()) {
-    obs::LogLevel level;
-    if (!obs::ParseLogLevel(level_text, &level)) {
-      std::fprintf(stderr, "unknown --log-level '%s'\n", level_text.c_str());
-      return false;
-    }
-    obs::SetLogLevel(level);
-  }
-  if (args.Has("trace-out")) obs::StartTracing();
-  return true;
-}
-
-/// Writes the --metrics-out snapshot and --trace-out export, if requested.
-void FlushObservability(const Args& args) {
-  std::string metrics_path = args.Get("metrics-out");
-  if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    out << obs::Registry::Global().ToJson();
-    if (out.good()) {
-      std::fprintf(stderr, "wrote metrics snapshot to %s\n", metrics_path.c_str());
-    } else {
-      std::fprintf(stderr, "metrics write failed: %s\n", metrics_path.c_str());
-    }
-  }
-  std::string trace_path = args.Get("trace-out");
-  if (!trace_path.empty() && obs::WriteTrace(trace_path)) {
-    std::fprintf(stderr, "wrote Chrome trace to %s (open at chrome://tracing)\n",
-                 trace_path.c_str());
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  Args args(argc, argv);
+  Args args(argc, argv, 2);
   if (!args.ok()) return Usage();
   if (!SetupObservability(args)) return 2;
   std::string command = argv[1];

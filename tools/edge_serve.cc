@@ -1,0 +1,145 @@
+/// edge_serve — line-delimited JSON inference server over stdin/stdout.
+///
+/// Reads one request per line (raw tweet text, or a flat JSON object with
+/// "text" / optional "id" / optional "deadline_ms"), answers one JSON line
+/// per request in input order: the predicted mixture (per-component weight,
+/// lat/lon center, km sigmas, rho, 95% confidence ellipse), the Eq. 14 mode
+/// point, per-entity attention and serving metadata. See README "Serving".
+///
+///   edge_cli train --tweets t.tsv --gazetteer g.tsv --model m.edge
+///   echo "lunch at katz_deli" | edge_serve --model m.edge --gazetteer g.tsv
+///
+/// Flags:
+///   --model m.edge          EDGE-INFERENCE checkpoint (required)
+///   --gazetteer g.tsv       NER dictionary (required)
+///   --max-batch N           micro-batch flush size            (default 16)
+///   --max-delay-ms D        micro-batch flush age             (default 2)
+///   --workers N             batch worker threads              (default 1)
+///   --queue-capacity N      admission queue bound             (default 1024)
+///   --cache-capacity N      LRU response cache entries, 0=off (default 4096)
+///   --deadline-ms D         default per-request deadline, 0=none (default 0)
+///   --predict-threads N     model threads per batch, 0=hw     (default 1)
+/// plus the shared observability flags (--log-level, --metrics-out,
+/// --trace-out).
+///
+/// Responses stream in input order; up to 4 x max-batch requests are kept in
+/// flight so micro-batches actually form while earlier answers print.
+
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "edge/serve/geo_service.h"
+#include "edge/serve/json_codec.h"
+#include "tool_args.h"
+
+namespace {
+
+using namespace edge;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: edge_serve --model m.edge --gazetteer g.tsv\n"
+               "  [--max-batch N] [--max-delay-ms D] [--workers N]\n"
+               "  [--queue-capacity N] [--cache-capacity N] [--deadline-ms D]\n"
+               "  [--predict-threads N]\n"
+               "  [--log-level L] [--metrics-out m.json] [--trace-out t.json]\n"
+               "reads one request per stdin line (raw text or\n"
+               "{\"text\":...,\"id\":...,\"deadline_ms\":...}), writes one JSON\n"
+               "response line per request in order\n");
+  return 2;
+}
+
+struct InFlight {
+  std::string id;
+  std::future<serve::ServeResponse> future;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Args args(argc, argv, 1);
+  if (!args.ok() || args.Has("help")) return Usage();
+  if (!tools::SetupObservability(args)) return 2;
+
+  std::string model_path = args.Get("model");
+  std::string gaz_path = args.Get("gazetteer");
+  if (model_path.empty() || gaz_path.empty()) return Usage();
+
+  std::ifstream model_in(model_path);
+  if (!model_in.good()) {
+    std::fprintf(stderr, "cannot open %s\n", model_path.c_str());
+    return 1;
+  }
+  Result<text::Gazetteer> gazetteer = tools::LoadGazetteer(gaz_path);
+  if (!gazetteer.ok()) {
+    std::fprintf(stderr, "bad gazetteer: %s\n", gazetteer.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::GeoServiceOptions options;
+  options.max_batch = static_cast<size_t>(
+      args.GetInt("max-batch", static_cast<long>(options.max_batch)));
+  options.max_delay_ms = args.GetDouble("max-delay-ms", options.max_delay_ms);
+  options.num_workers = static_cast<size_t>(
+      args.GetInt("workers", static_cast<long>(options.num_workers)));
+  options.queue_capacity = static_cast<size_t>(
+      args.GetInt("queue-capacity", static_cast<long>(options.queue_capacity)));
+  options.cache_capacity = static_cast<size_t>(
+      args.GetInt("cache-capacity", static_cast<long>(options.cache_capacity)));
+  options.default_deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  options.predict_threads =
+      static_cast<int>(args.GetInt("predict-threads", options.predict_threads));
+
+  auto service = serve::GeoService::Create(&model_in, std::move(gazetteer).value(),
+                                           options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "cannot serve %s: %s\n", model_path.c_str(),
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  serve::GeoService& geo = *service.value();
+
+  // Keep several batches' worth of requests in flight; answer in order.
+  const size_t max_in_flight = 4 * options.max_batch;
+  std::deque<InFlight> in_flight;
+  size_t line_number = 0;
+  size_t bad_lines = 0;
+
+  auto drain_front = [&] {
+    InFlight request = std::move(in_flight.front());
+    in_flight.pop_front();
+    serve::ServeResponse response = request.future.get();
+    std::string out = serve::ResponseToJsonLine(response, geo.model(), request.id);
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    std::fputc('\n', stdout);
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    serve::ServeRequest request;
+    std::string error;
+    if (!serve::ParseRequestLine(line, &request, &error)) {
+      ++bad_lines;
+      std::fprintf(stderr, "line %zu: %s\n", line_number, error.c_str());
+      std::printf("{\"error\":\"bad request\",\"line\":%zu}\n", line_number);
+      continue;
+    }
+    std::future<serve::ServeResponse> future =
+        request.deadline_ms >= 0.0
+            ? geo.SubmitAsync(std::move(request.text), request.deadline_ms)
+            : geo.SubmitAsync(std::move(request.text));
+    in_flight.push_back({std::move(request.id), std::move(future)});
+    while (in_flight.size() >= max_in_flight) drain_front();
+  }
+  while (!in_flight.empty()) drain_front();
+  std::fflush(stdout);
+
+  tools::FlushObservability(args);
+  return bad_lines == 0 ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+#ifndef EDGE_TOOLS_TOOL_ARGS_H_
+#define EDGE_TOOLS_TOOL_ARGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "edge/common/status.h"
+#include "edge/data/io.h"
+#include "edge/obs/log.h"
+#include "edge/obs/metrics.h"
+#include "edge/obs/trace.h"
+#include "edge/text/ner.h"
+
+/// \file
+/// Flag parsing and the shared observability flags (--log-level,
+/// --metrics-out, --trace-out) for the command-line tools. Header-only so a
+/// tool is still a single .cc file.
+
+namespace edge::tools {
+
+/// Minimal --flag value parser; arguments without '--' are rejected. `first`
+/// is the index of the first flag (2 for subcommand tools like edge_cli, 1
+/// for flat tools like edge_serve).
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    // A trailing no-value flag is also an error, except boolean switches
+    // handled by Has() with an explicit "true".
+    if (argc > first && (argc - first) % 2 != 0) {
+      const char* last = argv[argc - 1];
+      if (std::strncmp(last, "--", 2) == 0) {
+        values_[last + 2] = "true";
+      } else {
+        std::fprintf(stderr, "dangling argument: %s\n", last);
+        ok_ = false;
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+/// Applies the observability flags before the tool runs; returns false on a
+/// malformed value.
+inline bool SetupObservability(const Args& args) {
+  std::string level_text = args.Get("log-level");
+  if (!level_text.empty()) {
+    obs::LogLevel level;
+    if (!obs::ParseLogLevel(level_text, &level)) {
+      std::fprintf(stderr, "unknown --log-level '%s'\n", level_text.c_str());
+      return false;
+    }
+    obs::SetLogLevel(level);
+  }
+  if (args.Has("trace-out")) obs::StartTracing();
+  return true;
+}
+
+/// Writes the --metrics-out snapshot and --trace-out export, if requested.
+inline void FlushObservability(const Args& args) {
+  std::string metrics_path = args.Get("metrics-out");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << obs::Registry::Global().ToJson();
+    if (out.good()) {
+      std::fprintf(stderr, "wrote metrics snapshot to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics write failed: %s\n", metrics_path.c_str());
+    }
+  }
+  std::string trace_path = args.Get("trace-out");
+  if (!trace_path.empty() && obs::WriteTrace(trace_path)) {
+    std::fprintf(stderr, "wrote Chrome trace to %s (open at chrome://tracing)\n",
+                 trace_path.c_str());
+  }
+}
+
+/// Reads a gazetteer TSV (see edge/data/io.h).
+inline Result<text::Gazetteer> LoadGazetteer(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("cannot open " + path);
+  return data::ReadGazetteerTsv(&in);
+}
+
+}  // namespace edge::tools
+
+#endif  // EDGE_TOOLS_TOOL_ARGS_H_

@@ -57,6 +57,26 @@ class Rng {
     }
   }
 
+  /// Complete generator state; round-tripping through Save/RestoreState
+  /// continues the stream exactly where it left off (checkpoint/resume).
+  struct State {
+    uint64_t state = 0;
+    uint64_t inc = 0;
+    bool has_spare_normal = false;
+    double spare_normal = 0.0;
+  };
+
+  State SaveState() const {
+    return State{state_, inc_, has_spare_normal_, spare_normal_};
+  }
+
+  void RestoreState(const State& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+    has_spare_normal_ = s.has_spare_normal;
+    spare_normal_ = s.spare_normal;
+  }
+
  private:
   uint64_t state_ = 0;
   uint64_t inc_ = 0;

@@ -5,6 +5,7 @@
 
 #include "edge/common/check.h"
 #include "edge/common/stopwatch.h"
+#include "edge/fault/fault.h"
 #include "edge/obs/metrics.h"
 
 namespace edge {
@@ -32,8 +33,12 @@ obs::Gauge* QueueDepthGauge() {
   return gauge;
 }
 
-/// Runs one task with busy-time/throughput accounting.
+/// Runs one task with busy-time/throughput accounting. The `pool.task`
+/// latency fault point perturbs task start times so chaos runs exercise
+/// scheduling orders a quiet machine never produces; bitwise-parity tests
+/// must still pass under it (the determinism contract is order-independent).
 void RunAccounted(std::packaged_task<void()>* task) {
+  fault::Probe("pool.task");
   Stopwatch watch;
   (*task)();  // packaged_task routes exceptions into the task's future.
   BusyMicrosCounter()->Increment(

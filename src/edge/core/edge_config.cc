@@ -23,6 +23,18 @@ Status EdgeConfig::Validate() const {
   if (entity2vec.num_threads < 0) {
     return Status::InvalidArgument("entity2vec.num_threads must be >= 0");
   }
+  if (recovery.checkpoint_every <= 0) {
+    return Status::InvalidArgument("recovery.checkpoint_every must be > 0");
+  }
+  if (recovery.max_epochs_per_run < 0) {
+    return Status::InvalidArgument("recovery.max_epochs_per_run must be >= 0");
+  }
+  if (recovery.max_rollbacks < 0) {
+    return Status::InvalidArgument("recovery.max_rollbacks must be >= 0");
+  }
+  if (recovery.grad_spike_factor < 0.0) {
+    return Status::InvalidArgument("recovery.grad_spike_factor must be >= 0");
+  }
   return Status::Ok();
 }
 

@@ -1,6 +1,7 @@
 #ifndef EDGE_CORE_EDGE_CONFIG_H_
 #define EDGE_CORE_EDGE_CONFIG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -11,6 +12,44 @@
 #include "edge/nn/optimizer.h"
 
 namespace edge::core {
+
+/// Crash-safety and divergence-recovery knobs for EdgeModel::Fit()
+/// (DESIGN.md §12). All defaults leave recovery off; an unconfigured Fit is
+/// byte-for-byte the legacy training loop.
+struct TrainRecoveryOptions {
+  /// Directory for the training-state checkpoint (weights + Adam moments +
+  /// RNG + epoch cursor). Empty disables checkpointing and resume.
+  std::string checkpoint_dir;
+
+  /// Write a checkpoint every this many completed epochs.
+  int checkpoint_every = 1;
+
+  /// When a compatible checkpoint exists in checkpoint_dir, continue from it
+  /// instead of starting at epoch 0. The resumed run reproduces the
+  /// uninterrupted run's loss history bitwise.
+  bool resume = true;
+
+  /// Stop gracefully (writing a final checkpoint) after this many epochs in
+  /// this process, independent of EdgeConfig::epochs — time-boxed training.
+  /// 0 = run to completion. Because EdgeConfig::epochs still anchors the LR
+  /// schedule, a later resumed run continues the same schedule.
+  int max_epochs_per_run = 0;
+
+  /// Divergence sentinel budget: how many times a non-finite epoch (or a
+  /// grad-norm spike, below) may trigger rollback-and-retry with a halved
+  /// learning rate before Fit() gives up and keeps the last good state.
+  int max_rollbacks = 3;
+
+  /// When > 0, an epoch whose mean grad norm exceeds this factor times the
+  /// last good epoch's is treated as divergence. 0 disables the spike check
+  /// (non-finite loss is always treated as divergence).
+  double grad_spike_factor = 0.0;
+
+  /// Optional cooperative stop: when non-null and set, Fit() finishes the
+  /// current epoch, writes a final checkpoint, and returns. Signal handlers
+  /// in tools flip this.
+  const std::atomic<bool>* stop_flag = nullptr;
+};
 
 /// Full configuration of the EDGE pipeline. Defaults follow §IV-B (Adam with
 /// learning rate 0.01 and weight decay 0.01, two GCN layers, M = 4 mixture
@@ -84,6 +123,10 @@ struct EdgeConfig {
   double rho_max = 0.995;
 
   uint64_t seed = 123;
+
+  /// Crash-safe checkpointing, resume, and divergence rollback (all off by
+  /// default; see TrainRecoveryOptions).
+  TrainRecoveryOptions recovery;
 
   /// Worker-thread budget for Fit() and batched prediction: 0 = hardware
   /// concurrency, 1 = exact single-threaded legacy behaviour (default),

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <limits>
 #include <numeric>
 #include <ostream>
 
+#include "edge/common/file_util.h"
 #include "edge/common/math_util.h"
 #include "edge/common/rng.h"
 #include "edge/common/stopwatch.h"
 #include "edge/common/thread_pool.h"
+#include "edge/core/train_checkpoint.h"
+#include "edge/fault/fault.h"
 #include "edge/nn/autodiff.h"
 #include "edge/nn/init.h"
 #include "edge/nn/mdn.h"
@@ -226,22 +230,111 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
     EDGE_CHECK(!tweet_ids[i].empty()) << "training tweet with no graph entity";
   }
 
-  // --- Stage 5: end-to-end training (Eq. 13). ---
+  // --- Stage 5: end-to-end training (Eq. 13) with crash-safe recovery. ---
   // Per-epoch telemetry: the NLL/grad-norm series are what convergence tests
   // and the MDN-baseline comparisons read back (metric scheme in DESIGN.md).
   obs::Registry& registry = obs::Registry::Global();
   obs::Series* nll_series = registry.GetSeries("edge.core.epoch_nll");
   obs::Series* grad_norm_series = registry.GetSeries("edge.core.epoch_grad_norm");
   obs::Histogram* epoch_seconds = registry.GetHistogram("edge.core.epoch_seconds");
+  obs::Counter* rollback_counter = registry.GetCounter("edge.core.rollbacks");
+  obs::Gauge* lr_scale_gauge = registry.GetGauge("edge.core.lr_scale");
+
+  // Recovery bookkeeping (DESIGN.md §12). Stages 1-4 above are pure functions
+  // of (dataset, seed), so a checkpoint only needs the mutable training state:
+  // parameter values, Adam moments, the RNG, the epoch cursor, and the
+  // rollback ledger. capture/restore move all of it atomically, which serves
+  // both the on-disk checkpoint and the in-memory divergence snapshot.
+  const TrainRecoveryOptions& recovery = config_.recovery;
+  const std::string checkpoint_path =
+      recovery.checkpoint_dir.empty() ? ""
+                                      : recovery.checkpoint_dir + "/train_state.edge";
+  const std::string fingerprint =
+      TrainFingerprint(config_, dataset.train.size(),
+                       dataset.train_entity_names.size());
+  double lr_scale = 1.0;
+  int rollbacks_used = 0;
+  double last_good_grad_norm = 0.0;
+  int start_epoch = 0;
+
+  auto capture = [&](int next_epoch) {
+    TrainState state;
+    state.fingerprint = fingerprint;
+    state.next_epoch = next_epoch;
+    state.lr_scale = lr_scale;
+    state.rollbacks_used = rollbacks_used;
+    state.last_good_grad_norm = last_good_grad_norm;
+    state.rng = rng.SaveState();
+    state.loss_history = loss_history_;
+    state.params.reserve(params.size());
+    for (const nn::Var& p : params) state.params.push_back(p->value);
+    state.adam = adam.ExportState();
+    return state;
+  };
+  auto shapes_match = [&](const TrainState& state) {
+    if (state.params.size() != params.size()) return false;
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (state.params[i].rows() != params[i]->value.rows() ||
+          state.params[i].cols() != params[i]->value.cols()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto restore = [&](const TrainState& state) {
+    lr_scale = state.lr_scale;
+    rollbacks_used = state.rollbacks_used;
+    last_good_grad_norm = state.last_good_grad_norm;
+    rng.RestoreState(state.rng);
+    loss_history_ = state.loss_history;
+    for (size_t i = 0; i < params.size(); ++i) params[i]->value = state.params[i];
+    adam.ImportState(state.adam);
+  };
+
+  if (!checkpoint_path.empty() && recovery.resume && FileExists(checkpoint_path)) {
+    Result<TrainState> loaded = LoadTrainState(checkpoint_path);
+    if (!loaded.ok()) {
+      EDGE_LOG(WARN) << "checkpoint unusable; training from scratch"
+                     << obs::Kv("path", checkpoint_path)
+                     << obs::Kv("error", loaded.status().ToString());
+    } else if (loaded.value().fingerprint != fingerprint) {
+      EDGE_LOG(WARN) << "checkpoint fingerprint mismatch; training from scratch"
+                     << obs::Kv("path", checkpoint_path);
+    } else if (!shapes_match(loaded.value()) ||
+               loaded.value().next_epoch > config_.epochs) {
+      EDGE_LOG(WARN) << "checkpoint shape mismatch; training from scratch"
+                     << obs::Kv("path", checkpoint_path);
+    } else {
+      restore(loaded.value());
+      start_epoch = loaded.value().next_epoch;
+      registry.GetCounter("edge.core.resumes")->Increment();
+      EDGE_LOG(INFO) << "resumed from checkpoint" << obs::Kv("path", checkpoint_path)
+                     << obs::Kv("epoch", start_epoch)
+                     << obs::Kv("rollbacks_used", rollbacks_used);
+    }
+  }
+  lr_scale_gauge->Set(lr_scale);
+
   Stopwatch epoch_watch;
   std::vector<size_t> order(dataset.train.size());
-  std::iota(order.begin(), order.end(), 0);
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  TrainState last_good = capture(start_epoch);
+  int epochs_this_run = 0;
+  int epoch = start_epoch;
+  while (epoch < config_.epochs) {
     EDGE_TRACE_SPAN("edge.core.fit.epoch");
+    // lr_scale is 1.0 until a rollback, so the unfaulted schedule is bitwise
+    // the legacy one (x * 1.0 == x for finite x).
+    double lr = config_.adam.learning_rate * lr_scale;
     if (config_.lr_decay) {
       double progress = static_cast<double>(epoch) / static_cast<double>(config_.epochs);
-      adam.set_learning_rate(config_.adam.learning_rate * (1.0 - 0.9 * progress));
+      lr *= 1.0 - 0.9 * progress;
     }
+    adam.set_learning_rate(lr);
+    // Each epoch's visit order is shuffled from the identity permutation, not
+    // from the previous epoch's order: the order must be a pure function of
+    // the RNG state so a resumed run reproduces the batch composition the
+    // uninterrupted run would have used.
+    std::iota(order.begin(), order.end(), 0);
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     double epoch_grad_norm = 0.0;
@@ -284,15 +377,84 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
     }
     double mean_nll = epoch_loss / static_cast<double>(batches);
     double mean_grad_norm = epoch_grad_norm / static_cast<double>(batches);
+    if (EDGE_FAULT_POINT("train.diverge") == fault::Action::kError) {
+      mean_nll = std::numeric_limits<double>::quiet_NaN();  // Divergence drill.
+    }
+
+    // Divergence sentinel: a non-finite epoch (or a grad-norm spike when the
+    // spike factor is configured) rolls back to the last good snapshot, halves
+    // the learning rate, and retries — bounded by max_rollbacks, after which
+    // the last good state is kept. Fit never aborts on divergence.
+    bool diverged =
+        !std::isfinite(mean_nll) || !std::isfinite(mean_grad_norm) ||
+        (recovery.grad_spike_factor > 0.0 && last_good_grad_norm > 0.0 &&
+         mean_grad_norm > recovery.grad_spike_factor * last_good_grad_norm);
+    if (diverged) {
+      if (rollbacks_used < recovery.max_rollbacks) {
+        restore(last_good);
+        lr_scale *= 0.5;
+        ++rollbacks_used;
+        last_good.lr_scale = lr_scale;
+        last_good.rollbacks_used = rollbacks_used;
+        rollback_counter->Increment();
+        lr_scale_gauge->Set(lr_scale);
+        EDGE_LOG(WARN) << "epoch diverged; rolled back"
+                       << obs::Kv("epoch", epoch) << obs::Kv("nll", mean_nll)
+                       << obs::Kv("grad_norm", mean_grad_norm)
+                       << obs::Kv("lr_scale", lr_scale)
+                       << obs::Kv("rollbacks_used", rollbacks_used);
+        epoch = last_good.next_epoch;
+        continue;
+      }
+      registry.GetCounter("edge.core.divergence_giveups")->Increment();
+      EDGE_LOG(ERROR) << "divergence rollback budget exhausted; keeping last "
+                         "good state"
+                      << obs::Kv("epoch", epoch)
+                      << obs::Kv("rollbacks_used", rollbacks_used);
+      restore(last_good);
+      break;
+    }
+
     double seconds = epoch_watch.LapSeconds();
     loss_history_.push_back(mean_nll);
     nll_series->Append(mean_nll);
     grad_norm_series->Append(mean_grad_norm);
     epoch_seconds->Observe(seconds);
+    last_good_grad_norm = mean_grad_norm;
     EDGE_LOG(DEBUG) << "epoch done" << obs::Kv("epoch", epoch)
                     << obs::Kv("nll", mean_nll)
                     << obs::Kv("grad_norm", mean_grad_norm)
                     << obs::Kv("sec", seconds);
+    ++epoch;
+    ++epochs_this_run;
+    last_good = capture(epoch);
+
+    bool stop_requested =
+        recovery.stop_flag != nullptr &&
+        recovery.stop_flag->load(std::memory_order_relaxed);
+    bool run_budget_done = recovery.max_epochs_per_run > 0 &&
+                           epochs_this_run >= recovery.max_epochs_per_run;
+    if (!checkpoint_path.empty() &&
+        (epoch % recovery.checkpoint_every == 0 || epoch == config_.epochs ||
+         stop_requested || run_budget_done)) {
+      Status status = SaveTrainStateAtomic(checkpoint_path, last_good);
+      if (status.ok()) {
+        registry.GetCounter("edge.core.checkpoints_written")->Increment();
+      } else {
+        // Checkpointing is best-effort: a persistently failing disk must not
+        // kill an otherwise healthy training run.
+        registry.GetCounter("edge.core.checkpoint_failures")->Increment();
+        EDGE_LOG(WARN) << "checkpoint write failed"
+                       << obs::Kv("path", checkpoint_path)
+                       << obs::Kv("error", status.ToString());
+      }
+    }
+    if (stop_requested || run_budget_done) {
+      EDGE_LOG(INFO) << "training stopped gracefully"
+                     << obs::Kv("epoch", epoch)
+                     << obs::Kv("reason", stop_requested ? "stop_flag" : "run_budget");
+      break;
+    }
   }
 
   // --- Stage 6: cache dense inference state. ---
@@ -310,10 +472,15 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
   double fit_seconds = fit_watch.ElapsedSeconds();
   registry.GetCounter("edge.core.fit_runs")->Increment();
   registry.GetGauge("edge.core.fit_seconds")->Set(fit_seconds);
+  // loss_history_ can be empty when every attempted epoch diverged and the
+  // rollback budget restored the initial state.
+  double nan = std::numeric_limits<double>::quiet_NaN();
   EDGE_LOG(INFO) << "fit done" << obs::Kv("model", config_.display_name)
-                 << obs::Kv("epochs", config_.epochs)
-                 << obs::Kv("first_nll", loss_history_.front())
-                 << obs::Kv("final_nll", loss_history_.back())
+                 << obs::Kv("epochs_done", loss_history_.size())
+                 << obs::Kv("first_nll",
+                            loss_history_.empty() ? nan : loss_history_.front())
+                 << obs::Kv("final_nll",
+                            loss_history_.empty() ? nan : loss_history_.back())
                  << obs::Kv("sec", fit_seconds);
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "edge/common/string_util.h"
+#include "edge/fault/fault.h"
 
 namespace edge::data {
 
@@ -60,6 +61,9 @@ Status WriteTweetsTsv(const Dataset& dataset, std::ostream* out) {
 
 Result<Dataset> ReadTweetsTsv(std::istream* in) {
   EDGE_CHECK(in != nullptr);
+  if (EDGE_FAULT_POINT("io.data.read") == fault::Action::kError) {
+    return Status::Internal("injected fault at 'io.data.read'");
+  }
   Dataset ds;
   std::string line;
   bool saw_header = false;
@@ -115,6 +119,9 @@ Result<Dataset> ReadTweetsTsv(std::istream* in) {
 
 Result<text::Gazetteer> ReadGazetteerTsv(std::istream* in) {
   EDGE_CHECK(in != nullptr);
+  if (EDGE_FAULT_POINT("io.gazetteer.read") == fault::Action::kError) {
+    return Status::Internal("injected fault at 'io.gazetteer.read'");
+  }
   text::Gazetteer gazetteer;
   std::string line;
   size_t line_number = 0;

@@ -1,0 +1,99 @@
+#ifndef EDGE_FAULT_FAULT_H_
+#define EDGE_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+/// \file
+/// Process-global registry of named, deterministic fault points — the chaos
+/// substrate of the fault-tolerance layer (DESIGN.md §12).
+///
+/// Library code marks injectable sites with
+///
+///   switch (EDGE_FAULT_POINT("io.checkpoint.write")) { ... }
+///
+/// and is handed an Action to simulate: kNone (the overwhelmingly common
+/// case), kError (the site should fail as if the underlying operation
+/// errored) or kShortWrite (the site should persist only a prefix of its
+/// payload, simulating a torn write). A `latency` point sleeps inside the
+/// probe and always returns kNone, so call sites never special-case it.
+///
+/// Faults are configured through the EDGE_FAULT_SPEC environment variable
+/// (read once at process start) or programmatically via Configure():
+///
+///   EDGE_FAULT_SPEC="io.checkpoint.write=short_write,p=0.5,frac=0.25,seed=7;
+///                    serve.batch=latency,ms=5,times=10"
+///
+/// Clause grammar (';'-separated):
+///   <point>=<mode>[,p=<prob>][,times=<n>][,after=<n>][,ms=<millis>]
+///                 [,frac=<keep-fraction>][,seed=<u64>]
+///     mode   error | latency | short_write
+///     p      injection probability per eligible hit    (default 1)
+///     times  stop injecting after this many injections (default unlimited)
+///     after  first hits that are never injected        (default 0)
+///     ms     sleep duration for latency mode           (default 1)
+///     frac   fraction of bytes kept on a short write   (default 0.5)
+///     seed   per-point RNG seed (default: hash of the point name)
+///
+/// Determinism: each point owns a private seeded generator, so a fixed spec
+/// yields the same injection decision sequence for the same per-point hit
+/// sequence — chaos tests are replayable. Unconfigured processes pay one
+/// relaxed atomic load per fault point (the registry is never consulted);
+/// every probe and injection is exported under edge.fault.* metrics.
+
+namespace edge::fault {
+
+/// What the call site should simulate for this hit.
+enum class Action {
+  kNone = 0,
+  kError,       ///< Fail as if the underlying operation errored.
+  kShortWrite,  ///< Persist only `keep_fraction` of the payload bytes.
+};
+
+/// Full probe result; keep_fraction is meaningful only for kShortWrite.
+struct Injection {
+  Action action = Action::kNone;
+  double keep_fraction = 1.0;
+};
+
+namespace internal {
+extern std::atomic<bool> g_armed;
+Injection ProbeSlow(const char* point);
+}  // namespace internal
+
+/// True when any fault point is configured (cheap enough for hot paths).
+inline bool Armed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Records a hit on `point` and returns what to inject. Latency faults sleep
+/// here. When nothing is configured this is a single relaxed load.
+inline Injection Probe(const char* point) {
+  if (!Armed()) return Injection{};
+  return internal::ProbeSlow(point);
+}
+
+/// Probe() reduced to its Action (the common call-site shape).
+inline Action Hit(const char* point) { return Probe(point).action; }
+
+/// Bytes to actually persist for a write of `full_bytes` under `injection`.
+size_t ShortWriteBytes(const Injection& injection, size_t full_bytes);
+
+/// Replaces the active spec. Empty spec disarms. On a malformed spec the
+/// previous configuration is kept, *error (if given) explains the problem,
+/// and false is returned.
+bool Configure(const std::string& spec, std::string* error = nullptr);
+
+/// Removes every configured point and disarms all probes (test isolation).
+void Disarm();
+
+/// Total injections performed on `point` since it was (re)configured.
+long long InjectedCount(const std::string& point);
+
+}  // namespace edge::fault
+
+/// Marks an injectable site; evaluates to the fault::Action to simulate.
+#define EDGE_FAULT_POINT(name) (::edge::fault::Hit(name))
+
+#endif  // EDGE_FAULT_FAULT_H_

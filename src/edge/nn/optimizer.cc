@@ -38,6 +38,26 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step_count = step_count_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+void Adam::ImportState(const AdamState& state) {
+  EDGE_CHECK_EQ(state.m.size(), m_.size());
+  EDGE_CHECK_EQ(state.v.size(), v_.size());
+  for (size_t i = 0; i < m_.size(); ++i) {
+    EDGE_CHECK_EQ(state.m[i].size(), m_[i].size());
+    EDGE_CHECK_EQ(state.v[i].size(), v_[i].size());
+  }
+  step_count_ = state.step_count;
+  m_ = state.m;
+  v_ = state.v;
+}
+
 Sgd::Sgd(std::vector<Var> params, double learning_rate)
     : params_(std::move(params)), learning_rate_(learning_rate) {
   for (const Var& p : params_) EDGE_CHECK(p != nullptr && p->requires_grad);

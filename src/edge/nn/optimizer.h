@@ -19,6 +19,15 @@ struct AdamOptions {
   double weight_decay = 0.01;
 };
 
+/// Optimizer state snapshot for checkpoint/resume: the moment estimates and
+/// step count that, together with the param values themselves, make an
+/// interrupted Adam run continue bit-for-bit.
+struct AdamState {
+  int64_t step_count = 0;
+  std::vector<Matrix> m;
+  std::vector<Matrix> v;
+};
+
 /// Adam optimizer over a fixed set of Param nodes. Call Backward() on the
 /// loss first, then Step(); gradients are recomputed (not accumulated) by
 /// each Backward call so there is no explicit zero_grad.
@@ -28,6 +37,13 @@ class Adam {
 
   /// Applies one update using each param's current `grad`.
   void Step();
+
+  /// Copies out the moment estimates and step count.
+  AdamState ExportState() const;
+
+  /// Restores a snapshot taken from an optimizer over the same param set
+  /// (shapes must match element-for-element).
+  void ImportState(const AdamState& state);
 
   /// Adjusts the learning rate (for schedules like linear decay).
   void set_learning_rate(double lr) {

@@ -1,8 +1,12 @@
 #include "edge/serve/geo_service.h"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 #include <utility>
 
+#include "edge/common/file_util.h"
+#include "edge/fault/fault.h"
 #include "edge/obs/log.h"
 #include "edge/obs/metrics.h"
 #include "edge/obs/trace.h"
@@ -30,9 +34,12 @@ struct ServeMetrics {
   obs::Counter* shed;
   obs::Counter* deadline_expired;
   obs::Counter* batches;
+  obs::Counter* reloads;
+  obs::Counter* reload_failures;
   obs::Histogram* batch_size;
   obs::Histogram* latency_seconds;
   obs::Gauge* queue_depth;
+  obs::Gauge* model_generation;
 };
 
 ServeMetrics& Metrics() {
@@ -45,10 +52,13 @@ ServeMetrics& Metrics() {
     m.shed = registry.GetCounter("edge.serve.shed");
     m.deadline_expired = registry.GetCounter("edge.serve.deadline_expired");
     m.batches = registry.GetCounter("edge.serve.batches");
+    m.reloads = registry.GetCounter("edge.serve.reloads");
+    m.reload_failures = registry.GetCounter("edge.serve.reload_failures");
     m.batch_size = registry.GetHistogram("edge.serve.batch_size",
                                          {1, 2, 4, 8, 16, 32, 64, 128, 256});
     m.latency_seconds = registry.GetHistogram("edge.serve.latency_seconds");
     m.queue_depth = registry.GetGauge("edge.serve.queue_depth");
+    m.model_generation = registry.GetGauge("edge.serve.model_generation");
     return m;
   }();
   return metrics;
@@ -57,15 +67,34 @@ ServeMetrics& Metrics() {
 }  // namespace
 
 Status GeoServiceOptions::Validate() const {
-  if (max_batch == 0) return Status::InvalidArgument("max_batch must be > 0");
-  if (max_delay_ms < 0.0) return Status::InvalidArgument("max_delay_ms must be >= 0");
-  if (num_workers == 0) return Status::InvalidArgument("num_workers must be > 0");
-  if (queue_capacity == 0) return Status::InvalidArgument("queue_capacity must be > 0");
-  if (default_deadline_ms < 0.0) {
-    return Status::InvalidArgument("default_deadline_ms must be >= 0");
+  // Upper caps catch "-1 parsed into a size_t" wrap-arounds from CLI flags
+  // as hard errors instead of impossible allocations.
+  constexpr size_t kMaxBatchCap = 1 << 16;
+  constexpr size_t kMaxWorkersCap = 1 << 10;
+  constexpr size_t kMaxQueueCap = 1 << 24;
+  constexpr size_t kMaxCacheCap = 1 << 26;
+  constexpr int kMaxPredictThreadsCap = 1 << 10;
+  if (max_batch == 0 || max_batch > kMaxBatchCap) {
+    return Status::InvalidArgument("max_batch must be in [1, 65536]");
   }
-  if (predict_threads < 0) {
-    return Status::InvalidArgument("predict_threads must be >= 0 (0 = hardware)");
+  if (!(max_delay_ms >= 0.0) || !std::isfinite(max_delay_ms)) {
+    return Status::InvalidArgument("max_delay_ms must be finite and >= 0");
+  }
+  if (num_workers == 0 || num_workers > kMaxWorkersCap) {
+    return Status::InvalidArgument("num_workers must be in [1, 1024]");
+  }
+  if (queue_capacity == 0 || queue_capacity > kMaxQueueCap) {
+    return Status::InvalidArgument("queue_capacity must be in [1, 2^24]");
+  }
+  if (cache_capacity > kMaxCacheCap) {
+    return Status::InvalidArgument("cache_capacity must be <= 2^26 (0 = off)");
+  }
+  if (!(default_deadline_ms >= 0.0) || !std::isfinite(default_deadline_ms)) {
+    return Status::InvalidArgument("default_deadline_ms must be finite and >= 0");
+  }
+  if (predict_threads < 0 || predict_threads > kMaxPredictThreadsCap) {
+    return Status::InvalidArgument(
+        "predict_threads must be in [0, 1024] (0 = hardware)");
   }
   return Status::Ok();
 }
@@ -101,11 +130,13 @@ Result<std::unique_ptr<GeoService>> GeoService::Create(
 
 GeoService::GeoService(std::unique_ptr<core::EdgeModel> model,
                        text::Gazetteer gazetteer, const GeoServiceOptions& options)
-    : options_(options),
-      model_(std::move(model)),
-      ner_(std::move(gazetteer)),
-      fallback_prediction_(model_->FallbackPrediction()),
-      cache_(options.cache_capacity) {
+    : options_(options), ner_(std::move(gazetteer)), cache_(options.cache_capacity) {
+  auto state = std::make_shared<ModelState>();
+  state->fallback = model->FallbackPrediction();
+  state->model = std::move(model);
+  state->generation = 1;
+  state_ = std::move(state);
+  Metrics().model_generation->Set(1.0);
   workers_.reserve(options_.num_workers);
   for (size_t w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -127,10 +158,11 @@ GeoService::~GeoService() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-std::string GeoService::CacheKey(const std::vector<text::Entity>& entities) const {
+std::string GeoService::CacheKey(const core::EdgeModel& model,
+                                 const std::vector<text::Entity>& entities) {
   std::vector<size_t> ids;
   ids.reserve(entities.size());
-  const graph::EntityGraph& graph = model_->entity_graph();
+  const graph::EntityGraph& graph = model.entity_graph();
   for (const text::Entity& e : entities) {
     size_t id = graph.NodeId(e.name);
     if (id != graph::EntityGraph::kNotFound) ids.push_back(id);
@@ -144,10 +176,12 @@ std::string GeoService::CacheKey(const std::vector<text::Entity>& entities) cons
   return key;
 }
 
-ServeResponse GeoService::DegradedResponse(DegradeReason reason,
-                                           Clock::time_point submitted) const {
+ServeResponse GeoService::DegradedResponse(const ModelState& state,
+                                           DegradeReason reason,
+                                           Clock::time_point submitted) {
   ServeResponse response;
-  response.prediction = fallback_prediction_;
+  response.prediction = state.fallback;
+  response.model = state.model;
   response.degraded = true;
   response.degrade_reason = reason;
   response.latency_ms = DurationMs(Clock::now() - submitted);
@@ -161,13 +195,13 @@ std::future<ServeResponse> GeoService::SubmitAsync(std::string text) {
 std::future<ServeResponse> GeoService::SubmitAsync(std::string text,
                                                    double deadline_ms) {
   EDGE_TRACE_SPAN("edge.serve.submit");
+  fault::Probe("serve.submit");  // Latency chaos on the admission path.
   ServeMetrics& metrics = Metrics();
   metrics.requests->Increment();
   Clock::time_point submitted = Clock::now();
 
   Pending pending;
   pending.entities = ner_.Extract(text);
-  pending.cache_key = CacheKey(pending.entities);
   pending.submitted = submitted;
   pending.deadline = deadline_ms > 0.0 ? submitted + MsToDuration(deadline_ms)
                                        : Clock::time_point::max();
@@ -175,10 +209,14 @@ std::future<ServeResponse> GeoService::SubmitAsync(std::string text,
 
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (const core::EdgePrediction* hit = cache_.Get(pending.cache_key)) {
+    // Cache keys are node ids under the *current* model's graph; the cache
+    // is cleared whenever that model swaps, so a hit is always current.
+    std::string cache_key = CacheKey(*state_->model, pending.entities);
+    if (const core::EdgePrediction* hit = cache_.Get(cache_key)) {
       metrics.cache_hits->Increment();
       ServeResponse response;
       response.prediction = *hit;
+      response.model = state_->model;
       response.from_cache = true;
       response.latency_ms = DurationMs(Clock::now() - submitted);
       metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
@@ -190,7 +228,8 @@ std::future<ServeResponse> GeoService::SubmitAsync(std::string text,
       // Backpressure: answer the fallback prior now instead of growing an
       // unbounded queue (or erroring) under overload.
       metrics.shed->Increment();
-      ServeResponse response = DegradedResponse(DegradeReason::kShed, submitted);
+      ServeResponse response =
+          DegradedResponse(*state_, DegradeReason::kShed, submitted);
       metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
       pending.promise.set_value(std::move(response));
       return future;
@@ -200,6 +239,64 @@ std::future<ServeResponse> GeoService::SubmitAsync(std::string text,
   }
   cv_.notify_one();
   return future;
+}
+
+std::shared_ptr<const core::EdgeModel> GeoService::model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_->model;
+}
+
+uint64_t GeoService::model_generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_->generation;
+}
+
+Status GeoService::ReloadCheckpoint(std::istream* in) {
+  EDGE_CHECK(in != nullptr);
+  ServeMetrics& metrics = Metrics();
+  // Parse and validate before touching any served state: every LoadInference
+  // gate (magic, dimensions, finiteness) applies, and a failure leaves the
+  // old model serving untouched.
+  auto loaded = core::EdgeModel::LoadInference(in);
+  if (!loaded.ok()) {
+    metrics.reload_failures->Increment();
+    EDGE_LOG(WARN) << "model reload rejected"
+                   << obs::Kv("error", loaded.status().ToString());
+    return loaded.status();
+  }
+  std::unique_ptr<core::EdgeModel> model = std::move(loaded).value();
+  model->set_num_threads(options_.predict_threads);
+  auto fresh = std::make_shared<ModelState>();
+  fresh->fallback = model->FallbackPrediction();
+  fresh->model = std::move(model);
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fresh->generation = state_->generation + 1;
+    generation = fresh->generation;
+    state_ = std::move(fresh);
+    // Old-generation node ids must not answer new-generation lookups.
+    cache_.Clear();
+  }
+  metrics.reloads->Increment();
+  metrics.model_generation->Set(static_cast<double>(generation));
+  EDGE_LOG(INFO) << "model reloaded" << obs::Kv("generation", generation);
+  return Status::Ok();
+}
+
+Status GeoService::ReloadFromFile(const std::string& path) {
+  std::string content;
+  Status status = RetryWithBackoff(/*attempts=*/4, /*base_backoff_ms=*/1.0, [&]() {
+    return ReadFileToString(path, &content, "io.checkpoint.read");
+  });
+  if (!status.ok()) {
+    Metrics().reload_failures->Increment();
+    EDGE_LOG(WARN) << "model reload read failed" << obs::Kv("path", path)
+                   << obs::Kv("error", status.ToString());
+    return status;
+  }
+  std::istringstream in(content);
+  return ReloadCheckpoint(&in);
 }
 
 ServeResponse GeoService::Predict(const std::string& text) {
@@ -261,9 +358,18 @@ bool GeoService::NextBatch(std::vector<Pending>* batch) {
 
 void GeoService::ProcessBatch(std::vector<Pending>* batch) {
   EDGE_TRACE_SPAN("edge.serve.batch");
+  fault::Probe("serve.batch");  // Latency chaos on the drain path.
   ServeMetrics& metrics = Metrics();
   metrics.batches->Increment();
   metrics.batch_size->Observe(static_cast<double>(batch->size()));
+
+  // Snapshot the model for the whole batch: a concurrent hot reload must not
+  // tear a batch across two models. In-flight responses carry this snapshot.
+  std::shared_ptr<const ModelState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state = state_;
+  }
 
   // Expired requests degrade to the prior; the rest go through the model's
   // tweet-parallel batch path.
@@ -277,7 +383,7 @@ void GeoService::ProcessBatch(std::vector<Pending>* batch) {
     if (now >= request.deadline) {
       metrics.deadline_expired->Increment();
       ServeResponse response =
-          DegradedResponse(DegradeReason::kDeadline, request.submitted);
+          DegradedResponse(*state, DegradeReason::kDeadline, request.submitted);
       metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
       request.promise.set_value(std::move(response));
       continue;
@@ -290,18 +396,24 @@ void GeoService::ProcessBatch(std::vector<Pending>* batch) {
   if (live.empty()) return;
 
   std::vector<core::EdgePrediction> predictions;
-  model_->PredictBatch(tweets, &predictions);
+  state->model->PredictBatch(tweets, &predictions);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (size_t j = 0; j < live.size(); ++j) {
-      cache_.Put((*batch)[live[j]].cache_key, predictions[j]);
+    // Skip the cache when a reload swapped the model mid-batch: these
+    // predictions (and their node-id keys) belong to the old generation.
+    if (state == state_) {
+      for (size_t j = 0; j < live.size(); ++j) {
+        cache_.Put(CacheKey(*state->model, (*batch)[live[j]].entities),
+                   predictions[j]);
+      }
     }
   }
   for (size_t j = 0; j < live.size(); ++j) {
     Pending& request = (*batch)[live[j]];
     ServeResponse response;
     response.prediction = std::move(predictions[j]);
+    response.model = state->model;
     response.latency_ms = DurationMs(Clock::now() - request.submitted);
     metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
     request.promise.set_value(std::move(response));

@@ -56,6 +56,9 @@ struct GeoServiceOptions {
   /// EdgeModel thread budget while draining one batch (0 = hardware).
   int predict_threads = 1;
 
+  /// Rejected (Status, at Create time) rather than clamped: a tool that
+  /// parses "--workers=-1" into a size_t would otherwise ask for 2^64
+  /// threads. Bounds are far above any sane deployment.
   Status Validate() const;
 };
 
@@ -72,6 +75,11 @@ const char* DegradeReasonName(DegradeReason reason);
 /// One served answer: the full mixture prediction plus serving metadata.
 struct ServeResponse {
   core::EdgePrediction prediction;
+  /// The model that produced the prediction. Rendering (projection, node
+  /// names) must use this, not the service's current model: a hot reload can
+  /// swap the served model while this response is in flight, and the two
+  /// models' projections need not agree.
+  std::shared_ptr<const core::EdgeModel> model;
   bool from_cache = false;
   /// True when the service answered the fallback prior because the request
   /// was shed or timed out (prediction.used_fallback additionally covers
@@ -114,8 +122,25 @@ class GeoService {
   /// Blocking convenience: SubmitAsync + get().
   ServeResponse Predict(const std::string& text);
 
-  /// The model being served (e.g. for projection() when rendering output).
-  const core::EdgeModel& model() const { return *model_; }
+  /// Hot model reload: parses and fully validates an EDGE-INFERENCE v1
+  /// checkpoint (the same gates as Create), then atomically swaps it in. On
+  /// any validation failure the service keeps serving the old model and the
+  /// error comes back as a Status. In-flight batches finish on the model
+  /// they started with; the response cache is cleared with the swap.
+  Status ReloadCheckpoint(std::istream* in);
+
+  /// ReloadCheckpoint from a file, retrying transient read faults with
+  /// backoff (fault point io.checkpoint.read).
+  Status ReloadFromFile(const std::string& path);
+
+  /// The model currently being served (e.g. for projection() when rendering
+  /// output). Hot reload swaps the service's model, so callers hold a
+  /// snapshot; prefer ServeResponse::model when rendering a response.
+  std::shared_ptr<const core::EdgeModel> model() const;
+
+  /// Monotonic model generation; starts at 1 and bumps on every successful
+  /// reload (diagnostics).
+  uint64_t model_generation() const;
 
   /// Requests currently queued (diagnostics; racy by nature).
   size_t queue_depth() const;
@@ -127,12 +152,22 @@ class GeoService {
 
  private:
   struct Pending {
-    std::string cache_key;
     std::vector<text::Entity> entities;
     std::promise<ServeResponse> promise;
     std::chrono::steady_clock::time_point submitted;
     /// time_point::max() = no deadline.
     std::chrono::steady_clock::time_point deadline;
+  };
+
+  /// Everything that swaps as a unit on hot reload. Workers snapshot the
+  /// shared_ptr under mu_ and use it lock-free for the whole batch, so a
+  /// reload never tears a batch across two models; the old state dies when
+  /// the last in-flight response releases it.
+  struct ModelState {
+    std::shared_ptr<const core::EdgeModel> model;
+    /// The prior answered for degraded requests, computed once per model.
+    core::EdgePrediction fallback;
+    uint64_t generation = 1;
   };
 
   GeoService(std::unique_ptr<core::EdgeModel> model, text::Gazetteer gazetteer,
@@ -143,19 +178,23 @@ class GeoService {
   /// drained); returns false to terminate the worker.
   bool NextBatch(std::vector<Pending>* batch);
   void ProcessBatch(std::vector<Pending>* batch);
-  /// Sorted-entity-id cache key ("3,17,42"); "" when no entity is in-graph.
-  std::string CacheKey(const std::vector<text::Entity>& entities) const;
-  ServeResponse DegradedResponse(DegradeReason reason,
-                                 std::chrono::steady_clock::time_point submitted) const;
+  /// Sorted-entity-id cache key ("3,17,42") under `model`'s entity graph;
+  /// "" when no entity is in-graph. Keys are only meaningful within one
+  /// model generation (the cache is cleared on reload).
+  static std::string CacheKey(const core::EdgeModel& model,
+                              const std::vector<text::Entity>& entities);
+  static ServeResponse DegradedResponse(
+      const ModelState& state, DegradeReason reason,
+      std::chrono::steady_clock::time_point submitted);
 
   GeoServiceOptions options_;
-  std::unique_ptr<core::EdgeModel> model_;
   text::TweetNer ner_;
-  /// The prior answered for degraded requests, computed once at startup.
-  core::EdgePrediction fallback_prediction_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Swapped wholesale by ReloadCheckpoint; read under mu_, then used
+  /// lock-free via the snapshot.
+  std::shared_ptr<const ModelState> state_;
   std::deque<Pending> queue_;
   LruCache<std::string, core::EdgePrediction> cache_;
   bool stop_ = false;

@@ -159,6 +159,11 @@ bool ParseRequestLine(const std::string& line, ServeRequest* request,
       if (request->deadline_ms < 0.0) {
         return cursor.Fail("deadline_ms must be >= 0");
       }
+    } else if (key == "reload") {
+      if (!cursor.ParseString(&request->reload_path)) return false;
+      if (request->reload_path.empty()) {
+        return cursor.Fail("reload path must be non-empty");
+      }
     } else {
       if (!cursor.SkipScalar()) return false;
     }

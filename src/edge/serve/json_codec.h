@@ -28,6 +28,9 @@ struct ServeRequest {
   std::string id;  ///< Echoed back in the response; may be empty.
   /// Per-request deadline override; < 0 = use the service default.
   double deadline_ms = -1.0;
+  /// Control line {"reload": "path.edge"}: hot-swap the served model from
+  /// this checkpoint instead of predicting. Non-empty means control line.
+  std::string reload_path;
 };
 
 /// Parses a raw-text or flat-JSON request line (see file comment). Returns

@@ -44,6 +44,13 @@ class LruCache {
     }
   }
 
+  /// Drops every entry (capacity is kept). Hot model reload clears the cache
+  /// because keys are entity-graph node ids, which a new model renumbers.
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
   size_t size() const { return order_.size(); }
   size_t capacity() const { return capacity_; }
 

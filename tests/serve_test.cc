@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <string>
@@ -15,6 +17,7 @@
 #include "edge/data/generator.h"
 #include "edge/data/pipeline.h"
 #include "edge/data/worlds.h"
+#include "edge/fault/fault.h"
 #include "edge/serve/json_codec.h"
 #include "edge/serve/lru_cache.h"
 
@@ -76,6 +79,17 @@ class GeoServiceTest : public ::testing::Test {
     EDGE_CHECK(status.ok()) << status.ToString();
     checkpoint_ = new std::string(stream.str());
 
+    // A second, distinguishable model (fewer epochs -> different weights)
+    // over the same gazetteer, for the hot-reload drills.
+    core::EdgeConfig config2 = config;
+    config2.epochs = 4;
+    core::EdgeModel model2(config2);
+    model2.Fit(processed);
+    std::stringstream stream2;
+    status = model2.SaveInference(&stream2);
+    EDGE_CHECK(status.ok()) << status.ToString();
+    checkpoint2_ = new std::string(stream2.str());
+
     // Request texts with a mix of known entities, repeats and no-entity
     // tweets; the degenerate cases are the point of serving every request.
     texts_ = new std::vector<std::string>();
@@ -89,9 +103,11 @@ class GeoServiceTest : public ::testing::Test {
 
   static void TearDownTestSuite() {
     delete texts_;
+    delete checkpoint2_;
     delete checkpoint_;
     delete gazetteer_;
     texts_ = nullptr;
+    checkpoint2_ = nullptr;
     checkpoint_ = nullptr;
     gazetteer_ = nullptr;
   }
@@ -111,16 +127,18 @@ class GeoServiceTest : public ::testing::Test {
     data::ProcessedTweet tweet;
     tweet.text = text;
     tweet.entities = ner.Extract(text);
-    return service.model().Predict(tweet);
+    return service.model()->Predict(tweet);
   }
 
   static text::Gazetteer* gazetteer_;
   static std::string* checkpoint_;
+  static std::string* checkpoint2_;
   static std::vector<std::string>* texts_;
 };
 
 text::Gazetteer* GeoServiceTest::gazetteer_ = nullptr;
 std::string* GeoServiceTest::checkpoint_ = nullptr;
+std::string* GeoServiceTest::checkpoint2_ = nullptr;
 std::vector<std::string>* GeoServiceTest::texts_ = nullptr;
 
 TEST_F(GeoServiceTest, OptionsValidation) {
@@ -228,7 +246,7 @@ TEST_F(GeoServiceTest, DeadlineExpiredRequestsDegradeToPrior) {
   EXPECT_TRUE(degraded.degraded);
   EXPECT_EQ(degraded.degrade_reason, DegradeReason::kDeadline);
   // Degraded answers are the model's fallback prior, not an error.
-  ExpectBitwiseEqual(degraded.prediction, service->model().FallbackPrediction());
+  ExpectBitwiseEqual(degraded.prediction, service->model()->FallbackPrediction());
 
   ServeResponse normal = unhurried.get();
   EXPECT_FALSE(normal.degraded);
@@ -253,7 +271,7 @@ TEST_F(GeoServiceTest, BackpressureShedsToPrior) {
   ServeResponse shed = service->SubmitAsync((*texts_)[2]).get();
   EXPECT_TRUE(shed.degraded);
   EXPECT_EQ(shed.degrade_reason, DegradeReason::kShed);
-  ExpectBitwiseEqual(shed.prediction, service->model().FallbackPrediction());
+  ExpectBitwiseEqual(shed.prediction, service->model()->FallbackPrediction());
 
   service->ResumeWorkers();
   for (auto& future : admitted) {
@@ -355,6 +373,140 @@ TEST_F(GeoServiceTest, ConcurrentClientStress) {
   EXPECT_EQ(mismatches.load(), 0u);
 }
 
+TEST_F(GeoServiceTest, OptionsValidationRejectsImplausibleCaps) {
+  // A "-1" that wrapped into a size_t must come back as a Status, not an
+  // impossible allocation.
+  GeoServiceOptions options;
+  options.max_batch = static_cast<size_t>(-1);
+  EXPECT_FALSE(options.Validate().ok());
+  options = GeoServiceOptions();
+  options.num_workers = 1025;
+  EXPECT_FALSE(options.Validate().ok());
+  options = GeoServiceOptions();
+  options.queue_capacity = static_cast<size_t>(-1);
+  EXPECT_FALSE(options.Validate().ok());
+  options = GeoServiceOptions();
+  options.cache_capacity = (size_t{1} << 26) + 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = GeoServiceOptions();
+  options.predict_threads = 1025;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+// The hot-reload drill: a valid checkpoint swaps in atomically while clients
+// hammer the service; every response is valid and comes from a coherent
+// model (no torn swaps, no dropped futures).
+TEST_F(GeoServiceTest, HotReloadSwapsModelUnderConcurrentLoad) {
+  GeoServiceOptions options;
+  options.max_batch = 8;
+  options.max_delay_ms = 1.0;
+  options.num_workers = 2;
+  options.cache_capacity = 32;
+  std::unique_ptr<GeoService> service = MakeService(options);
+  auto old_model = service->model();
+  EXPECT_EQ(service->model_generation(), 1u);
+
+  std::atomic<bool> running{true};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      size_t r = 0;
+      while (running.load(std::memory_order_relaxed)) {
+        const std::string& text = (*texts_)[(c * 17 + r++) % texts_->size()];
+        ServeResponse response = service->Predict(text);
+        if (response.degraded ||
+            !std::isfinite(response.prediction.point.lat) ||
+            !std::isfinite(response.prediction.point.lon)) {
+          ++failures;
+        }
+      }
+    });
+  }
+
+  std::stringstream fresh(*checkpoint2_);
+  Status status = service->ReloadCheckpoint(&fresh);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  running = false;
+  for (std::thread& client : clients) client.join();
+
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(service->model_generation(), 2u);
+  EXPECT_NE(service->model().get(), old_model.get());
+  // Post-swap answers come from the new model, bitwise (Reference() reads
+  // the service's current model).
+  for (size_t i = 0; i < 10; ++i) {
+    const std::string& text = (*texts_)[i];
+    ExpectBitwiseEqual(service->Predict(text).prediction,
+                       Reference(*service, text));
+  }
+}
+
+// A corrupt checkpoint must be rejected by the same gates as startup, and
+// the old model keeps serving unchanged.
+TEST_F(GeoServiceTest, HotReloadCorruptCheckpointRollsBack) {
+  GeoServiceOptions options;
+  options.max_delay_ms = 0.5;
+  options.cache_capacity = 0;
+  std::unique_ptr<GeoService> service = MakeService(options);
+  auto old_model = service->model();
+  core::EdgePrediction before = service->Predict((*texts_)[0]).prediction;
+
+  std::stringstream corrupt(checkpoint_->substr(0, checkpoint_->size() / 3));
+  Status status = service->ReloadCheckpoint(&corrupt);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(service->model_generation(), 1u);
+  EXPECT_EQ(service->model().get(), old_model.get());
+  ExpectBitwiseEqual(service->Predict((*texts_)[0]).prediction, before);
+
+  std::stringstream garbage("not a checkpoint at all");
+  EXPECT_FALSE(service->ReloadCheckpoint(&garbage).ok());
+  ExpectBitwiseEqual(service->Predict((*texts_)[0]).prediction, before);
+}
+
+TEST_F(GeoServiceTest, ReloadFromFileRetriesTransientReadFaults) {
+  fault::Disarm();
+  std::string path = ::testing::TempDir() + "/serve_reload_model.edge";
+  {
+    std::ofstream out(path);
+    out << *checkpoint2_;
+    ASSERT_TRUE(out.good());
+  }
+  GeoServiceOptions options;
+  options.max_delay_ms = 0.5;
+  std::unique_ptr<GeoService> service = MakeService(options);
+  ASSERT_TRUE(fault::Configure("io.checkpoint.read=error,times=2"));
+  Status status = service->ReloadFromFile(path);
+  fault::Disarm();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(service->model_generation(), 2u);
+
+  // A missing file exhausts the retry budget and leaves the model alone.
+  Status missing = service->ReloadFromFile(path + ".does-not-exist");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(service->model_generation(), 2u);
+}
+
+// In-flight responses carry the model that produced them, so a renderer
+// never pairs a prediction with the wrong projection across a swap.
+TEST_F(GeoServiceTest, ResponsesCarryTheProducingModel) {
+  GeoServiceOptions options;
+  options.max_delay_ms = 0.5;
+  options.cache_capacity = 16;
+  std::unique_ptr<GeoService> service = MakeService(options);
+  ServeResponse response = service->Predict((*texts_)[0]);
+  ASSERT_NE(response.model, nullptr);
+  EXPECT_EQ(response.model.get(), service->model().get());
+
+  std::stringstream fresh(*checkpoint2_);
+  ASSERT_TRUE(service->ReloadCheckpoint(&fresh).ok());
+  // The old response still renders against its own (retained) model.
+  EXPECT_NE(response.model.get(), service->model().get());
+  std::string line = ResponseToJsonLine(response, *response.model, "old");
+  EXPECT_NE(line.find("\"point\""), std::string::npos);
+}
+
 TEST(LruCacheTest, EvictsInLruOrderAndPromotesOnGet) {
   LruCache<std::string, int> cache(2);
   cache.Put("a", 1);
@@ -412,7 +564,7 @@ TEST_F(GeoServiceTest, ResponseJsonIsWellFormedAndEchoesId) {
   options.max_delay_ms = 0.5;
   std::unique_ptr<GeoService> service = MakeService(options);
   ServeResponse response = service->Predict((*texts_)[0]);
-  std::string line = ResponseToJsonLine(response, service->model(), "req-9");
+  std::string line = ResponseToJsonLine(response, *service->model(), "req-9");
   EXPECT_NE(line.find("\"id\":\"req-9\""), std::string::npos);
   EXPECT_NE(line.find("\"point\":{\"lat\":"), std::string::npos);
   EXPECT_NE(line.find("\"components\":["), std::string::npos);

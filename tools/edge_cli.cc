@@ -5,9 +5,13 @@
 ///             [--out tweets.tsv]
 ///       Generate a synthetic tweet stream and write it as TSV.
 ///   train     --tweets tweets.tsv --gazetteer gaz.tsv --model model.edge
-///             [--epochs N] [--components M]
+///             [--epochs N] [--components M] [--threads N]
+///             [--checkpoint-dir d/] [--checkpoint-every K] [--max-run-epochs N]
 ///       Preprocess (NER + split), train EDGE, report test metrics, save the
-///       inference model.
+///       inference model. With --checkpoint-dir, training state is saved
+///       crash-safely every K epochs and an interrupted run resumes exactly
+///       (bitwise loss history) on restart; SIGINT/SIGTERM finish the current
+///       epoch, write a final checkpoint and exit 0 (DESIGN.md §12).
 ///   predict   --model model.edge --gazetteer gaz.tsv --text "..."
 ///       Load a saved model, run the NER on the text and print the predicted
 ///       mixture, attention weights and Eq. 14 point estimate.
@@ -22,7 +26,10 @@
 /// Gazetteer TSV: canonical<TAB>category<TAB>surface (see edge/data/io.h).
 /// For simulated worlds, `simulate` also writes `<out>.gazetteer.tsv`.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -46,13 +53,35 @@ using tools::FlushObservability;
 using tools::LoadGazetteer;
 using tools::SetupObservability;
 
+/// SIGINT/SIGTERM during `train`: Fit() checks this flag after each epoch,
+/// writes a final checkpoint and returns; the tool then exits 0.
+std::atomic<bool> g_train_stop{false};
+
+void HandleTrainStop(int) { g_train_stop.store(true, std::memory_order_relaxed); }
+
+void InstallTrainSignalHandlers() {
+#ifndef _WIN32
+  struct sigaction action = {};
+  action.sa_handler = HandleTrainStop;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+#else
+  std::signal(SIGINT, HandleTrainStop);
+  std::signal(SIGTERM, HandleTrainStop);
+#endif
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  edge_cli simulate --world nyma|lama|ny2020 [--tweets N]\n"
                "                    [--covid-filter true] [--out tweets.tsv]\n"
                "  edge_cli train    --tweets t.tsv --gazetteer g.tsv --model m.edge\n"
-               "                    [--epochs N] [--components M]\n"
+               "                    [--epochs N] [--components M] [--threads N]\n"
+               "                    [--checkpoint-dir d/] [--checkpoint-every K]\n"
+               "                    [--max-run-epochs N]\n"
                "  edge_cli predict  --model m.edge --gazetteer g.tsv --text \"...\"\n"
                "observability (any subcommand):\n"
                "  --log-level trace|debug|info|warn|error|off\n"
@@ -101,6 +130,7 @@ int RunSimulate(const Args& args) {
   }
   size_t tweets = static_cast<size_t>(args.GetInt("tweets", 8000));
   std::string out_path = args.Get("out", "tweets.tsv");
+  if (!args.ok()) return Usage();
 
   data::TweetGenerator generator(world);
   data::Dataset dataset = args.Has("covid-filter")
@@ -154,8 +184,33 @@ int RunTrain(const Args& args) {
   config.epochs = static_cast<int>(args.GetInt("epochs", config.epochs));
   config.num_components = static_cast<size_t>(
       args.GetInt("components", static_cast<long>(config.num_components)));
+  config.num_threads = static_cast<int>(args.GetInt("threads", config.num_threads));
+  config.recovery.checkpoint_dir = args.Get("checkpoint-dir");
+  if (!config.recovery.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.recovery.checkpoint_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --checkpoint-dir %s: %s\n",
+                   config.recovery.checkpoint_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+  config.recovery.checkpoint_every = static_cast<int>(
+      args.GetInt("checkpoint-every", config.recovery.checkpoint_every));
+  config.recovery.max_epochs_per_run = static_cast<int>(
+      args.GetInt("max-run-epochs", config.recovery.max_epochs_per_run));
+  config.recovery.stop_flag = &g_train_stop;
+  if (!args.ok()) return Usage();
+
+  InstallTrainSignalHandlers();
   core::EdgeModel model(config);
   model.Fit(processed);
+  if (g_train_stop.load(std::memory_order_relaxed)) {
+    std::printf("training interrupted by signal; state checkpointed%s\n",
+                config.recovery.checkpoint_dir.empty()
+                    ? " (no --checkpoint-dir: progress not persisted)"
+                    : "");
+  }
 
   // End-of-run training summary, read back from the metrics registry (the
   // same numbers a --metrics-out snapshot would carry).

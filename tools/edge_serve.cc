@@ -24,7 +24,17 @@
 ///
 /// Responses stream in input order; up to 4 x max-batch requests are kept in
 /// flight so micro-batches actually form while earlier answers print.
+///
+/// Fault tolerance (DESIGN.md §12):
+///   - SIGINT / SIGTERM: stop reading, drain every in-flight request (each
+///     still gets its response line), flush, exit 0.
+///   - SIGHUP: hot-reload the model from the --model path; serving continues
+///     on the old model if the new checkpoint is rejected.
+///   - {"reload": "new.edge"} control line: hot-reload from an arbitrary
+///     checkpoint; answers {"reload":"ok",...} or {"reload":"failed",...} in
+///     input order like any other request.
 
+#include <csignal>
 #include <cstdio>
 #include <deque>
 #include <fstream>
@@ -41,6 +51,34 @@ namespace {
 
 using namespace edge;
 
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_reload = 0;
+
+void HandleStop(int) { g_stop = 1; }
+void HandleReload(int) { g_reload = 1; }
+
+/// Installs handlers WITHOUT SA_RESTART: a signal must interrupt the
+/// blocking stdin read (EINTR -> getline fails) so the drain runs promptly
+/// instead of waiting for the next input line.
+void InstallSignalHandlers() {
+#ifndef _WIN32
+  struct sigaction stop_action = {};
+  stop_action.sa_handler = HandleStop;
+  sigemptyset(&stop_action.sa_mask);
+  stop_action.sa_flags = 0;
+  sigaction(SIGINT, &stop_action, nullptr);
+  sigaction(SIGTERM, &stop_action, nullptr);
+  struct sigaction reload_action = {};
+  reload_action.sa_handler = HandleReload;
+  sigemptyset(&reload_action.sa_mask);
+  reload_action.sa_flags = 0;
+  sigaction(SIGHUP, &reload_action, nullptr);
+#else
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+#endif
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: edge_serve --model m.edge --gazetteer g.tsv\n"
@@ -50,14 +88,40 @@ int Usage() {
                "  [--log-level L] [--metrics-out m.json] [--trace-out t.json]\n"
                "reads one request per stdin line (raw text or\n"
                "{\"text\":...,\"id\":...,\"deadline_ms\":...}), writes one JSON\n"
-               "response line per request in order\n");
+               "response line per request in order;\n"
+               "{\"reload\":\"new.edge\"} hot-swaps the model; SIGHUP reloads\n"
+               "--model; SIGINT/SIGTERM drain in-flight requests and exit 0\n");
   return 2;
 }
 
+/// One ordered output slot: either a pending prediction or an
+/// already-rendered literal line (reload acknowledgements), so control lines
+/// keep their place in the one-line-out-per-line-in contract.
 struct InFlight {
   std::string id;
   std::future<serve::ServeResponse> future;
+  bool is_literal = false;
+  std::string literal;
 };
+
+/// Rendered acknowledgement for a reload attempt.
+std::string ReloadResultLine(const std::string& id, const Status& status,
+                             uint64_t generation) {
+  std::string out = "{";
+  if (!id.empty()) out += "\"id\":\"" + id + "\",";
+  if (status.ok()) {
+    out += "\"reload\":\"ok\",\"generation\":" + std::to_string(generation) + "}";
+  } else {
+    std::string message = status.ToString();
+    // The Status messages this renders (paths, parse errors) are ASCII; keep
+    // the line valid JSON anyway.
+    for (char& c : message) {
+      if (c == '"' || c == '\\') c = '\'';
+    }
+    out += "\"reload\":\"failed\",\"error\":\"" + message + "\"}";
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -94,6 +158,8 @@ int main(int argc, char** argv) {
   options.default_deadline_ms = args.GetDouble("deadline-ms", 0.0);
   options.predict_threads =
       static_cast<int>(args.GetInt("predict-threads", options.predict_threads));
+  // Strict flag parsing: GetInt/GetDouble flag malformed values on the Args.
+  if (!args.ok()) return Usage();
 
   auto service = serve::GeoService::Create(&model_in, std::move(gazetteer).value(),
                                            options);
@@ -104,6 +170,8 @@ int main(int argc, char** argv) {
   }
   serve::GeoService& geo = *service.value();
 
+  InstallSignalHandlers();
+
   // Keep several batches' worth of requests in flight; answer in order.
   const size_t max_in_flight = 4 * options.max_batch;
   std::deque<InFlight> in_flight;
@@ -113,30 +181,76 @@ int main(int argc, char** argv) {
   auto drain_front = [&] {
     InFlight request = std::move(in_flight.front());
     in_flight.pop_front();
-    serve::ServeResponse response = request.future.get();
-    std::string out = serve::ResponseToJsonLine(response, geo.model(), request.id);
+    std::string out;
+    if (request.is_literal) {
+      out = std::move(request.literal);
+    } else {
+      serve::ServeResponse response = request.future.get();
+      // Render with the model that produced the prediction: a hot reload may
+      // have swapped geo.model() while this batch was in flight.
+      out = serve::ResponseToJsonLine(response, *response.model, request.id);
+    }
     std::fwrite(out.data(), 1, out.size(), stdout);
     std::fputc('\n', stdout);
   };
 
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (!g_stop) {
+    if (g_reload) {
+      // SIGHUP: re-read the original --model checkpoint.
+      g_reload = 0;
+      Status status = geo.ReloadFromFile(model_path);
+      std::fprintf(stderr, "SIGHUP reload of %s: %s\n", model_path.c_str(),
+                   status.ok() ? "ok" : status.ToString().c_str());
+    }
+    if (!std::getline(std::cin, line)) {
+      if (g_stop || std::cin.eof()) break;
+      if (g_reload) {
+        // SIGHUP interrupted the blocking read (no SA_RESTART); retry.
+        std::cin.clear();
+        continue;
+      }
+      break;
+    }
     ++line_number;
     serve::ServeRequest request;
     std::string error;
     if (!serve::ParseRequestLine(line, &request, &error)) {
       ++bad_lines;
       std::fprintf(stderr, "line %zu: %s\n", line_number, error.c_str());
-      std::printf("{\"error\":\"bad request\",\"line\":%zu}\n", line_number);
+      // Bad lines still answer in input order, through the same queue.
+      InFlight rejected;
+      rejected.is_literal = true;
+      rejected.literal =
+          "{\"error\":\"bad request\",\"line\":" + std::to_string(line_number) + "}";
+      in_flight.push_back(std::move(rejected));
+      while (in_flight.size() >= max_in_flight) drain_front();
+      continue;
+    }
+    if (!request.reload_path.empty()) {
+      // Control line: swap the served model. In-flight batches finish on the
+      // old model; the acknowledgement keeps its slot in the output order.
+      Status status = geo.ReloadFromFile(request.reload_path);
+      InFlight ack;
+      ack.id = std::move(request.id);
+      ack.is_literal = true;
+      ack.literal = ReloadResultLine(ack.id, status, geo.model_generation());
+      in_flight.push_back(std::move(ack));
+      while (in_flight.size() >= max_in_flight) drain_front();
       continue;
     }
     std::future<serve::ServeResponse> future =
         request.deadline_ms >= 0.0
             ? geo.SubmitAsync(std::move(request.text), request.deadline_ms)
             : geo.SubmitAsync(std::move(request.text));
-    in_flight.push_back({std::move(request.id), std::move(future)});
+    InFlight pending;
+    pending.id = std::move(request.id);
+    pending.future = std::move(future);
+    in_flight.push_back(std::move(pending));
     while (in_flight.size() >= max_in_flight) drain_front();
   }
+  // Graceful drain: every accepted request still gets its response line,
+  // whether we stopped on EOF or on SIGINT/SIGTERM.
   while (!in_flight.empty()) drain_front();
   std::fflush(stdout);
 

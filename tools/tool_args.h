@@ -1,6 +1,8 @@
 #ifndef EDGE_TOOLS_TOOL_ARGS_H_
 #define EDGE_TOOLS_TOOL_ARGS_H_
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,18 +57,48 @@ class Args {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
   }
+
+  /// Strict integer flag: the whole value must parse (from_chars), so
+  /// "--epochs=ten" or "--epochs 10x" is a hard error (stderr + ok() false)
+  /// rather than atol's silent 0. Tools re-check ok() after reading flags.
   long GetInt(const std::string& key, long fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    long value = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      std::fprintf(stderr, "--%s: '%s' is not an integer\n", key.c_str(),
+                   text.c_str());
+      ok_ = false;
+      return fallback;
+    }
+    return value;
   }
+
+  /// Strict double flag: whole-value parse plus a finiteness check ("inf"
+  /// and "nan" are valid from_chars doubles but never valid tool flags).
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    double value = 0.0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size() ||
+        !std::isfinite(value)) {
+      std::fprintf(stderr, "--%s: '%s' is not a finite number\n", key.c_str(),
+                   text.c_str());
+      ok_ = false;
+      return fallback;
+    }
+    return value;
   }
 
  private:
   std::map<std::string, std::string> values_;
-  bool ok_ = true;
+  /// Strict accessors flag malformed values on a const Args — mutable keeps
+  /// the call sites (`const Args&` everywhere) unchanged.
+  mutable bool ok_ = true;
 };
 
 /// Applies the observability flags before the tool runs; returns false on a

@@ -1,0 +1,68 @@
+#ifndef EDGE_COMMON_HASH_H_
+#define EDGE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file
+/// FNV-1a 64-bit hashing and the 16-hex-digit rendering every checksummed
+/// on-disk format in the codebase shares (EDGE-TRAINSTATE checkpoints,
+/// EDGE-SNAPSHOT sections, scenario response-stream digests). Cheap,
+/// dependency-free, and plenty to catch truncations and bit flips — this is
+/// torn-write detection, not an adversarial MAC.
+
+namespace edge {
+
+inline constexpr uint64_t kFnv1a64Offset = 1469598103934665603ULL;
+inline constexpr uint64_t kFnv1a64Prime = 1099511628211ULL;
+
+/// Hashes `n` raw bytes, continuing from `seed` (chain calls to hash a
+/// stream incrementally: h = Fnv1a64Bytes(a, na); h = Fnv1a64Bytes(b, nb, h)).
+/// Named distinctly from the string_view form on purpose: with a plain
+/// overload, Fnv1a64("literal", seed) would bind the pointer overload and
+/// read `seed` bytes.
+inline uint64_t Fnv1a64Bytes(const char* data, size_t n,
+                             uint64_t seed = kFnv1a64Offset) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s, uint64_t seed = kFnv1a64Offset) {
+  return Fnv1a64Bytes(s.data(), s.size(), seed);
+}
+
+/// Renders `v` as exactly 16 lowercase hex digits.
+inline std::string ToHex16(uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Parses exactly 16 lowercase hex digits; returns false on anything else.
+inline bool FromHex16(std::string_view s, uint64_t* out) {
+  if (s.size() != 16) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    int d = -1;
+    if (c >= '0' && c <= '9') d = c - '0';
+    if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace edge
+
+#endif  // EDGE_COMMON_HASH_H_

@@ -1,6 +1,7 @@
 #include "edge/common/rng.h"
 
 #include <cmath>
+#include <sstream>
 
 namespace edge {
 
@@ -99,6 +100,34 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
     if (target < cumulative) return i;
   }
   return weights.size() - 1;
+}
+
+std::string SerializeRngState(const Rng::State& state) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "EDGE-RNG v1 " << state.state << " " << state.inc << " "
+     << (state.has_spare_normal ? 1 : 0) << " " << state.spare_normal;
+  return os.str();
+}
+
+bool ParseRngState(const std::string& text, Rng::State* out) {
+  if (out == nullptr) return false;
+  std::istringstream is(text);
+  std::string magic, version;
+  Rng::State parsed;
+  int has_spare = 0;
+  is >> magic >> version >> parsed.state >> parsed.inc >> has_spare >>
+      parsed.spare_normal;
+  if (is.fail() || magic != "EDGE-RNG" || version != "v1") return false;
+  if (has_spare != 0 && has_spare != 1) return false;
+  if (!std::isfinite(parsed.spare_normal)) return false;
+  // Trailing garbage is a malformation, not an extension point.
+  std::string rest;
+  is >> rest;
+  if (!rest.empty()) return false;
+  parsed.has_spare_normal = has_spare != 0;
+  *out = parsed;
+  return true;
 }
 
 }  // namespace edge

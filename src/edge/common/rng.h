@@ -2,6 +2,7 @@
 #define EDGE_COMMON_RNG_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "edge/common/check.h"
@@ -83,6 +84,18 @@ class Rng {
   bool has_spare_normal_ = false;
   double spare_normal_ = 0.0;
 };
+
+/// Renders a saved generator state as one text line ("EDGE-RNG v1 <state>
+/// <inc> <has_spare> <spare>", precision 17 so the spare deviate round-trips
+/// bitwise). Restoring the parsed state continues the stream exactly where
+/// Save left it — the explicit serialization pair checkpoint formats build
+/// on (EDGE-TRAINSTATE, EDGE-SNAPSHOT).
+std::string SerializeRngState(const Rng::State& state);
+
+/// Parses a SerializeRngState line. Returns false (leaving *out untouched)
+/// on truncation, malformed fields, or a non-finite spare deviate — never
+/// aborts, so callers can feed it untrusted checkpoint bytes.
+bool ParseRngState(const std::string& text, Rng::State* out);
 
 }  // namespace edge
 

@@ -5,46 +5,11 @@
 #include <sstream>
 
 #include "edge/common/file_util.h"
+#include "edge/common/hash.h"
 
 namespace edge::core {
 
 namespace {
-
-/// FNV-1a 64-bit over the serialized body — cheap, dependency-free, and
-/// plenty to catch truncations and bit flips (this is torn-write detection,
-/// not an adversarial MAC).
-uint64_t Fnv1a64(const char* data, size_t n) {
-  uint64_t h = 1469598103934665603ULL;
-  for (size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-std::string ToHex16(uint64_t v) {
-  static const char* digits = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<size_t>(i)] = digits[v & 0xF];
-    v >>= 4;
-  }
-  return out;
-}
-
-bool FromHex16(const std::string& s, uint64_t* out) {
-  if (s.size() != 16) return false;
-  uint64_t v = 0;
-  for (char c : s) {
-    int d = -1;
-    if (c >= '0' && c <= '9') d = c - '0';
-    if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
-    if (d < 0) return false;
-    v = (v << 4) | static_cast<uint64_t>(d);
-  }
-  *out = v;
-  return true;
-}
 
 void WriteMatrix(std::ostream& os, const nn::Matrix& m) {
   os << m.rows() << " " << m.cols() << "\n";
@@ -142,7 +107,7 @@ std::string SerializeTrainState(const TrainState& state) {
   for (const nn::Matrix& m : state.adam.m) WriteMatrix(os, m);
   for (const nn::Matrix& m : state.adam.v) WriteMatrix(os, m);
   std::string body = os.str();
-  return body + "END " + ToHex16(Fnv1a64(body.data(), body.size())) + "\n";
+  return body + "END " + ToHex16(Fnv1a64Bytes(body.data(), body.size())) + "\n";
 }
 
 Result<TrainState> ParseTrainState(const std::string& content) {
@@ -164,7 +129,7 @@ Result<TrainState> ParseTrainState(const std::string& content) {
   if (!FromHex16(last_line.substr(4), &want)) {
     return Status::InvalidArgument("malformed checksum hex");
   }
-  uint64_t got = Fnv1a64(content.data(), last_line_start);
+  uint64_t got = Fnv1a64Bytes(content.data(), last_line_start);
   if (got != want) {
     return Status::InvalidArgument("train state checksum mismatch (torn write?)");
   }

@@ -38,6 +38,29 @@ EntityGraph EntityGraph::Build(
   return g;
 }
 
+EntityGraph EntityGraph::FromParts(std::vector<std::string> names,
+                                   const std::vector<WeightedEdge>& edges) {
+  EntityGraph g;
+  g.names_ = std::move(names);
+  g.adjacency_.resize(g.names_.size());
+  for (size_t i = 0; i < g.names_.size(); ++i) {
+    EDGE_CHECK(!g.names_[i].empty()) << "empty node name";
+    auto [it, inserted] = g.index_.try_emplace(g.names_[i], i);
+    EDGE_CHECK(inserted) << "duplicate node name: " << g.names_[i];
+  }
+  for (const WeightedEdge& e : edges) {
+    EDGE_CHECK_LT(e.a, e.b);
+    EDGE_CHECK_LT(e.b, g.names_.size());
+    EDGE_CHECK(std::isfinite(e.weight) && e.weight > 0.0)
+        << "edge weight must be finite and > 0";
+    auto [it, inserted] = g.adjacency_[e.a].try_emplace(e.b, e.weight);
+    EDGE_CHECK(inserted) << "duplicate edge " << e.a << "-" << e.b;
+    g.adjacency_[e.b][e.a] = e.weight;
+    g.num_edges_ += 1;
+  }
+  return g;
+}
+
 size_t EntityGraph::NodeId(std::string_view name) const {
   auto it = index_.find(std::string(name));
   return it == index_.end() ? kNotFound : it->second;

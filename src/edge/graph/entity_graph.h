@@ -23,6 +23,23 @@ class EntityGraph {
   /// tweet are deduplicated by the NER; pairs are counted once per tweet.
   static EntityGraph Build(const std::vector<std::vector<std::string>>& tweet_entities);
 
+  /// One undirected weighted edge for FromParts (a < b, weight > 0).
+  struct WeightedEdge {
+    size_t a = 0;
+    size_t b = 0;
+    double weight = 0.0;
+  };
+
+  /// Reassembles a graph from its serialized parts: node `i` is named
+  /// `names[i]`, each edge is inserted symmetrically with its stored weight.
+  /// This is the snapshot restore path — unlike Build(), it preserves
+  /// arbitrary (fractional, decayed) co-occurrence weights. Preconditions
+  /// (EDGE_CHECK): unique non-empty names, a < b < names.size(), finite
+  /// weight > 0, no duplicate edges. Untrusted input must be validated by
+  /// the caller first (see snapshot/system_snapshot.cc).
+  static EntityGraph FromParts(std::vector<std::string> names,
+                               const std::vector<WeightedEdge>& edges);
+
   size_t num_nodes() const { return names_.size(); }
   size_t num_edges() const { return num_edges_; }
 

@@ -183,7 +183,8 @@ bool ParseRequestLine(const std::string& line, ServeRequest* request,
 
 std::string ResponseToJsonLine(const ServeResponse& response,
                                const core::EdgeModel& model,
-                               const std::string& id) {
+                               const std::string& id,
+                               bool include_latency) {
   const geo::LocalProjection& projection = model.projection();
   const core::EdgePrediction& prediction = response.prediction;
 
@@ -244,8 +245,11 @@ std::string ResponseToJsonLine(const ServeResponse& response,
   out += response.degraded ? "true" : "false";
   out += ",\"degrade_reason\":\"";
   out += DegradeReasonName(response.degrade_reason);
-  out += "\",\"latency_ms\":";
-  AppendJsonDouble(&out, response.latency_ms);
+  out.push_back('"');
+  if (include_latency) {
+    out += ",\"latency_ms\":";
+    AppendJsonDouble(&out, response.latency_ms);
+  }
   out.push_back('}');
   return out;
 }

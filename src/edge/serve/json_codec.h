@@ -40,9 +40,14 @@ bool ParseRequestLine(const std::string& line, ServeRequest* request,
 
 /// Renders one response as a single JSON line (no trailing newline). `model`
 /// supplies the plane->lat/lon projection for component centers and ellipses.
+/// With include_latency=false the wall-clock latency_ms field is omitted —
+/// the canonical form the scenario harness digests, since latency is the one
+/// field of a served response that is not a deterministic function of
+/// (snapshot, request stream).
 std::string ResponseToJsonLine(const ServeResponse& response,
                                const core::EdgeModel& model,
-                               const std::string& id);
+                               const std::string& id,
+                               bool include_latency = true);
 
 }  // namespace edge::serve
 

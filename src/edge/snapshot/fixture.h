@@ -1,0 +1,73 @@
+#ifndef EDGE_SNAPSHOT_FIXTURE_H_
+#define EDGE_SNAPSHOT_FIXTURE_H_
+
+#include <memory>
+#include <string>
+
+#include "edge/common/status.h"
+#include "edge/core/edge_model.h"
+#include "edge/data/pipeline.h"
+#include "edge/data/worlds.h"
+#include "edge/serve/geo_service.h"
+#include "edge/snapshot/system_snapshot.h"
+
+/// \file
+/// The one shared demo-snapshot builder: generate a preset world, run the
+/// full pipeline, train an EdgeModel, and capture the result as a
+/// SystemSnapshot. `tools/edge_scenario make`, tests/scenario_test.cc and
+/// tests/integration_test.cc all build their fixture through this — a single
+/// source of truth, so the snapshot a golden digest was recorded against is
+/// by construction the snapshot the tests train.
+
+namespace edge::snapshot {
+
+/// Knobs for the demo fixture. The defaults are the *golden* fixture: the
+/// miniature NYMA world + tiny model config the integration tests train
+/// (30 fine POIs / 4 coarse / 4 chains / 16 topics, 32-dim embeddings,
+/// 40 epochs) and a deliberately small serving queue (64) so spike scenarios
+/// shed deterministically. Changing any default invalidates every golden
+/// digest — regenerate with `edge_scenario run --update-goldens`.
+struct DemoSnapshotOptions {
+  /// Preset world: "nyma", "ny2020" or "lama".
+  std::string world = "nyma";
+  data::WorldPresetOptions preset;
+  size_t tweets = 2000;
+  core::EdgeConfig config;
+  serve::GeoServiceOptions serve;
+
+  DemoSnapshotOptions();
+};
+
+/// DemoSnapshotOptions shrunk for instrumented (ASAN/TSAN) CI runs — fewer
+/// tweets and epochs. Digest identity assertions still hold (determinism is
+/// config-independent); golden comparison does not (different fixture).
+DemoSnapshotOptions FastDemoSnapshotOptions();
+
+/// True when EDGE_SCENARIO_FAST is set in the environment (non-empty, not
+/// "0"): the scenario/integration fixtures switch to FastDemoSnapshotOptions
+/// and golden comparisons are skipped.
+bool ScenarioFastModeEnabled();
+
+/// Resolves a preset world by name ("nyma" / "ny2020" / "lama"); unknown
+/// names are a Status.
+Result<data::WorldConfig> MakeWorldByName(const std::string& name,
+                                          const data::WorldPresetOptions& preset);
+
+/// The full fixture, for tests that also need the processed dataset or the
+/// live trained model (e.g. integration metrics).
+struct DemoArtifacts {
+  SystemSnapshot snapshot;
+  data::ProcessedDataset dataset;
+  std::unique_ptr<core::EdgeModel> model;
+};
+
+/// Generates, trains and captures. Deterministic: equal options produce a
+/// bitwise-identical snapshot.
+Result<DemoArtifacts> BuildDemoArtifacts(const DemoSnapshotOptions& options = {});
+
+/// BuildDemoArtifacts reduced to its snapshot.
+Result<SystemSnapshot> BuildDemoSnapshot(const DemoSnapshotOptions& options = {});
+
+}  // namespace edge::snapshot
+
+#endif  // EDGE_SNAPSHOT_FIXTURE_H_

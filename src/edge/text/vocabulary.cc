@@ -4,14 +4,17 @@
 
 namespace edge::text {
 
-size_t Vocabulary::Add(std::string_view token) {
+size_t Vocabulary::Add(std::string_view token) { return Add(token, 1); }
+
+size_t Vocabulary::Add(std::string_view token, int64_t count) {
+  EDGE_CHECK_GE(count, 0);
   auto [it, inserted] = index_.try_emplace(std::string(token), tokens_.size());
   if (inserted) {
     tokens_.push_back(std::string(token));
     counts_.push_back(0);
   }
-  counts_[it->second] += 1;
-  total_count_ += 1;
+  counts_[it->second] += count;
+  total_count_ += count;
   return it->second;
 }
 

@@ -21,6 +21,11 @@ class Vocabulary {
   /// Interns a token (adding it if new) and bumps its count; returns its id.
   size_t Add(std::string_view token);
 
+  /// Interns a token and bumps its count by `count` (count >= 0) — the
+  /// restore path for serialized vocabularies (snapshot sections), where
+  /// replaying one Add() per historical occurrence would be O(total_count).
+  size_t Add(std::string_view token, int64_t count);
+
   /// Id of a token or kNotFound.
   size_t Lookup(std::string_view token) const;
 

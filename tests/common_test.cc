@@ -150,6 +150,38 @@ TEST(RngTest, ShufflePermutes) {
             std::set<int>(values.begin(), values.end()));
 }
 
+TEST(RngTest, SerializedStateContinuesTheStreamBitwise) {
+  // A state that travels through the text form (snapshots, checkpoints) must
+  // resume the exact stream — including the cached Box-Muller spare.
+  Rng rng(99);
+  for (int i = 0; i < 37; ++i) rng.NextU64();
+  (void)rng.Normal();  // Leaves has_spare_normal set.
+  Rng::State state = rng.SaveState();
+
+  Rng::State parsed;
+  ASSERT_TRUE(ParseRngState(SerializeRngState(state), &parsed));
+  EXPECT_EQ(parsed.state, state.state);
+  EXPECT_EQ(parsed.inc, state.inc);
+  EXPECT_EQ(parsed.has_spare_normal, state.has_spare_normal);
+  EXPECT_EQ(parsed.spare_normal, state.spare_normal);
+
+  Rng resumed(1);  // Different seed: RestoreState must fully overwrite it.
+  resumed.RestoreState(parsed);
+  EXPECT_EQ(resumed.Normal(), rng.Normal());  // Spare consumed identically.
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(resumed.NextU64(), rng.NextU64());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(resumed.Normal(), rng.Normal());
+}
+
+TEST(RngTest, ParseRngStateRejectsMalformedText) {
+  Rng::State out;
+  EXPECT_FALSE(ParseRngState("", &out));
+  EXPECT_FALSE(ParseRngState("1 2 3", &out));
+  EXPECT_FALSE(ParseRngState("not numbers at all", &out));
+  std::string valid = SerializeRngState(Rng(5).SaveState());
+  EXPECT_TRUE(ParseRngState(valid, &out));
+  EXPECT_FALSE(ParseRngState(valid + " trailing", &out));
+}
+
 TEST(StringUtilTest, Basics) {
   EXPECT_EQ(ToLowerAscii("HeLLo #NYC"), "hello #nyc");
   EXPECT_EQ(SplitAndTrim("a  b\tc", " \t"), (std::vector<std::string>{"a", "b", "c"}));

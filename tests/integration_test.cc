@@ -1,70 +1,112 @@
 /// Full-pipeline integration tests: generation -> NER -> entity2vec -> graph
 /// -> EDGE -> metrics, end to end on a miniature world, plus determinism and
 /// failure-injection checks that cut across modules.
+///
+/// All tests run off one shared *saved-snapshot* fixture: the demo artifacts
+/// are built once through snapshot/fixture.h (the same builder the scenario
+/// harness and `edge_scenario make` use), saved to disk, and loaded back —
+/// so every test here also exercises the snapshot save/load path, and the
+/// world the generators re-derive from is the one that survived
+/// serialization, not an inline re-specification.
 
 #include <cmath>
+#include <filesystem>
 
 #include <gtest/gtest.h>
 
 #include "edge/baselines/lockde.h"
+#include "edge/common/check.h"
+#include "edge/common/math_util.h"
 #include "edge/core/edge_model.h"
 #include "edge/data/generator.h"
-#include "edge/data/worlds.h"
 #include "edge/eval/heatmap.h"
-#include "edge/common/math_util.h"
 #include "edge/eval/metrics.h"
 #include "edge/obs/metrics.h"
 #include "edge/obs/trace.h"
+#include "edge/snapshot/fixture.h"
+#include "edge/snapshot/system_snapshot.h"
 
 namespace edge {
 namespace {
 
-data::WorldPresetOptions TinyWorld() {
-  data::WorldPresetOptions options;
-  options.num_fine_pois = 30;
-  options.num_coarse_areas = 4;
-  options.num_chains = 4;
-  options.num_topics = 16;
-  return options;
+struct SharedFixture {
+  snapshot::DemoArtifacts artifacts;     ///< Live model + processed dataset.
+  snapshot::SystemSnapshot loaded;       ///< The snapshot after a disk cycle.
+};
+
+snapshot::DemoSnapshotOptions FixtureOptions() {
+  // The golden demo fixture (miniature NYMA world, tiny config) — shrunk
+  // further under EDGE_SCENARIO_FAST for instrumented CI runs.
+  return snapshot::ScenarioFastModeEnabled() ? snapshot::FastDemoSnapshotOptions()
+                                             : snapshot::DemoSnapshotOptions();
 }
 
-core::EdgeConfig TinyConfig() {
-  core::EdgeConfig config;
-  config.auto_dim = false;
-  config.embedding_dim = 32;
-  config.gcn_hidden = {32, 32};
-  config.epochs = 40;
-  config.entity2vec.epochs = 25;
-  return config;
+SharedFixture& Fixture() {
+  static SharedFixture* fixture = [] {
+    auto* f = new SharedFixture();
+    Result<snapshot::DemoArtifacts> built =
+        snapshot::BuildDemoArtifacts(FixtureOptions());
+    EDGE_CHECK(built.ok()) << built.status().ToString();
+    f->artifacts = std::move(built).value();
+
+    std::string dir = ::testing::TempDir() + "integration_snapshot_fixture";
+    std::filesystem::remove_all(dir);
+    Status saved = snapshot::SaveSystemSnapshot(f->artifacts.snapshot, dir);
+    EDGE_CHECK(saved.ok()) << saved.ToString();
+    Result<snapshot::SystemSnapshot> loaded = snapshot::LoadSystemSnapshot(dir);
+    EDGE_CHECK(loaded.ok()) << loaded.status().ToString();
+    f->loaded = std::move(loaded).value();
+    return f;
+  }();
+  return *fixture;
 }
 
 TEST(IntegrationTest, EndToEndDeterministicAcrossRuns) {
-  auto run_once = [] {
-    data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
-    data::Dataset raw = generator.Generate(1200);
-    data::Pipeline pipeline(generator.BuildGazetteer());
-    data::ProcessedDataset dataset = pipeline.Process(raw);
-    core::EdgeModel model(TinyConfig());
-    model.Fit(dataset);
-    eval::MetricResults r = eval::EvaluateGeolocator(&model, dataset);
-    return r;
-  };
-  eval::MetricResults a = run_once();
-  eval::MetricResults b = run_once();
+  // The shared fixture and an independently rebuilt one must produce
+  // bitwise-equal evaluation metrics: the whole pipeline (generation, NER,
+  // entity2vec, GCN training, prediction) is a pure function of the options.
+  SharedFixture& fixture = Fixture();
+  eval::MetricResults a =
+      eval::EvaluateGeolocator(fixture.artifacts.model.get(), fixture.artifacts.dataset);
+  Result<snapshot::DemoArtifacts> rebuilt =
+      snapshot::BuildDemoArtifacts(FixtureOptions());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  eval::MetricResults b =
+      eval::EvaluateGeolocator(rebuilt.value().model.get(), rebuilt.value().dataset);
   EXPECT_DOUBLE_EQ(a.mean_km, b.mean_km);
   EXPECT_DOUBLE_EQ(a.median_km, b.median_km);
   EXPECT_DOUBLE_EQ(a.at_3km, b.at_3km);
+  // And the captured snapshots agree byte for byte.
+  EXPECT_EQ(rebuilt.value().snapshot.model_checkpoint,
+            fixture.artifacts.snapshot.model_checkpoint);
+}
+
+TEST(IntegrationTest, SnapshotSurvivesDiskCycleConsistently) {
+  // The loaded snapshot must describe the same system the live artifacts do.
+  SharedFixture& fixture = Fixture();
+  EXPECT_EQ(snapshot::SerializeWorldConfig(fixture.loaded.world),
+            snapshot::SerializeWorldConfig(fixture.artifacts.snapshot.world));
+  EXPECT_EQ(fixture.loaded.model_checkpoint,
+            fixture.artifacts.snapshot.model_checkpoint);
+  EXPECT_EQ(fixture.loaded.graph.num_nodes(),
+            fixture.artifacts.model->entity_graph().num_nodes());
+  EXPECT_EQ(fixture.loaded.graph.num_edges(),
+            fixture.artifacts.model->entity_graph().num_edges());
 }
 
 TEST(IntegrationTest, NerNoiseDegradesGracefully) {
-  data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
+  // The generator re-derives from the *loaded* snapshot's world: the world
+  // that survived serialization must drive the same pipeline the inline
+  // config used to.
+  SharedFixture& fixture = Fixture();
+  data::TweetGenerator generator(fixture.loaded.world);
   data::Dataset raw = generator.Generate(1500);
   auto evaluate_with_miss_rate = [&](double miss_rate) {
     text::NerOptions ner_options;
     ner_options.miss_rate = miss_rate;
     data::Pipeline pipeline(generator.BuildGazetteer(), ner_options);
     data::ProcessedDataset dataset = pipeline.Process(raw);
-    core::EdgeModel model(TinyConfig());
+    core::EdgeModel model(FixtureOptions().config);
     model.Fit(dataset);
     return eval::EvaluateGeolocator(&model, dataset);
   };
@@ -81,14 +123,10 @@ TEST(IntegrationTest, NerNoiseDegradesGracefully) {
 TEST(IntegrationTest, EdgeBeatsLocKdeOnBridgedTweets) {
   // Observation O2's payoff, isolated: tweets that mention ONLY non-geo
   // (topic) entities still carry location through the co-occurrence graph.
-  // Compare EDGE and LocKDE on exactly that slice.
-  data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
-  data::Dataset raw = generator.Generate(2500);
-  data::Pipeline pipeline(generator.BuildGazetteer());
-  data::ProcessedDataset dataset = pipeline.Process(raw);
+  // Compare EDGE and LocKDE on exactly that slice of the fixture dataset.
+  SharedFixture& fixture = Fixture();
+  const data::ProcessedDataset& dataset = fixture.artifacts.dataset;
 
-  core::EdgeModel edge_model(TinyConfig());
-  edge_model.Fit(dataset);
   baselines::LocKde lockde;
   lockde.Fit(dataset);
 
@@ -110,7 +148,7 @@ TEST(IntegrationTest, EdgeBeatsLocKdeOnBridgedTweets) {
     }
     return errors.size() < 10 ? -1.0 : Median(errors);
   };
-  double edge_median = slice_median(&edge_model);
+  double edge_median = slice_median(fixture.artifacts.model.get());
   double lockde_median = slice_median(&lockde);
   ASSERT_GT(edge_median, 0.0);
   ASSERT_GT(lockde_median, 0.0);
@@ -121,7 +159,7 @@ TEST(IntegrationTest, EdgeBeatsLocKdeOnBridgedTweets) {
 }
 
 TEST(IntegrationTest, HeatmapPipelineProducesRenderableOutput) {
-  data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
+  data::TweetGenerator generator(Fixture().loaded.world);
   data::Dataset raw = generator.Generate(800);
   std::vector<geo::LatLon> points;
   for (const data::Tweet& t : raw.tweets) points.push_back(t.location);
@@ -137,17 +175,13 @@ TEST(IntegrationTest, MixturePredictionCoversTrueLocation) {
   // Calibration smoke test: the true location should fall inside the 95%
   // highest-mass region reasonably often. We approximate with the component
   // Mahalanobis test at the 95% level for the nearest component.
-  data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
-  data::Dataset raw = generator.Generate(2000);
-  data::Pipeline pipeline(generator.BuildGazetteer());
-  data::ProcessedDataset dataset = pipeline.Process(raw);
-  core::EdgeModel model(TinyConfig());
-  model.Fit(dataset);
+  SharedFixture& fixture = Fixture();
+  core::EdgeModel& model = *fixture.artifacts.model;
 
   double chi95 = -2.0 * std::log(0.05);
   size_t covered = 0;
   size_t total = 0;
-  for (const data::ProcessedTweet& t : dataset.test) {
+  for (const data::ProcessedTweet& t : fixture.artifacts.dataset.test) {
     core::EdgePrediction prediction = model.Predict(t);
     geo::PlanePoint truth = model.projection().ToPlane(t.location);
     ++total;
@@ -168,10 +202,7 @@ TEST(IntegrationTest, FitPublishesEpochTelemetry) {
   // The observability layer must report exactly what the model saw: the
   // edge.core.epoch_nll series appended during Fit equals loss_history(),
   // and tracing captures the phase structure of training.
-  data::TweetGenerator generator(data::MakeNymaWorld(TinyWorld()));
-  data::Dataset raw = generator.Generate(800);
-  data::Pipeline pipeline(generator.BuildGazetteer());
-  data::ProcessedDataset dataset = pipeline.Process(raw);
+  const data::ProcessedDataset& dataset = Fixture().artifacts.dataset;
 
   obs::Registry& registry = obs::Registry::Global();
   obs::Series* nll_series = registry.GetSeries("edge.core.epoch_nll");
@@ -183,7 +214,7 @@ TEST(IntegrationTest, FitPublishesEpochTelemetry) {
 
   obs::StartTracing();
   obs::ClearTrace();
-  core::EdgeConfig config = TinyConfig();
+  core::EdgeConfig config = FixtureOptions().config;
   config.epochs = 6;
   core::EdgeModel model(config);
   model.Fit(dataset);

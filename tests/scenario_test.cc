@@ -1,0 +1,239 @@
+#include "edge/snapshot/scenario.h"
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edge/common/check.h"
+#include "edge/common/file_util.h"
+#include "edge/fault/fault.h"
+#include "edge/snapshot/fixture.h"
+#include "edge/snapshot/system_snapshot.h"
+
+/// Golden-replay drills (DESIGN.md §13). The acceptance bar for the scenario
+/// harness: every checked-in scenario replays to a bitwise-identical digest
+/// across consecutive runs and across worker budgets 1 and 4, with and
+/// without injected latency faults, and across a snapshot save/load cycle.
+/// Golden digests in tests/golden/ are compared only when BuildFingerprint()
+/// matches the record (run-to-run identity is asserted unconditionally).
+///
+/// EDGE_SCENARIO_FAST=1 switches the fixture to the shrunk ASAN/TSAN build;
+/// identity assertions still run, golden comparison is skipped.
+
+#ifndef EDGE_GOLDEN_DIR
+#error "EDGE_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace edge::snapshot {
+namespace {
+
+const char* kScenarios[] = {"steady_traffic", "flash_crowd_reload",
+                            "overload_spike", "chaos_latency", "region_outage"};
+
+/// One trained fixture per process. This is the same builder `edge_scenario
+/// make` uses, so (outside fast mode) the snapshot under test is by
+/// construction the one the goldens were recorded against.
+const SystemSnapshot& Fixture() {
+  static const SystemSnapshot* snapshot = [] {
+    DemoSnapshotOptions options = ScenarioFastModeEnabled()
+                                      ? FastDemoSnapshotOptions()
+                                      : DemoSnapshotOptions();
+    Result<SystemSnapshot> built = BuildDemoSnapshot(options);
+    EDGE_CHECK(built.ok()) << built.status().ToString();
+    return new SystemSnapshot(std::move(built).value());
+  }();
+  return *snapshot;
+}
+
+Scenario LoadScenario(const std::string& name) {
+  std::string path = std::string(EDGE_GOLDEN_DIR) + "/" + name + ".scenario";
+  std::string content;
+  Status status = ReadFileToString(path, &content);
+  EDGE_CHECK(status.ok()) << path << ": " << status.ToString();
+  Result<Scenario> parsed = ParseScenario(content);
+  EDGE_CHECK(parsed.ok()) << path << ": " << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+ScenarioResult Replay(const SystemSnapshot& snapshot, const Scenario& scenario,
+                   size_t workers) {
+  ScenarioRunOptions options;
+  options.num_workers = workers;
+  Result<ScenarioResult> result = RunScenario(snapshot, scenario, options);
+  EDGE_CHECK(result.ok()) << scenario.name << ": " << result.status().ToString();
+  return std::move(result).value();
+}
+
+// --- The acceptance bar --------------------------------------------------
+
+TEST(ScenarioReplayTest, EveryScenarioIsBitwiseIdenticalAcrossRunsAndBudgets) {
+  const SystemSnapshot& snapshot = Fixture();
+  for (const char* name : kScenarios) {
+    Scenario scenario = LoadScenario(name);
+    ScenarioResult first = Replay(snapshot, scenario, 1);
+    ScenarioResult second = Replay(snapshot, scenario, 1);
+    ScenarioResult wide = Replay(snapshot, scenario, 4);
+    EXPECT_EQ(first.digest, second.digest) << name << ": run-to-run drift";
+    EXPECT_EQ(first.digest, wide.digest) << name << ": worker-budget drift";
+    EXPECT_EQ(first.lines, wide.lines) << name;
+    EXPECT_EQ(first.requests, wide.requests) << name;
+    EXPECT_EQ(first.cache_hits, wide.cache_hits) << name;
+    EXPECT_EQ(first.shed, wide.shed) << name;
+    EXPECT_GT(first.requests, 0u) << name;
+  }
+}
+
+TEST(ScenarioReplayTest, GoldenDigestsMatchUnderRecordedFingerprint) {
+  if (ScenarioFastModeEnabled()) {
+    GTEST_SKIP() << "fast fixture differs from the golden fixture";
+  }
+  std::string fingerprint = BuildFingerprint();
+  const SystemSnapshot& snapshot = Fixture();
+  for (const char* name : kScenarios) {
+    std::string path = std::string(EDGE_GOLDEN_DIR) + "/" + name + ".golden";
+    Result<GoldenRecord> golden = ReadGoldenFile(path);
+    ASSERT_TRUE(golden.ok()) << path << ": " << golden.status().ToString();
+    EXPECT_EQ(golden.value().scenario, name);
+    if (golden.value().fingerprint != fingerprint) {
+      GTEST_SKIP() << "golden recorded under fingerprint "
+                   << golden.value().fingerprint << ", this build is "
+                   << fingerprint;
+    }
+    ScenarioResult result = Replay(snapshot, LoadScenario(name), 1);
+    EXPECT_EQ(result.digest, golden.value().digest)
+        << name << ": replay drifted from the checked-in golden; if the "
+        << "change is intentional, regenerate with edge_scenario run "
+        << "--update-goldens";
+    EXPECT_EQ(result.requests, golden.value().requests) << name;
+  }
+}
+
+// --- Behavioural tripwires -----------------------------------------------
+
+TEST(ScenarioReplayTest, ExternallyArmedLatencyFaultsDoNotChangeTheDigest) {
+  // Satellite of the determinism contract: injected sleeps on the admission
+  // and batch paths slow the replay, but latency is excluded from the
+  // canonical stream and scheduling is order-determined, so the digest must
+  // not move.
+  const SystemSnapshot& snapshot = Fixture();
+  Scenario scenario = LoadScenario("steady_traffic");
+  ScenarioResult clean = Replay(snapshot, scenario, 4);
+  std::string error;
+  ASSERT_TRUE(fault::Configure(
+      "serve.batch=latency,ms=2,p=0.5,seed=3;serve.submit=latency,ms=1,p=0.4,seed=5",
+      &error))
+      << error;
+  ScenarioResult faulted = Replay(snapshot, scenario, 4);
+  fault::Disarm();
+  EXPECT_EQ(clean.digest, faulted.digest);
+  EXPECT_EQ(clean.lines, faulted.lines);
+}
+
+TEST(ScenarioReplayTest, SaveLoadCycleReplaysToTheSameDigest) {
+  // A snapshot restored from disk must be behaviourally indistinguishable
+  // from the live capture it came from.
+  const SystemSnapshot& snapshot = Fixture();
+  std::string dir = ::testing::TempDir() + "scenario_saveload";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(SaveSystemSnapshot(snapshot, dir).ok());
+  Result<SystemSnapshot> loaded = LoadSystemSnapshot(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Scenario scenario = LoadScenario("flash_crowd_reload");
+  EXPECT_EQ(Replay(snapshot, scenario, 1).digest,
+            Replay(loaded.value(), scenario, 1).digest);
+}
+
+TEST(ScenarioReplayTest, OverloadSpikeShedsDeterministically) {
+  // The 300-request spike against the fixture's queue of 64 must shed, and
+  // must shed the *same* requests at every worker budget.
+  const SystemSnapshot& snapshot = Fixture();
+  Scenario scenario = LoadScenario("overload_spike");
+  ScenarioResult narrow = Replay(snapshot, scenario, 1);
+  ScenarioResult wide = Replay(snapshot, scenario, 4);
+  EXPECT_GT(narrow.shed, 0u);
+  EXPECT_EQ(narrow.shed, wide.shed);
+  EXPECT_EQ(narrow.digest, wide.digest);
+}
+
+TEST(ScenarioReplayTest, SkewWavesHitTheCacheAndReloadClearsIt) {
+  const SystemSnapshot& snapshot = Fixture();
+  // steady_traffic repeats a skew wave verbatim: the second wave must be
+  // served from cache.
+  EXPECT_GT(Replay(snapshot, LoadScenario("steady_traffic"), 1).cache_hits, 0u);
+  // flash_crowd_reload's post-reload wave re-misses, and the reload marker
+  // must appear in the canonical stream.
+  ScenarioResult reload = Replay(snapshot, LoadScenario("flash_crowd_reload"), 1);
+  bool saw_reload_marker = false;
+  for (const std::string& line : reload.lines) {
+    if (line.find("\"event\":\"reload\"") != std::string::npos) {
+      saw_reload_marker = true;
+    }
+  }
+  EXPECT_TRUE(saw_reload_marker);
+}
+
+// --- Script parsing ------------------------------------------------------
+
+TEST(ScenarioParseTest, ParsesTheFullGrammar) {
+  Result<Scenario> parsed = ParseScenario(
+      "# comment\n"
+      "EDGE-SCENARIO v1\n"
+      "name demo\n"
+      "seed 7\n"
+      "pool 32\n"
+      "event burst 10\n"
+      "event skew majestic_theatre 4\n"
+      "event text late night at the office\n"
+      "event reload\n"
+      "event fault serve.batch=latency,ms=1\n"
+      "event fault off\n"
+      "event outage 40.6 40.7 -74.1 -74.0\n"
+      "event outage off\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Scenario& s = parsed.value();
+  EXPECT_EQ(s.name, "demo");
+  EXPECT_TRUE(s.has_seed);
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_EQ(s.pool_tweets, 32u);
+  ASSERT_EQ(s.events.size(), 8u);
+  EXPECT_EQ(s.events[0].type, ScenarioEvent::Type::kBurst);
+  EXPECT_EQ(s.events[0].count, 10u);
+  EXPECT_EQ(s.events[1].entity, "majestic_theatre");
+  EXPECT_EQ(s.events[2].text, "late night at the office");
+  EXPECT_EQ(s.events[3].type, ScenarioEvent::Type::kReload);
+  EXPECT_EQ(s.events[4].text, "serve.batch=latency,ms=1");
+  EXPECT_TRUE(s.events[5].text.empty());  // fault off
+  EXPECT_EQ(s.events[6].type, ScenarioEvent::Type::kOutage);
+  EXPECT_FALSE(s.events[6].off);
+  EXPECT_TRUE(s.events[7].off);
+}
+
+TEST(ScenarioParseTest, RejectsMalformedScripts) {
+  EXPECT_FALSE(ParseScenario("").ok());
+  EXPECT_FALSE(ParseScenario("EDGE-SCENARIO v2\nname x\n").ok());
+  EXPECT_FALSE(ParseScenario("name x\nEDGE-SCENARIO v1\n").ok());
+  const std::string header = "EDGE-SCENARIO v1\nname x\n";
+  EXPECT_FALSE(ParseScenario(header + "event burst\n").ok());
+  EXPECT_FALSE(ParseScenario(header + "event burst -3\n").ok());
+  EXPECT_FALSE(ParseScenario(header + "event burst 99999999999\n").ok());
+  EXPECT_FALSE(ParseScenario(header + "event skew 4\n").ok());
+  EXPECT_FALSE(ParseScenario(header + "event outage 1 2 3\n").ok());
+  EXPECT_FALSE(ParseScenario(header + "event outage 2 1 -74.1 -74.0\n").ok());
+  EXPECT_FALSE(ParseScenario(header + "event teleport 3\n").ok());
+  EXPECT_FALSE(ParseScenario(header + "warp 9\n").ok());
+  EXPECT_FALSE(ParseScenario(header + "pool 99999999999\n").ok());
+  EXPECT_FALSE(ParseScenario(header + "seed not_a_number\n").ok());
+}
+
+TEST(ScenarioParseTest, EveryCheckedInScenarioParses) {
+  for (const char* name : kScenarios) {
+    Scenario scenario = LoadScenario(name);
+    EXPECT_EQ(scenario.name, name);
+    EXPECT_FALSE(scenario.events.empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace edge::snapshot

@@ -1,0 +1,404 @@
+#include "edge/snapshot/system_snapshot.h"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edge/common/check.h"
+#include "edge/common/file_util.h"
+#include "edge/data/worlds.h"
+#include "edge/snapshot/fixture.h"
+
+/// SystemSnapshot drills (DESIGN.md §13): bitwise section round-trips, the
+/// save/load cycle, and the untrusted-input sweep — every truncation and bit
+/// flip of every section must come back from Load as a Status, never an
+/// abort, never a partially constructed snapshot.
+
+namespace edge::snapshot {
+namespace {
+
+/// One trained fast fixture per process; every test reads, none mutates.
+const SystemSnapshot& Fixture() {
+  static const SystemSnapshot* snapshot = [] {
+    Result<SystemSnapshot> built = BuildDemoSnapshot(FastDemoSnapshotOptions());
+    EDGE_CHECK(built.ok()) << built.status().ToString();
+    return new SystemSnapshot(std::move(built).value());
+  }();
+  return *snapshot;
+}
+
+std::string TempDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// --- Section round-trips -------------------------------------------------
+
+TEST(SystemSnapshotTest, WorldSectionRoundTripsAllPresetsBitwise) {
+  data::WorldPresetOptions preset;  // Full-size presets, no training needed.
+  for (const data::WorldConfig& world :
+       {data::MakeNymaWorld(preset), data::MakeNy2020World(preset),
+        data::MakeLamaWorld(preset)}) {
+    std::string serialized = SerializeWorldConfig(world);
+    Result<data::WorldConfig> parsed = ParseWorldConfig(serialized);
+    ASSERT_TRUE(parsed.ok()) << world.name << ": " << parsed.status().ToString();
+    // Bitwise fidelity via canonical re-serialization: precision-17 doubles
+    // round-trip exactly, so equal state implies equal bytes.
+    EXPECT_EQ(serialized, SerializeWorldConfig(parsed.value())) << world.name;
+  }
+}
+
+TEST(SystemSnapshotTest, VocabularySectionRoundTripsBitwise) {
+  const SystemSnapshot& snapshot = Fixture();
+  ASSERT_GT(snapshot.vocabulary.size(), 0u);
+  std::string serialized = SerializeVocabulary(snapshot.vocabulary);
+  Result<text::Vocabulary> parsed = ParseVocabulary(serialized);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().size(), snapshot.vocabulary.size());
+  EXPECT_EQ(parsed.value().total_count(), snapshot.vocabulary.total_count());
+  // Ids must be preserved, not just the token set: the entity graph keys on
+  // them.
+  for (size_t id = 0; id < snapshot.vocabulary.size(); ++id) {
+    EXPECT_EQ(parsed.value().TokenOf(id), snapshot.vocabulary.TokenOf(id));
+    EXPECT_EQ(parsed.value().CountOf(id), snapshot.vocabulary.CountOf(id));
+  }
+  EXPECT_EQ(serialized, SerializeVocabulary(parsed.value()));
+}
+
+TEST(SystemSnapshotTest, EntityGraphSectionRoundTripsWithEdgeWeights) {
+  const SystemSnapshot& snapshot = Fixture();
+  ASSERT_GT(snapshot.graph.num_nodes(), 0u);
+  ASSERT_GT(snapshot.graph.num_edges(), 0u);
+  std::string serialized = SerializeEntityGraph(snapshot.graph);
+  Result<graph::EntityGraph> parsed = ParseEntityGraph(serialized);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().num_nodes(), snapshot.graph.num_nodes());
+  ASSERT_EQ(parsed.value().num_edges(), snapshot.graph.num_edges());
+  for (size_t a = 0; a < snapshot.graph.num_nodes(); ++a) {
+    EXPECT_EQ(parsed.value().NodeName(a), snapshot.graph.NodeName(a));
+    for (const auto& [b, w] : snapshot.graph.Neighbors(a)) {
+      // Exact weights: this is what EDGE-INFERENCE alone cannot preserve.
+      EXPECT_EQ(parsed.value().EdgeWeight(a, b), w);
+    }
+  }
+  EXPECT_EQ(serialized, SerializeEntityGraph(parsed.value()));
+}
+
+TEST(SystemSnapshotTest, ServeOptionsSectionRoundTrips) {
+  serve::GeoServiceOptions options;
+  options.max_batch = 8;
+  options.max_delay_ms = 1.25;
+  options.num_workers = 3;
+  options.queue_capacity = 64;
+  options.cache_capacity = 128;
+  options.default_deadline_ms = 17.5;
+  options.predict_threads = 2;
+  std::string serialized = SerializeServeOptions(options);
+  Result<serve::GeoServiceOptions> parsed = ParseServeOptions(serialized);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(serialized, SerializeServeOptions(parsed.value()));
+  EXPECT_EQ(parsed.value().num_workers, 3u);
+  EXPECT_EQ(parsed.value().predict_threads, 2);
+}
+
+// --- Full save/load cycle ------------------------------------------------
+
+TEST(SystemSnapshotTest, SaveLoadRoundTripsEverySection) {
+  const SystemSnapshot& snapshot = Fixture();
+  std::string dir = TempDir("snapshot_roundtrip");
+  ASSERT_TRUE(SaveSystemSnapshot(snapshot, dir).ok());
+  Result<SystemSnapshot> loaded = LoadSystemSnapshot(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(SerializeWorldConfig(loaded.value().world),
+            SerializeWorldConfig(snapshot.world));
+  EXPECT_EQ(SerializeVocabulary(loaded.value().vocabulary),
+            SerializeVocabulary(snapshot.vocabulary));
+  EXPECT_EQ(SerializeEntityGraph(loaded.value().graph),
+            SerializeEntityGraph(snapshot.graph));
+  EXPECT_EQ(SerializeServeOptions(loaded.value().serve_options),
+            SerializeServeOptions(snapshot.serve_options));
+  // The model checkpoint travels as raw bytes — exact, not re-encoded.
+  EXPECT_EQ(loaded.value().model_checkpoint, snapshot.model_checkpoint);
+  EXPECT_EQ(loaded.value().rng.state, snapshot.rng.state);
+  EXPECT_EQ(loaded.value().rng.inc, snapshot.rng.inc);
+  EXPECT_EQ(loaded.value().has_train_state, snapshot.has_train_state);
+}
+
+TEST(SystemSnapshotTest, SaveLoadCarriesOptionalTrainState) {
+  SystemSnapshot snapshot = Fixture();
+  snapshot.has_train_state = true;
+  snapshot.train_state.fingerprint = "v1|snapshot-test";
+  snapshot.train_state.next_epoch = 2;
+  snapshot.train_state.loss_history = {3.0, 2.5};
+  snapshot.train_state.adam.step_count = 2;
+  nn::Matrix m(2, 2);
+  m.At(0, 0) = 1.5;
+  m.At(1, 1) = -2.25;
+  snapshot.train_state.params = {m};
+  snapshot.train_state.adam.m = {m};
+  snapshot.train_state.adam.v = {m};
+
+  std::string dir = TempDir("snapshot_trainstate");
+  ASSERT_TRUE(SaveSystemSnapshot(snapshot, dir).ok());
+  Result<SystemSnapshot> loaded = LoadSystemSnapshot(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().has_train_state);
+  EXPECT_EQ(loaded.value().train_state.fingerprint, "v1|snapshot-test");
+  EXPECT_EQ(loaded.value().train_state.next_epoch, 2);
+  ASSERT_EQ(loaded.value().train_state.params.size(), 1u);
+  EXPECT_EQ(loaded.value().train_state.params[0].At(1, 1), -2.25);
+}
+
+// --- Untrusted-input gates -----------------------------------------------
+
+/// Rewrites one section file with `mutate(bytes)` and expects Load to fail.
+void ExpectLoadRejects(const std::string& dir, const std::string& file,
+                       const std::function<std::string(std::string)>& mutate,
+                       const std::string& what) {
+  std::string path = dir + "/" + file;
+  std::string original;
+  ASSERT_TRUE(ReadFileToString(path, &original).ok()) << path;
+  std::string corrupt = mutate(original);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+  }
+  Result<SystemSnapshot> loaded = LoadSystemSnapshot(dir);
+  EXPECT_FALSE(loaded.ok()) << what << " was accepted";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << original;
+  }
+}
+
+TEST(SystemSnapshotTest, EveryManifestTruncationPrefixIsRejected) {
+  std::string dir = TempDir("snapshot_manifest_trunc");
+  ASSERT_TRUE(SaveSystemSnapshot(Fixture(), dir).ok());
+  std::string manifest;
+  ASSERT_TRUE(ReadFileToString(dir + "/MANIFEST", &manifest).ok());
+  ASSERT_GT(manifest.size(), 50u);
+  for (size_t length = 0; length < manifest.size(); ++length) {
+    ExpectLoadRejects(
+        dir, "MANIFEST",
+        [length](std::string bytes) { return bytes.substr(0, length); },
+        "manifest prefix of " + std::to_string(length) + " bytes");
+  }
+}
+
+TEST(SystemSnapshotTest, SectionTruncationsAndBitFlipsAreRejected) {
+  std::string dir = TempDir("snapshot_section_fuzz");
+  ASSERT_TRUE(SaveSystemSnapshot(Fixture(), dir).ok());
+  const char* sections[] = {"world.section",  "rng.section",  "vocab.section",
+                            "graph.section",  "model.section", "serve.section"};
+  for (const char* section : sections) {
+    std::string path = dir + "/" + std::string(section);
+    std::string bytes;
+    ASSERT_TRUE(ReadFileToString(path, &bytes).ok()) << path;
+    ASSERT_GT(bytes.size(), 8u) << path;
+    // Truncations at 16 lengths spread over the payload, including the
+    // drop-one-byte case the manifest's size record must catch.
+    for (size_t k = 0; k < 16; ++k) {
+      size_t length = bytes.size() * k / 16;
+      if (k == 15) length = bytes.size() - 1;
+      ExpectLoadRejects(
+          dir, section,
+          [length](std::string b) { return b.substr(0, length); },
+          std::string(section) + " truncated to " + std::to_string(length));
+    }
+    // Single bit flips at 16 offsets: the FNV checksum must catch each.
+    for (size_t k = 0; k < 16; ++k) {
+      size_t offset = bytes.size() * (2 * k + 1) / 32;
+      ExpectLoadRejects(
+          dir, section,
+          [offset](std::string b) {
+            b[offset] = static_cast<char>(b[offset] ^ 0x10);
+            return b;
+          },
+          std::string(section) + " bit flip at " + std::to_string(offset));
+    }
+    // Growth: appended trailing bytes change size and checksum.
+    ExpectLoadRejects(
+        dir, section, [](std::string b) { return b + "x"; },
+        std::string(section) + " with appended byte");
+  }
+}
+
+TEST(SystemSnapshotTest, MissingSectionFileIsRejected) {
+  std::string dir = TempDir("snapshot_missing_file");
+  ASSERT_TRUE(SaveSystemSnapshot(Fixture(), dir).ok());
+  std::string hidden = dir + "/graph.section.hidden";
+  std::filesystem::rename(dir + "/graph.section", hidden);
+  Result<SystemSnapshot> loaded = LoadSystemSnapshot(dir);
+  EXPECT_FALSE(loaded.ok());
+  std::filesystem::rename(hidden, dir + "/graph.section");
+  EXPECT_TRUE(LoadSystemSnapshot(dir).ok());
+}
+
+TEST(SystemSnapshotTest, MissingManifestIsRejected) {
+  std::string dir = TempDir("snapshot_no_manifest");
+  ASSERT_TRUE(SaveSystemSnapshot(Fixture(), dir).ok());
+  std::filesystem::remove(dir + "/MANIFEST");
+  EXPECT_FALSE(LoadSystemSnapshot(dir).ok());
+  EXPECT_FALSE(LoadSystemSnapshot(TempDir("snapshot_never_existed")).ok());
+}
+
+TEST(SystemSnapshotTest, CrossSectionMismatchIsRejected) {
+  // A graph section that validates on its own but disagrees with the model's
+  // node table must not load: snapshots assembled from mismatched captures
+  // are exactly the corruption checksums cannot see.
+  std::string dir = TempDir("snapshot_cross_section");
+  ASSERT_TRUE(SaveSystemSnapshot(Fixture(), dir).ok());
+
+  // Re-save with a doctored graph+vocab so every checksum is self-consistent
+  // and the cross-section gate is what must fire.
+  SystemSnapshot doctored = Fixture();
+  doctored.graph = graph::EntityGraph::FromParts(
+      {"alpha", "beta"}, {graph::EntityGraph::WeightedEdge{0, 1, 2.0}});
+  doctored.vocabulary = text::Vocabulary();
+  doctored.vocabulary.Add("alpha");
+  doctored.vocabulary.Add("beta");
+  ASSERT_TRUE(SaveSystemSnapshot(doctored, dir).ok());
+  Result<SystemSnapshot> loaded = LoadSystemSnapshot(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("disagree"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+// --- Targeted parser gates -----------------------------------------------
+
+TEST(SystemSnapshotTest, ParserSweepNeverAborts) {
+  // Parsers may legitimately accept a prefix that ends on a line boundary
+  // (the manifest's byte counts exist to catch those); what they must never
+  // do is crash or EDGE_CHECK on one.
+  const SystemSnapshot& snapshot = Fixture();
+  const std::string payloads[] = {
+      SerializeWorldConfig(snapshot.world), SerializeVocabulary(snapshot.vocabulary),
+      SerializeEntityGraph(snapshot.graph),
+      SerializeServeOptions(snapshot.serve_options)};
+  for (const std::string& payload : payloads) {
+    for (size_t k = 0; k <= 64; ++k) {
+      size_t length = payload.size() * k / 64;
+      std::string prefix = payload.substr(0, length);
+      (void)ParseWorldConfig(prefix);
+      (void)ParseVocabulary(prefix);
+      (void)ParseEntityGraph(prefix);
+      (void)ParseServeOptions(prefix);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(SystemSnapshotTest, WorldParserRejectsInvalidInvariants) {
+  // Mutate the parsed struct, re-serialize, and expect the parser to refuse:
+  // every TweetGenerator EDGE_CHECK must surface here as a Status, because
+  // these bytes reach the generator ctor after Load.
+  const data::WorldConfig& valid = Fixture().world;
+  ASSERT_FALSE(valid.pois.empty());
+  ASSERT_FALSE(valid.topics.empty());
+  auto rejects = [](const data::WorldConfig& world) {
+    return !ParseWorldConfig(SerializeWorldConfig(world)).ok();
+  };
+
+  {
+    std::string magic_flip = SerializeWorldConfig(valid);
+    magic_flip.replace(0, 13, "EDGE-WORLD v9");
+    EXPECT_FALSE(ParseWorldConfig(magic_flip).ok());
+  }
+  {
+    data::WorldConfig w = valid;
+    w.timeline_days = -1.0;
+    EXPECT_TRUE(rejects(w));
+    w.timeline_days = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_TRUE(rejects(w));
+  }
+  {
+    data::WorldConfig w = valid;
+    w.pois[0].category = static_cast<text::EntityCategory>(99);
+    EXPECT_TRUE(rejects(w));
+  }
+  {
+    data::WorldConfig w = valid;
+    w.pois[0].sigma_km = 0.0;
+    EXPECT_TRUE(rejects(w));
+  }
+  {
+    data::WorldConfig w = valid;
+    w.pois[0].branches.clear();
+    EXPECT_TRUE(rejects(w));
+  }
+  {
+    data::WorldConfig w = valid;
+    w.p_mention_poi = 1.5;  // Probability out of [0, 1].
+    EXPECT_TRUE(rejects(w));
+  }
+  {
+    data::WorldConfig w = valid;
+    std::swap(w.region.min_lat, w.region.max_lat);  // Inverted region.
+    EXPECT_TRUE(rejects(w));
+  }
+  {
+    // An affinity POI index past the table must be rejected before any
+    // generator sees it (the generator would abort).
+    data::WorldConfig w = valid;
+    w.topics[0].phases[0].poi_affinity = {{w.pois.size() + 100, 1.0}};
+    EXPECT_TRUE(rejects(w));
+  }
+  {
+    data::WorldConfig w = valid;
+    w.topics[0].phases[0].start_day = 20.0;
+    w.topics[0].phases[0].end_day = 10.0;  // start >= end.
+    EXPECT_TRUE(rejects(w));
+  }
+}
+
+TEST(SystemSnapshotTest, GraphParserRejectsStructuralErrors) {
+  auto parse = [](const std::string& body) {
+    return ParseEntityGraph("EDGE-GRAPH v1\n" + body);
+  };
+  EXPECT_FALSE(parse("nodes 2\na\nb\nedges 1\n1 0 2.0\n").ok());  // a >= b
+  EXPECT_FALSE(parse("nodes 2\na\nb\nedges 1\n0 5 2.0\n").ok());  // out of range
+  EXPECT_FALSE(parse("nodes 2\na\nb\nedges 1\n0 1 0.0\n").ok());  // weight <= 0
+  EXPECT_FALSE(parse("nodes 2\na\nb\nedges 1\n0 1 inf\n").ok());
+  EXPECT_FALSE(parse("nodes 2\na\na\nedges 0\n").ok());           // dup name
+  EXPECT_FALSE(parse("nodes 2\na\nb\nedges 2\n0 1 1.0\n0 1 2.0\n").ok());
+  EXPECT_FALSE(parse("nodes 99999999999\n").ok());                // cap
+  EXPECT_TRUE(parse("nodes 2\na\nb\nedges 1\n0 1 2.5\n").ok());
+}
+
+TEST(SystemSnapshotTest, VocabParserRejectsInconsistentCounts) {
+  EXPECT_TRUE(ParseVocabulary("EDGE-VOCAB v1\n2 5\n3 foo\n2 bar\n").ok());
+  EXPECT_FALSE(ParseVocabulary("EDGE-VOCAB v1\n2 9\n3 foo\n2 bar\n").ok());
+  EXPECT_FALSE(ParseVocabulary("EDGE-VOCAB v1\n2 5\n3 foo\n2 foo\n").ok());
+  EXPECT_FALSE(ParseVocabulary("EDGE-VOCAB v1\n2 5\n-3 foo\n8 bar\n").ok());
+  EXPECT_FALSE(ParseVocabulary("EDGE-VOCAB v1\n99999999999 0\n").ok());
+}
+
+TEST(SystemSnapshotTest, ServeOptionsParserDefersToValidate) {
+  // Parse succeeds syntactically but GeoServiceOptions::Validate's caps
+  // still gate the result (e.g. an absurd worker count).
+  std::string absurd =
+      "EDGE-SERVE-OPTIONS v1\nmax_batch 8\nmax_delay_ms 1\nnum_workers "
+      "9999999\nqueue_capacity 64\ncache_capacity 64\ndefault_deadline_ms "
+      "0\npredict_threads 1\n";
+  EXPECT_FALSE(ParseServeOptions(absurd).ok());
+}
+
+TEST(SystemSnapshotTest, CaptureRequiresFittedModel) {
+  core::EdgeModel model{core::EdgeConfig{}};
+  data::WorldConfig world = data::MakeNymaWorld();
+  data::ProcessedDataset dataset;
+  Result<SystemSnapshot> captured =
+      CaptureSystemSnapshot(model, world, dataset, serve::GeoServiceOptions{});
+  EXPECT_FALSE(captured.ok());
+}
+
+}  // namespace
+}  // namespace edge::snapshot

@@ -239,6 +239,17 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
   obs::Histogram* epoch_seconds = registry.GetHistogram("edge.core.epoch_seconds");
   obs::Counter* rollback_counter = registry.GetCounter("edge.core.rollbacks");
   obs::Gauge* lr_scale_gauge = registry.GetGauge("edge.core.lr_scale");
+  // Sliding-window view of training progress, for the --metrics-export live
+  // snapshot: recent epoch times (epochs can take whole seconds, so the
+  // buckets stretch well past the latency defaults) and a tweets-trained
+  // counter whose windowed rate is the live throughput in tweets/second.
+  obs::WindowedHistogram::Options epoch_window_options;
+  epoch_window_options.bounds = {0.01, 0.05, 0.1, 0.25, 0.5, 1.0,
+                                 2.5,  5.0,  10.0, 30.0, 60.0};
+  obs::WindowedHistogram* window_epoch_seconds = registry.GetWindowedHistogram(
+      "edge.core.window.epoch_seconds", epoch_window_options);
+  obs::WindowedCounter* window_tweets =
+      registry.GetWindowedCounter("edge.core.window.tweets_trained");
 
   // Recovery bookkeeping (DESIGN.md §12). Stages 1-4 above are pure functions
   // of (dataset, seed), so a checkpoint only needs the mutable training state:
@@ -308,6 +319,7 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
       restore(loaded.value());
       start_epoch = loaded.value().next_epoch;
       registry.GetCounter("edge.core.resumes")->Increment();
+      obs::RecordInstant("edge.core.resume");
       EDGE_LOG(INFO) << "resumed from checkpoint" << obs::Kv("path", checkpoint_path)
                      << obs::Kv("epoch", start_epoch)
                      << obs::Kv("rollbacks_used", rollbacks_used);
@@ -397,6 +409,7 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
         last_good.lr_scale = lr_scale;
         last_good.rollbacks_used = rollbacks_used;
         rollback_counter->Increment();
+        obs::RecordInstant("edge.core.rollback");
         lr_scale_gauge->Set(lr_scale);
         EDGE_LOG(WARN) << "epoch diverged; rolled back"
                        << obs::Kv("epoch", epoch) << obs::Kv("nll", mean_nll)
@@ -407,6 +420,7 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
         continue;
       }
       registry.GetCounter("edge.core.divergence_giveups")->Increment();
+      obs::RecordInstant("edge.core.divergence_giveup");
       EDGE_LOG(ERROR) << "divergence rollback budget exhausted; keeping last "
                          "good state"
                       << obs::Kv("epoch", epoch)
@@ -420,6 +434,8 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
     nll_series->Append(mean_nll);
     grad_norm_series->Append(mean_grad_norm);
     epoch_seconds->Observe(seconds);
+    window_epoch_seconds->Observe(seconds);
+    window_tweets->Increment(static_cast<int64_t>(order.size()));
     last_good_grad_norm = mean_grad_norm;
     EDGE_LOG(DEBUG) << "epoch done" << obs::Kv("epoch", epoch)
                     << obs::Kv("nll", mean_nll)
@@ -440,10 +456,12 @@ void EdgeModel::Fit(const data::ProcessedDataset& dataset) {
       Status status = SaveTrainStateAtomic(checkpoint_path, last_good);
       if (status.ok()) {
         registry.GetCounter("edge.core.checkpoints_written")->Increment();
+        obs::RecordInstant("edge.core.checkpoint");
       } else {
         // Checkpointing is best-effort: a persistently failing disk must not
         // kill an otherwise healthy training run.
         registry.GetCounter("edge.core.checkpoint_failures")->Increment();
+        obs::RecordInstant("edge.core.checkpoint_failure");
         EDGE_LOG(WARN) << "checkpoint write failed"
                        << obs::Kv("path", checkpoint_path)
                        << obs::Kv("error", status.ToString());

@@ -1,0 +1,100 @@
+#include "edge/obs/exporter.h"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "edge/obs/log.h"
+#include "edge/obs/metrics.h"
+
+namespace edge::obs {
+
+namespace {
+
+/// Write-to-tmp + rename. Deliberately self-contained (obs is a leaf library
+/// and cannot use edge/common's WriteFileAtomic) and fsync-free: the export
+/// is telemetry, not a checkpoint — on a crash the previous snapshot
+/// surviving is exactly the right behavior.
+bool WriteFileAtomicBasic(const std::string& path, const std::string& body) {
+  std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (out == nullptr) return false;
+  bool ok = std::fwrite(body.data(), 1, body.size(), out) == body.size();
+  ok = std::fclose(out) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(Options options)
+    : options_(std::move(options)) {
+  options_.period_seconds = std::max(options_.period_seconds, 0.01);
+  if (!options_.payload) {
+    options_.payload = [] { return Registry::Global().ToJson(); };
+  }
+  ExportNow();
+  thread_ = std::thread(&MetricsExporter::Run, this);
+}
+
+MetricsExporter::~MetricsExporter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final export so the file reflects the full process lifetime (e.g. the
+  // last requests served before shutdown).
+  ExportNow();
+}
+
+bool MetricsExporter::ExportNow() {
+  Registry& registry = Registry::Global();
+  bool ok = WriteFileAtomicBasic(options_.path, options_.payload());
+  if (ok) {
+    registry.GetCounter("edge.obs.metrics_exports")->Increment();
+  } else {
+    registry.GetCounter("edge.obs.export_failures")->Increment();
+    EDGE_LOG(WARN) << "metrics export failed" << Kv("path", options_.path);
+  }
+  return ok;
+}
+
+void MetricsExporter::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto period = std::chrono::duration<double>(options_.period_seconds);
+  while (!stop_) {
+    if (cv_.wait_for(lock, period, [this] { return stop_; })) break;
+    lock.unlock();
+    ExportNow();
+    lock.lock();
+  }
+}
+
+double MetricsExporter::PeriodFromEnv(double fallback) {
+  const char* env = std::getenv("EDGE_METRICS_EXPORT_EVERY");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  double seconds = 0.0;
+  const char* end = env + std::strlen(env);
+  auto [ptr, ec] = std::from_chars(env, end, seconds);
+  if (ec != std::errc() || ptr != end || !(seconds > 0.0)) {
+    EDGE_LOG(WARN) << "ignoring invalid EDGE_METRICS_EXPORT_EVERY"
+                   << Kv("value", env);
+    return fallback;
+  }
+  return seconds;
+}
+
+}  // namespace edge::obs

@@ -1,0 +1,64 @@
+#ifndef EDGE_OBS_EXPORTER_H_
+#define EDGE_OBS_EXPORTER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+/// \file
+/// Periodic metrics exporter: a background thread that renders a JSON
+/// payload every period and writes it to a file atomically (tmp + rename),
+/// so a scraper reading the path never sees a torn document. This is the
+/// pull-less half of the instrumentation contract for the sharded serving
+/// tier: every replica drops a fresh snapshot the router/monitoring can
+/// tail without a network hop.
+
+namespace edge::obs {
+
+class MetricsExporter {
+ public:
+  struct Options {
+    /// Destination file; a sibling "<path>.tmp" is used for staging.
+    std::string path;
+    /// Seconds between exports; clamped to >= 0.01.
+    double period_seconds = 10.0;
+    /// Payload renderer; default is Registry::Global().ToJson(). Callers
+    /// wrap it to add their own sections (edge_serve adds health).
+    std::function<std::string()> payload;
+  };
+
+  /// Starts the export thread; the first export happens immediately so the
+  /// file exists as soon as the process is up.
+  explicit MetricsExporter(Options options);
+
+  /// Performs one final export, then stops the thread.
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// One synchronous export outside the periodic schedule. Returns false on
+  /// write failure (also counted in edge.obs.export_failures).
+  bool ExportNow();
+
+  const std::string& path() const { return options_.path; }
+
+  /// EDGE_METRICS_EXPORT_EVERY (seconds, strict parse) or `fallback` when
+  /// unset/invalid.
+  static double PeriodFromEnv(double fallback);
+
+ private:
+  void Run();
+
+  Options options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // Guarded by mu_.
+  std::thread thread_;
+};
+
+}  // namespace edge::obs
+
+#endif  // EDGE_OBS_EXPORTER_H_

@@ -1,6 +1,7 @@
 #include "edge/obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <map>
 
@@ -10,6 +11,33 @@
 namespace edge::obs {
 
 namespace {
+
+/// Interpolated percentile over fixed-bound bucket counts (`counts` has one
+/// overflow entry past `bounds`). Shared by Histogram and WindowedHistogram;
+/// exact at bucket edges, at most one bucket width off inside, clamped to the
+/// observed [vmin, vmax] range.
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<int64_t>& counts, int64_t total,
+                             double vmin, double vmax, double p) {
+  if (total <= 0) return 0.0;
+  double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    int64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i == counts.size() - 1) return vmax;  // Overflow bucket.
+      double lo = i == 0 ? std::min(vmin, bounds[0]) : bounds[i - 1];
+      double hi = bounds[i];
+      double within = (rank - static_cast<double>(cumulative)) /
+                      static_cast<double>(in_bucket);
+      return std::clamp(lo + (hi - lo) * std::clamp(within, 0.0, 1.0), vmin,
+                        vmax);
+    }
+    cumulative += in_bucket;
+  }
+  return vmax;
+}
 
 /// Lock-free min/max update via CAS (relaxed: metrics tolerate benign races).
 void AtomicMin(std::atomic<double>* slot, double v) {
@@ -59,25 +87,7 @@ void Histogram::Observe(double v) {
 double Histogram::Percentile(double p) const {
   int64_t total = count();
   if (total <= 0) return 0.0;
-  double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total);
-  int64_t cumulative = 0;
-  for (size_t i = 0; i < buckets_.size(); ++i) {
-    int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
-    if (in_bucket == 0) continue;
-    if (static_cast<double>(cumulative + in_bucket) >= rank) {
-      if (i == buckets_.size() - 1) return max();  // Overflow bucket.
-      double lo = i == 0 ? std::min(min(), bounds_[0]) : bounds_[i - 1];
-      double hi = bounds_[i];
-      double within = (rank - static_cast<double>(cumulative)) /
-                      static_cast<double>(in_bucket);
-      // Clamp to the observed range: interpolation alone would report a
-      // bucket's upper bound even when no observation reached it.
-      return std::clamp(lo + (hi - lo) * std::clamp(within, 0.0, 1.0), min(),
-                        max());
-    }
-    cumulative += in_bucket;
-  }
-  return max();
+  return PercentileFromBuckets(bounds_, BucketCounts(), total, min(), max(), p);
 }
 
 std::vector<int64_t> Histogram::BucketCounts() const {
@@ -101,6 +111,188 @@ const std::vector<double>& DefaultLatencyBucketsSeconds() {
       0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
       0.5,   1.0,    2.5,   5.0,  10.0,  30.0, 60.0, 120.0};
   return kBounds;
+}
+
+uint64_t SteadyNowMicros() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin)
+          .count());
+}
+
+WindowedHistogram::WindowedHistogram(Options options, WindowClock clock)
+    : options_(std::move(options)),
+      clock_(clock ? std::move(clock) : WindowClock(&SteadyNowMicros)) {
+  if (options_.bounds.empty()) options_.bounds = DefaultLatencyBucketsSeconds();
+  EDGE_CHECK_GT(options_.window_seconds, 0.0) << "window must be positive";
+  EDGE_CHECK_GE(options_.num_subwindows, 1u) << "need at least one sub-window";
+  for (size_t i = 1; i < options_.bounds.size(); ++i) {
+    EDGE_CHECK_LT(options_.bounds[i - 1], options_.bounds[i])
+        << "bounds must be increasing";
+  }
+  subwindow_micros_ = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options_.window_seconds * 1e6 /
+                               static_cast<double>(options_.num_subwindows)));
+  ring_.resize(options_.num_subwindows);
+  for (SubWindow& slot : ring_) {
+    slot.buckets.assign(options_.bounds.size() + 1, 0);
+  }
+}
+
+uint64_t WindowedHistogram::ClampedNowLocked() const {
+  uint64_t now = clock_();
+  // A clock stepped backwards (test fakes, suspend/resume quirks) must not
+  // unwind history: freeze time at the furthest point seen instead.
+  if (now < last_now_micros_) return last_now_micros_;
+  last_now_micros_ = now;
+  return now;
+}
+
+void WindowedHistogram::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t index = ClampedNowLocked() / subwindow_micros_;
+  SubWindow& slot = ring_[index % ring_.size()];
+  if (slot.slot_index != index || slot.count == 0) {
+    // The ring wrapped onto an expired slot (or a fresh one): recycle it.
+    std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
+    slot.slot_index = index;
+    slot.count = 0;
+    slot.sum = 0.0;
+  }
+  size_t bucket = std::lower_bound(options_.bounds.begin(),
+                                   options_.bounds.end(), v) -
+                  options_.bounds.begin();
+  slot.buckets[bucket] += 1;
+  if (slot.count == 0 || v < slot.min) slot.min = v;
+  if (slot.count == 0 || v > slot.max) slot.max = v;
+  slot.count += 1;
+  slot.sum += v;
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t index = ClampedNowLocked() / subwindow_micros_;
+  uint64_t live_min =
+      index >= ring_.size() - 1 ? index - (ring_.size() - 1) : 0;
+  Snapshot snapshot;
+  snapshot.window_seconds = options_.window_seconds;
+  std::vector<int64_t> buckets(options_.bounds.size() + 1, 0);
+  bool any = false;
+  for (const SubWindow& slot : ring_) {
+    if (slot.count == 0 || slot.slot_index < live_min ||
+        slot.slot_index > index) {
+      continue;
+    }
+    snapshot.count += slot.count;
+    snapshot.sum += slot.sum;
+    if (!any || slot.min < snapshot.min) snapshot.min = slot.min;
+    if (!any || slot.max > snapshot.max) snapshot.max = slot.max;
+    any = true;
+    for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += slot.buckets[i];
+  }
+  if (any) {
+    snapshot.p50 = PercentileFromBuckets(options_.bounds, buckets,
+                                         snapshot.count, snapshot.min,
+                                         snapshot.max, 50.0);
+    snapshot.p90 = PercentileFromBuckets(options_.bounds, buckets,
+                                         snapshot.count, snapshot.min,
+                                         snapshot.max, 90.0);
+    snapshot.p99 = PercentileFromBuckets(options_.bounds, buckets,
+                                         snapshot.count, snapshot.min,
+                                         snapshot.max, 99.0);
+    snapshot.p999 = PercentileFromBuckets(options_.bounds, buckets,
+                                          snapshot.count, snapshot.min,
+                                          snapshot.max, 99.9);
+    snapshot.rate_per_second =
+        static_cast<double>(snapshot.count) / options_.window_seconds;
+  }
+  return snapshot;
+}
+
+double WindowedHistogram::Percentile(double p) const {
+  Snapshot snapshot = TakeSnapshot();
+  if (snapshot.count <= 0) return 0.0;
+  if (p <= 50.0) return snapshot.p50;  // Snapshot carries the common points;
+  if (p <= 90.0) return snapshot.p90;  // arbitrary p maps to the nearest.
+  if (p <= 99.0) return snapshot.p99;
+  return snapshot.p999;
+}
+
+int64_t WindowedHistogram::CountInWindow() const { return TakeSnapshot().count; }
+
+double WindowedHistogram::RatePerSecond() const {
+  return TakeSnapshot().rate_per_second;
+}
+
+void WindowedHistogram::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SubWindow& slot : ring_) {
+    std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
+    slot.slot_index = 0;
+    slot.count = 0;
+    slot.sum = 0.0;
+    slot.min = 0.0;
+    slot.max = 0.0;
+  }
+  last_now_micros_ = 0;
+}
+
+WindowedCounter::WindowedCounter(Options options, WindowClock clock)
+    : options_(options),
+      clock_(clock ? std::move(clock) : WindowClock(&SteadyNowMicros)) {
+  EDGE_CHECK_GT(options_.window_seconds, 0.0) << "window must be positive";
+  EDGE_CHECK_GE(options_.num_subwindows, 1u) << "need at least one sub-window";
+  subwindow_micros_ = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options_.window_seconds * 1e6 /
+                               static_cast<double>(options_.num_subwindows)));
+  ring_.resize(options_.num_subwindows);
+}
+
+uint64_t WindowedCounter::ClampedNowLocked() const {
+  uint64_t now = clock_();
+  if (now < last_now_micros_) return last_now_micros_;
+  last_now_micros_ = now;
+  return now;
+}
+
+void WindowedCounter::Increment(int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t index = ClampedNowLocked() / subwindow_micros_;
+  SubWindow& slot = ring_[index % ring_.size()];
+  if (slot.slot_index != index) {
+    slot.slot_index = index;
+    slot.count = 0;
+  }
+  slot.count += delta;
+}
+
+int64_t WindowedCounter::ValueInWindow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t index = ClampedNowLocked() / subwindow_micros_;
+  uint64_t live_min =
+      index >= ring_.size() - 1 ? index - (ring_.size() - 1) : 0;
+  int64_t total = 0;
+  for (const SubWindow& slot : ring_) {
+    if (slot.slot_index >= live_min && slot.slot_index <= index) {
+      total += slot.count;
+    }
+  }
+  return total;
+}
+
+double WindowedCounter::RatePerSecond() const {
+  return static_cast<double>(ValueInWindow()) / options_.window_seconds;
+}
+
+void WindowedCounter::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SubWindow& slot : ring_) {
+    slot.slot_index = 0;
+    slot.count = 0;
+  }
+  last_now_micros_ = 0;
 }
 
 void Series::Append(double v) {
@@ -160,6 +352,29 @@ Series* Registry::GetSeries(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = series_[name];
   if (slot == nullptr) slot = std::make_unique<Series>();
+  return slot.get();
+}
+
+WindowedHistogram* Registry::GetWindowedHistogram(
+    const std::string& name, WindowedHistogram::Options options,
+    WindowClock clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = windowed_histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<WindowedHistogram>(std::move(options),
+                                               std::move(clock));
+  }
+  return slot.get();
+}
+
+WindowedCounter* Registry::GetWindowedCounter(const std::string& name,
+                                              WindowedCounter::Options options,
+                                              WindowClock clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = windowed_counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<WindowedCounter>(options, std::move(clock));
+  }
   return slot.get();
 }
 
@@ -226,6 +441,47 @@ std::string Registry::ToJson() const {
     }
     out += "]}";
   }
+  out += "\n  },\n  \"windowed_histograms\": {";
+  first = true;
+  for (const auto& [name, windowed] : sorted(windowed_histograms_)) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    WindowedHistogram::Snapshot snapshot = windowed->TakeSnapshot();
+    out += ": {\"window_seconds\": ";
+    AppendJsonDouble(&out, snapshot.window_seconds);
+    out += ", \"count\": " + std::to_string(snapshot.count);
+    out += ", \"sum\": ";
+    AppendJsonDouble(&out, snapshot.sum);
+    out += ", \"min\": ";
+    AppendJsonDouble(&out, snapshot.min);
+    out += ", \"max\": ";
+    AppendJsonDouble(&out, snapshot.max);
+    out += ", \"p50\": ";
+    AppendJsonDouble(&out, snapshot.p50);
+    out += ", \"p90\": ";
+    AppendJsonDouble(&out, snapshot.p90);
+    out += ", \"p99\": ";
+    AppendJsonDouble(&out, snapshot.p99);
+    out += ", \"p999\": ";
+    AppendJsonDouble(&out, snapshot.p999);
+    out += ", \"rate_per_second\": ";
+    AppendJsonDouble(&out, snapshot.rate_per_second);
+    out += "}";
+  }
+  out += "\n  },\n  \"windowed_counters\": {";
+  first = true;
+  for (const auto& [name, windowed] : sorted(windowed_counters_)) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": {\"window_seconds\": ";
+    AppendJsonDouble(&out, windowed->window_seconds());
+    out += ", \"count\": " + std::to_string(windowed->ValueInWindow());
+    out += ", \"rate_per_second\": ";
+    AppendJsonDouble(&out, windowed->RatePerSecond());
+    out += "}";
+  }
   out += "\n  },\n  \"series\": {";
   first = true;
   for (const auto& [name, series] : sorted(series_)) {
@@ -250,6 +506,8 @@ void Registry::ResetValuesForTest() {
   for (auto& [name, gauge] : gauges_) gauge->ResetForTest();
   for (auto& [name, histogram] : histograms_) histogram->ResetForTest();
   for (auto& [name, series] : series_) series->ResetForTest();
+  for (auto& [name, windowed] : windowed_histograms_) windowed->ResetForTest();
+  for (auto& [name, windowed] : windowed_counters_) windowed->ResetForTest();
 }
 
 }  // namespace edge::obs

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,15 +13,19 @@
 #include "edge/common/stopwatch.h"
 
 /// \file
-/// Process-global metrics registry. Four instrument kinds, all thread-safe
-/// and lock-free on the hot path (Series appends take a mutex — they are
-/// per-epoch, not per-element):
+/// Process-global metrics registry. Six instrument kinds, all thread-safe;
+/// the cumulative ones are lock-free on the hot path (Series appends and the
+/// windowed instruments take a mutex — they record request/epoch-rate events,
+/// not per-element inner loops):
 ///
 ///   Counter   — monotonically increasing int64 (tasks executed, tweets seen).
 ///   Gauge     — last-write-wins double (queue depth, vocab size).
 ///   Histogram — fixed upper-bound buckets + sum/min/max, with interpolated
 ///               percentile queries (epoch seconds, predict latency).
 ///   Series    — append-only double vector (per-epoch NLL curve).
+///   WindowedHistogram — ring of bucketed sub-windows over a sliding wall
+///               clock window; p50/p99/p999 and rates over the last N seconds.
+///   WindowedCounter   — event count/rate over the same sliding window.
 ///
 /// Names follow `edge.<module>.<name>` (see DESIGN.md "Observability").
 /// Instruments are created on first Get*() and live for the process lifetime,
@@ -95,6 +100,114 @@ class Histogram {
 /// roughly x2.5 steps (training epochs and full fits both land mid-range).
 const std::vector<double>& DefaultLatencyBucketsSeconds();
 
+/// Clock used by the windowed instruments: microseconds on an arbitrary
+/// monotonic origin. Tests inject a fake to step time deterministically.
+using WindowClock = std::function<uint64_t()>;
+
+/// The default WindowClock: steady_clock microseconds since process start.
+uint64_t SteadyNowMicros();
+
+/// Sliding-window histogram: a ring of `num_subwindows` fixed-bucket
+/// sub-windows, each covering window_seconds / num_subwindows of wall time.
+/// Observations land in the sub-window the clock currently points at; queries
+/// aggregate only the sub-windows still inside the window, so percentiles and
+/// rates describe the last N seconds instead of the process lifetime.
+///
+/// All operations take the instrument mutex — these record request-rate
+/// events (thousands/s), not per-element inner loops, and the critical
+/// section is a handful of integer ops. A clock that jumps backwards is
+/// clamped monotonic: history is never unwound and nothing crashes.
+class WindowedHistogram {
+ public:
+  struct Options {
+    double window_seconds = 60.0;
+    size_t num_subwindows = 6;
+    /// Bucket upper bounds; empty = DefaultLatencyBucketsSeconds().
+    std::vector<double> bounds;
+  };
+
+  /// `clock` overrides the time source (tests); default is SteadyNowMicros.
+  explicit WindowedHistogram(Options options, WindowClock clock = nullptr);
+
+  void Observe(double v);
+
+  /// Aggregates over the live sub-windows. Empty window => zeros.
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    double rate_per_second = 0.0;
+    double window_seconds = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// p in [0, 100] over the live window. Returns 0 when empty.
+  double Percentile(double p) const;
+  int64_t CountInWindow() const;
+  /// Observations per second over the configured window length.
+  double RatePerSecond() const;
+
+  double window_seconds() const { return options_.window_seconds; }
+  void ResetForTest();
+
+ private:
+  struct SubWindow {
+    uint64_t slot_index = 0;  // Absolute index on the sub-window timeline.
+    std::vector<int64_t> buckets;
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  uint64_t ClampedNowLocked() const;
+
+  Options options_;
+  WindowClock clock_;
+  uint64_t subwindow_micros_;
+  mutable std::mutex mu_;
+  mutable std::vector<SubWindow> ring_;
+  mutable uint64_t last_now_micros_ = 0;  // Monotonic clamp.
+};
+
+/// Sliding-window counter: event count and rate over the last N seconds,
+/// same ring-of-sub-windows scheme as WindowedHistogram.
+class WindowedCounter {
+ public:
+  struct Options {
+    double window_seconds = 60.0;
+    size_t num_subwindows = 6;
+  };
+
+  explicit WindowedCounter(Options options, WindowClock clock = nullptr);
+
+  void Increment(int64_t delta = 1);
+  int64_t ValueInWindow() const;
+  double RatePerSecond() const;
+  double window_seconds() const { return options_.window_seconds; }
+  void ResetForTest();
+
+ private:
+  struct SubWindow {
+    uint64_t slot_index = 0;
+    int64_t count = 0;
+  };
+
+  uint64_t ClampedNowLocked() const;
+
+  Options options_;
+  WindowClock clock_;
+  uint64_t subwindow_micros_;
+  mutable std::mutex mu_;
+  mutable std::vector<SubWindow> ring_;
+  mutable uint64_t last_now_micros_ = 0;
+};
+
 /// Append-only numeric series, e.g. the per-epoch training NLL. Appends are
 /// mutex-guarded (coarse events only).
 class Series {
@@ -123,9 +236,18 @@ class Registry {
   Histogram* GetHistogram(const std::string& name,
                           const std::vector<double>& bounds = {});
   Series* GetSeries(const std::string& name);
+  /// `options`/`clock` apply only on first creation (first caller wins; later
+  /// callers share the existing instrument regardless of what they pass).
+  WindowedHistogram* GetWindowedHistogram(const std::string& name,
+                                          WindowedHistogram::Options options = {},
+                                          WindowClock clock = nullptr);
+  WindowedCounter* GetWindowedCounter(const std::string& name,
+                                      WindowedCounter::Options options = {},
+                                      WindowClock clock = nullptr);
 
   /// One JSON document with every instrument's current value, grouped by
-  /// kind; histograms include count/sum/min/max, buckets and p50/p90/p99.
+  /// kind; histograms include count/sum/min/max, buckets and p50/p90/p99;
+  /// windowed instruments report their live-window snapshot (p999 included).
   std::string ToJson() const;
 
   /// Zeroes every instrument in place (pointers stay valid) — test isolation.
@@ -137,6 +259,10 @@ class Registry {
   std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::unordered_map<std::string, std::unique_ptr<Series>> series_;
+  std::unordered_map<std::string, std::unique_ptr<WindowedHistogram>>
+      windowed_histograms_;
+  std::unordered_map<std::string, std::unique_ptr<WindowedCounter>>
+      windowed_counters_;
 };
 
 /// Times a scope and records seconds into a histogram on destruction:
@@ -145,10 +271,17 @@ class Registry {
 class ScopedTimer {
  public:
   explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {}
-  ~ScopedTimer() { histogram_->Observe(watch_.ElapsedSeconds()); }
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Observe(watch_.ElapsedSeconds());
+  }
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Discards the measurement: nothing is recorded at destruction. For
+  /// error/early-return paths (a shed request, an all-expired batch) whose
+  /// truncated timings would otherwise pollute the latency histogram.
+  void Cancel() { histogram_ = nullptr; }
 
   /// Seconds since construction, without stopping the timer.
   double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }

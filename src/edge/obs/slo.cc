@@ -1,0 +1,101 @@
+#include "edge/obs/slo.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "edge/common/check.h"
+#include "edge/obs/json_util.h"
+
+namespace edge::obs {
+
+SloMonitor::SloMonitor(std::string gauge_prefix)
+    : gauge_prefix_(std::move(gauge_prefix)) {}
+
+void SloMonitor::AddLatencyObjective(std::string name,
+                                     const WindowedHistogram* histogram,
+                                     double percentile,
+                                     double threshold_seconds) {
+  EDGE_CHECK(histogram != nullptr);
+  EDGE_CHECK_GT(threshold_seconds, 0.0) << "latency objective must be positive";
+  Objective objective;
+  objective.name = std::move(name);
+  objective.histogram = histogram;
+  objective.percentile = std::clamp(percentile, 0.0, 100.0);
+  objective.objective = threshold_seconds;
+  objectives_.push_back(std::move(objective));
+}
+
+void SloMonitor::AddAvailabilityObjective(std::string name,
+                                          const WindowedCounter* bad,
+                                          const WindowedCounter* total,
+                                          double availability_target) {
+  EDGE_CHECK(bad != nullptr);
+  EDGE_CHECK(total != nullptr);
+  EDGE_CHECK_GT(availability_target, 0.0);
+  EDGE_CHECK_LT(availability_target, 1.0)
+      << "availability target must leave a non-empty error budget";
+  Objective objective;
+  objective.name = std::move(name);
+  objective.bad = bad;
+  objective.total = total;
+  objective.objective = 1.0 - availability_target;  // Error budget.
+  objectives_.push_back(std::move(objective));
+}
+
+std::vector<SloMonitor::Evaluation> SloMonitor::Evaluate() const {
+  std::vector<Evaluation> evaluations;
+  evaluations.reserve(objectives_.size());
+  for (const Objective& objective : objectives_) {
+    Evaluation evaluation;
+    evaluation.name = objective.name;
+    evaluation.objective = objective.objective;
+    if (objective.histogram != nullptr) {
+      WindowedHistogram::Snapshot snapshot = objective.histogram->TakeSnapshot();
+      if (snapshot.count > 0) {
+        evaluation.value = objective.histogram->Percentile(objective.percentile);
+        evaluation.burn_rate = evaluation.value / objective.objective;
+      }
+    } else {
+      int64_t total = objective.total->ValueInWindow();
+      int64_t bad = objective.bad->ValueInWindow();
+      if (total > 0) {
+        evaluation.value =
+            static_cast<double>(bad) / static_cast<double>(total);
+        evaluation.burn_rate = evaluation.value / objective.objective;
+      }
+    }
+    evaluation.ok = evaluation.burn_rate <= 1.0;
+    Registry& registry = Registry::Global();
+    registry.GetGauge(gauge_prefix_ + "." + objective.name + ".burn_rate")
+        ->Set(evaluation.burn_rate);
+    registry.GetGauge(gauge_prefix_ + "." + objective.name + ".ok")
+        ->Set(evaluation.ok ? 1.0 : 0.0);
+    evaluations.push_back(std::move(evaluation));
+  }
+  return evaluations;
+}
+
+std::string SloMonitor::ToJson(const std::vector<Evaluation>& evaluations) {
+  using internal::AppendJsonDouble;
+  using internal::AppendJsonString;
+  std::string out = "[";
+  for (size_t i = 0; i < evaluations.size(); ++i) {
+    const Evaluation& e = evaluations[i];
+    out += i == 0 ? "" : ", ";
+    out += "{\"name\": ";
+    AppendJsonString(&out, e.name);
+    out += ", \"value\": ";
+    AppendJsonDouble(&out, e.value);
+    out += ", \"objective\": ";
+    AppendJsonDouble(&out, e.objective);
+    out += ", \"burn_rate\": ";
+    AppendJsonDouble(&out, e.burn_rate);
+    out += ", \"ok\": ";
+    out += e.ok ? "true" : "false";
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace edge::obs

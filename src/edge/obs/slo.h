@@ -1,0 +1,74 @@
+#ifndef EDGE_OBS_SLO_H_
+#define EDGE_OBS_SLO_H_
+
+#include <string>
+#include <vector>
+
+#include "edge/obs/metrics.h"
+
+/// \file
+/// SLO monitor: evaluates configured latency/availability objectives against
+/// the sliding-window instruments and publishes burn-rate gauges. Burn rate
+/// is "how fast the error budget is being spent": 1.0 means exactly on
+/// objective, above 1.0 the budget is burning (page-worthy when sustained),
+/// below 1.0 there is headroom. An empty window evaluates to burn 0 / ok —
+/// no traffic spends no budget.
+
+namespace edge::obs {
+
+class SloMonitor {
+ public:
+  struct Evaluation {
+    std::string name;
+    /// Measured value: seconds for latency objectives, bad-event fraction
+    /// for availability objectives.
+    double value = 0.0;
+    /// The objective: threshold seconds, or the error budget fraction
+    /// (1 - availability target).
+    double objective = 0.0;
+    double burn_rate = 0.0;
+    bool ok = true;
+  };
+
+  /// `gauge_prefix` namespaces the published gauges:
+  /// <prefix>.<name>.burn_rate and <prefix>.<name>.ok (1.0 / 0.0).
+  explicit SloMonitor(std::string gauge_prefix = "edge.slo");
+
+  /// Latency objective: the `percentile` (0..100) of `histogram`'s live
+  /// window must stay at or below `threshold_seconds`.
+  /// Burn = measured / threshold. The histogram must outlive the monitor
+  /// (registry instruments do).
+  void AddLatencyObjective(std::string name, const WindowedHistogram* histogram,
+                           double percentile, double threshold_seconds);
+
+  /// Availability objective: bad/total over the live window must not exceed
+  /// the error budget (1 - availability_target).
+  /// Burn = bad_fraction / budget.
+  void AddAvailabilityObjective(std::string name, const WindowedCounter* bad,
+                                const WindowedCounter* total,
+                                double availability_target);
+
+  /// Evaluates every objective against the current windows and publishes the
+  /// burn-rate/ok gauges in the global registry.
+  std::vector<Evaluation> Evaluate() const;
+
+  /// Renders evaluations as a JSON array (stable field order).
+  static std::string ToJson(const std::vector<Evaluation>& evaluations);
+
+ private:
+  struct Objective {
+    std::string name;
+    const WindowedHistogram* histogram = nullptr;  // Latency objectives.
+    double percentile = 99.0;
+    const WindowedCounter* bad = nullptr;  // Availability objectives.
+    const WindowedCounter* total = nullptr;
+    double objective = 0.0;  // Threshold seconds or error budget fraction.
+  };
+
+  std::string gauge_prefix_;
+  std::vector<Objective> objectives_;
+};
+
+}  // namespace edge::obs
+
+#endif  // EDGE_OBS_SLO_H_

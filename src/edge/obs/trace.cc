@@ -62,6 +62,30 @@ bool TracingEnabled() {
   return g_enabled.load(std::memory_order_relaxed);
 }
 
+uint64_t TraceNowMicros() { return NowMicros(); }
+
+void RecordAsyncSpan(const char* name, uint64_t flow_id, uint64_t start_us,
+                     uint64_t end_us) {
+  if (!TracingEnabled()) return;
+  TraceEvent event{name,
+                   start_us,
+                   end_us >= start_us ? end_us - start_us : 0,
+                   DenseThreadId(),
+                   0,
+                   TraceEvent::Kind::kAsync,
+                   flow_id};
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  g_events.push_back(event);
+}
+
+void RecordInstant(const char* name) {
+  if (!TracingEnabled()) return;
+  TraceEvent event{name,          NowMicros(), 0, DenseThreadId(), 0,
+                   TraceEvent::Kind::kInstant, 0};
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  g_events.push_back(event);
+}
+
 void StartTracing() {
   ResolveEnvOnce();
   g_enabled.store(true, std::memory_order_release);
@@ -83,16 +107,44 @@ std::string TraceToJson() {
   using internal::AppendJsonString;
   std::vector<TraceEvent> events = TraceSnapshot();
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
-  for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    out += i == 0 ? "\n" : ",\n";
+  bool first = true;
+  auto begin_event = [&](const TraceEvent& e) {
+    out += first ? "\n" : ",\n";
+    first = false;
     out += "  {\"name\": ";
     AppendJsonString(&out, e.name);
-    out += ", \"cat\": \"edge\", \"ph\": \"X\", \"pid\": 1";
-    out += ", \"tid\": " + std::to_string(e.thread_id);
-    out += ", \"ts\": " + std::to_string(e.start_us);
-    out += ", \"dur\": " + std::to_string(e.duration_us);
-    out += ", \"args\": {\"depth\": " + std::to_string(e.depth) + "}}";
+  };
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kComplete:
+        begin_event(e);
+        out += ", \"cat\": \"edge\", \"ph\": \"X\", \"pid\": 1";
+        out += ", \"tid\": " + std::to_string(e.thread_id);
+        out += ", \"ts\": " + std::to_string(e.start_us);
+        out += ", \"dur\": " + std::to_string(e.duration_us);
+        out += ", \"args\": {\"depth\": " + std::to_string(e.depth) + "}}";
+        break;
+      case TraceEvent::Kind::kAsync:
+        // Async begin/end pairs sharing an id render as one parented track
+        // per request even when the stages ran on different threads.
+        begin_event(e);
+        out += ", \"cat\": \"edge.request\", \"ph\": \"b\", \"pid\": 1";
+        out += ", \"tid\": " + std::to_string(e.thread_id);
+        out += ", \"id\": " + std::to_string(e.flow_id);
+        out += ", \"ts\": " + std::to_string(e.start_us) + "}";
+        begin_event(e);
+        out += ", \"cat\": \"edge.request\", \"ph\": \"e\", \"pid\": 1";
+        out += ", \"tid\": " + std::to_string(e.thread_id);
+        out += ", \"id\": " + std::to_string(e.flow_id);
+        out += ", \"ts\": " + std::to_string(e.start_us + e.duration_us) + "}";
+        break;
+      case TraceEvent::Kind::kInstant:
+        begin_event(e);
+        out += ", \"cat\": \"edge\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1";
+        out += ", \"tid\": " + std::to_string(e.thread_id);
+        out += ", \"ts\": " + std::to_string(e.start_us) + "}";
+        break;
+    }
   }
   out += "\n]}\n";
   return out;

@@ -28,12 +28,32 @@ namespace edge::obs {
 /// One completed span. Timestamps are microseconds since an arbitrary
 /// process-wide steady origin (what the Chrome "ts" field expects).
 struct TraceEvent {
+  /// Rendering shape: kComplete => one "X" event; kAsync => a parented
+  /// "b"/"e" pair on the `flow_id` track (cross-thread request waterfalls);
+  /// kInstant => a zero-duration "i" marker (rollback, checkpoint, reload).
+  enum class Kind : uint8_t { kComplete, kAsync, kInstant };
+
   const char* name;  ///< Static-storage span label.
   uint64_t start_us;
   uint64_t duration_us;
   int thread_id;  ///< DenseThreadId() of the emitting thread.
   int depth;      ///< 0 = outermost span on its thread.
+  Kind kind = Kind::kComplete;
+  uint64_t flow_id = 0;  ///< Async track id (the request id); 0 otherwise.
 };
+
+/// Microseconds on the shared process-wide trace timeline. Request ids and
+/// stage waterfalls stamp with this so their spans parent correctly.
+uint64_t TraceNowMicros();
+
+/// Records one async span on track `flow_id` (rendered as a parented
+/// "b"/"e" Chrome pair, cat "edge.request"). No-op when tracing is off.
+/// Stage spans of one request share its id and nest in the viewer.
+void RecordAsyncSpan(const char* name, uint64_t flow_id, uint64_t start_us,
+                     uint64_t end_us);
+
+/// Records an instant event ("i" phase) at now. No-op when tracing is off.
+void RecordInstant(const char* name);
 
 /// True when spans are being recorded (cheap; callable from hot paths). The
 /// first call resolves EDGE_TRACE_OUT and, when set, enables tracing and

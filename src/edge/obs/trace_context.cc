@@ -1,0 +1,72 @@
+#include "edge/obs/trace_context.h"
+
+#include <algorithm>
+
+#include "edge/obs/trace.h"
+
+namespace edge::obs {
+
+namespace {
+
+/// Span labels must have static storage (the trace buffer keeps pointers).
+const char* kStageSpanNames[] = {
+    "edge.request.ner",   "edge.request.cache", "edge.request.queue",
+    "edge.request.batch", "edge.request.predict",
+};
+
+const char* kStageNames[] = {"ner", "cache", "queue", "batch", "predict"};
+
+}  // namespace
+
+const char* RequestStageName(RequestStage stage) {
+  int i = static_cast<int>(stage);
+  if (i < 0 || i >= static_cast<int>(RequestStage::kStageCount)) return "?";
+  return kStageNames[i];
+}
+
+void TraceContext::Begin(RequestStage stage) {
+  begin_us_[static_cast<int>(stage)] = TraceNowMicros();
+}
+
+void TraceContext::End(RequestStage stage) {
+  int i = static_cast<int>(stage);
+  end_us_[i] = TraceNowMicros();
+  recorded_ |= 1u << i;
+}
+
+void TraceContext::SetStage(RequestStage stage, uint64_t begin_us,
+                            uint64_t end_us) {
+  int i = static_cast<int>(stage);
+  begin_us_[i] = begin_us;
+  end_us_[i] = end_us;
+  recorded_ |= 1u << i;
+}
+
+bool TraceContext::HasStage(RequestStage stage) const {
+  return (recorded_ & (1u << static_cast<int>(stage))) != 0;
+}
+
+double TraceContext::StageMs(RequestStage stage) const {
+  if (!HasStage(stage)) return 0.0;
+  int i = static_cast<int>(stage);
+  if (end_us_[i] < begin_us_[i]) return 0.0;
+  return static_cast<double>(end_us_[i] - begin_us_[i]) * 1e-3;
+}
+
+void TraceContext::ExportSpans() const {
+  if (request_id_ == 0 || recorded_ == 0 || !TracingEnabled()) return;
+  uint64_t first = 0;
+  uint64_t last = 0;
+  bool any = false;
+  for (int i = 0; i < kStageCount; ++i) {
+    if ((recorded_ & (1u << i)) == 0) continue;
+    if (!any || begin_us_[i] < first) first = begin_us_[i];
+    if (!any || end_us_[i] > last) last = end_us_[i];
+    any = true;
+    RecordAsyncSpan(kStageSpanNames[i], request_id_, begin_us_[i], end_us_[i]);
+  }
+  // Umbrella span so the viewer groups the stages under one request row.
+  RecordAsyncSpan("edge.request", request_id_, first, last);
+}
+
+}  // namespace edge::obs

@@ -7,6 +7,7 @@
 
 #include "edge/common/file_util.h"
 #include "edge/fault/fault.h"
+#include "edge/obs/json_util.h"
 #include "edge/obs/log.h"
 #include "edge/obs/metrics.h"
 #include "edge/obs/trace.h"
@@ -38,6 +39,12 @@ struct ServeMetrics {
   obs::Counter* reload_failures;
   obs::Histogram* batch_size;
   obs::Histogram* latency_seconds;
+  /// Shed / expired-deadline turnarounds. Kept out of latency_seconds so
+  /// a shed storm's near-zero answers cannot mask a served-path regression.
+  obs::Histogram* degraded_latency_seconds;
+  obs::Histogram* submit_seconds;
+  obs::Histogram* batch_drain_seconds;
+  obs::Histogram* predict_seconds;
   obs::Gauge* queue_depth;
   obs::Gauge* model_generation;
 };
@@ -57,11 +64,76 @@ ServeMetrics& Metrics() {
     m.batch_size = registry.GetHistogram("edge.serve.batch_size",
                                          {1, 2, 4, 8, 16, 32, 64, 128, 256});
     m.latency_seconds = registry.GetHistogram("edge.serve.latency_seconds");
+    m.degraded_latency_seconds =
+        registry.GetHistogram("edge.serve.degraded_latency_seconds");
+    m.submit_seconds = registry.GetHistogram("edge.serve.submit_seconds");
+    m.batch_drain_seconds =
+        registry.GetHistogram("edge.serve.batch_drain_seconds");
+    m.predict_seconds = registry.GetHistogram("edge.serve.predict_seconds");
     m.queue_depth = registry.GetGauge("edge.serve.queue_depth");
     m.model_generation = registry.GetGauge("edge.serve.model_generation");
     return m;
   }();
   return metrics;
+}
+
+/// Sliding-window instruments behind Stats()/SLO evaluation. Process-global
+/// like every registry instrument; the first call fixes the window length
+/// (services created later with a different telemetry_window_seconds share
+/// these windows — documented on GeoServiceOptions).
+struct WindowMetrics {
+  obs::WindowedHistogram* latency;
+  obs::WindowedCounter* requests;
+  obs::WindowedCounter* cache_hits;
+  obs::WindowedCounter* cache_misses;
+  obs::WindowedCounter* shed;
+  obs::WindowedCounter* deadline_expired;
+  obs::WindowedCounter* fallback;
+  obs::WindowedCounter* degraded;
+};
+
+WindowMetrics& Window(double window_seconds) {
+  static WindowMetrics window = [window_seconds] {
+    obs::Registry& registry = obs::Registry::Global();
+    obs::WindowedHistogram::Options histogram_options;
+    histogram_options.window_seconds = window_seconds;
+    obs::WindowedCounter::Options counter_options;
+    counter_options.window_seconds = window_seconds;
+    WindowMetrics w;
+    w.latency = registry.GetWindowedHistogram("edge.serve.window.latency_seconds",
+                                              histogram_options);
+    w.requests =
+        registry.GetWindowedCounter("edge.serve.window.requests", counter_options);
+    w.cache_hits = registry.GetWindowedCounter("edge.serve.window.cache_hits",
+                                               counter_options);
+    w.cache_misses = registry.GetWindowedCounter("edge.serve.window.cache_misses",
+                                                 counter_options);
+    w.shed = registry.GetWindowedCounter("edge.serve.window.shed", counter_options);
+    w.deadline_expired = registry.GetWindowedCounter(
+        "edge.serve.window.deadline_expired", counter_options);
+    w.fallback = registry.GetWindowedCounter("edge.serve.window.fallback",
+                                             counter_options);
+    w.degraded = registry.GetWindowedCounter("edge.serve.window.degraded",
+                                             counter_options);
+    return w;
+  }();
+  return window;
+}
+
+/// Copies the stage waterfall onto the response. `batch_size` is 0 for
+/// requests that never rode a micro-batch (cache hits, submit-time sheds).
+void FillTelemetry(ServeResponse* response, const obs::TraceContext& trace,
+                   uint64_t generation, size_t batch_size) {
+  RequestTelemetry& t = response->telemetry;
+  t.request_id = trace.request_id();
+  t.model_generation = generation;
+  t.batch_size = batch_size;
+  t.ner_ms = trace.StageMs(obs::RequestStage::kNer);
+  t.cache_ms = trace.StageMs(obs::RequestStage::kCacheProbe);
+  t.queue_ms = trace.StageMs(obs::RequestStage::kQueue);
+  t.batch_ms = trace.StageMs(obs::RequestStage::kBatch);
+  t.predict_ms = trace.StageMs(obs::RequestStage::kPredict);
+  t.total_ms = response->latency_ms;
 }
 
 }  // namespace
@@ -95,6 +167,19 @@ Status GeoServiceOptions::Validate() const {
   if (predict_threads < 0 || predict_threads > kMaxPredictThreadsCap) {
     return Status::InvalidArgument(
         "predict_threads must be in [0, 1024] (0 = hardware)");
+  }
+  if (!std::isfinite(telemetry_window_seconds) ||
+      telemetry_window_seconds <= 0.0 || telemetry_window_seconds > 3600.0) {
+    return Status::InvalidArgument(
+        "telemetry_window_seconds must be in (0, 3600]");
+  }
+  if (!std::isfinite(slo_p99_ms) || slo_p99_ms <= 0.0 || slo_p99_ms > 1e6) {
+    return Status::InvalidArgument("slo_p99_ms must be in (0, 1e6]");
+  }
+  if (!std::isfinite(slo_availability) || slo_availability <= 0.0 ||
+      slo_availability >= 1.0) {
+    return Status::InvalidArgument(
+        "slo_availability must be in (0, 1) — 1.0 leaves no error budget");
   }
   return Status::Ok();
 }
@@ -137,6 +222,14 @@ GeoService::GeoService(std::unique_ptr<core::EdgeModel> model,
   state->generation = 1;
   state_ = std::move(state);
   Metrics().model_generation->Set(1.0);
+  if (options_.telemetry) {
+    WindowMetrics& window = Window(options_.telemetry_window_seconds);
+    slo_ = std::make_unique<obs::SloMonitor>("edge.serve.slo");
+    slo_->AddLatencyObjective("latency_p99", window.latency, 99.0,
+                              options_.slo_p99_ms * 1e-3);
+    slo_->AddAvailabilityObjective("availability", window.degraded,
+                                   window.requests, options_.slo_availability);
+  }
   workers_.reserve(options_.num_workers);
   for (size_t w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -198,10 +291,22 @@ std::future<ServeResponse> GeoService::SubmitAsync(std::string text,
   fault::Probe("serve.submit");  // Latency chaos on the admission path.
   ServeMetrics& metrics = Metrics();
   metrics.requests->Increment();
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  const bool telemetry = options_.telemetry;
+  WindowMetrics* window =
+      telemetry ? &Window(options_.telemetry_window_seconds) : nullptr;
   Clock::time_point submitted = Clock::now();
+  obs::ScopedTimer submit_timer(metrics.submit_seconds);
 
   Pending pending;
+  if (telemetry) {
+    pending.trace = obs::TraceContext(
+        next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1);
+    window->requests->Increment();
+    pending.trace.Begin(obs::RequestStage::kNer);
+  }
   pending.entities = ner_.Extract(text);
+  if (telemetry) pending.trace.End(obs::RequestStage::kNer);
   pending.submitted = submitted;
   pending.deadline = deadline_ms > 0.0 ? submitted + MsToDuration(deadline_ms)
                                        : Clock::time_point::max();
@@ -211,8 +316,11 @@ std::future<ServeResponse> GeoService::SubmitAsync(std::string text,
     std::lock_guard<std::mutex> lock(mu_);
     // Cache keys are node ids under the *current* model's graph; the cache
     // is cleared whenever that model swaps, so a hit is always current.
+    if (telemetry) pending.trace.Begin(obs::RequestStage::kCacheProbe);
     std::string cache_key = CacheKey(*state_->model, pending.entities);
-    if (const core::EdgePrediction* hit = cache_.Get(cache_key)) {
+    const core::EdgePrediction* hit = cache_.Get(cache_key);
+    if (telemetry) pending.trace.End(obs::RequestStage::kCacheProbe);
+    if (hit != nullptr) {
       metrics.cache_hits->Increment();
       ServeResponse response;
       response.prediction = *hit;
@@ -220,20 +328,40 @@ std::future<ServeResponse> GeoService::SubmitAsync(std::string text,
       response.from_cache = true;
       response.latency_ms = DurationMs(Clock::now() - submitted);
       metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
+      if (telemetry) {
+        window->cache_hits->Increment();
+        window->latency->Observe(response.latency_ms * 1e-3);
+        if (response.prediction.used_fallback) window->fallback->Increment();
+        FillTelemetry(&response, pending.trace, state_->generation,
+                      /*batch_size=*/0);
+        pending.trace.ExportSpans();
+      }
       pending.promise.set_value(std::move(response));
       return future;
     }
     metrics.cache_misses->Increment();
+    if (telemetry) window->cache_misses->Increment();
     if (queue_.size() >= options_.queue_capacity) {
       // Backpressure: answer the fallback prior now instead of growing an
       // unbounded queue (or erroring) under overload.
       metrics.shed->Increment();
+      // The request never entered the pipeline — keep its near-zero
+      // turnaround out of the admission-latency histogram.
+      submit_timer.Cancel();
       ServeResponse response =
           DegradedResponse(*state_, DegradeReason::kShed, submitted);
-      metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
+      metrics.degraded_latency_seconds->Observe(response.latency_ms * 1e-3);
+      if (telemetry) {
+        window->shed->Increment();
+        window->degraded->Increment();
+        FillTelemetry(&response, pending.trace, state_->generation,
+                      /*batch_size=*/0);
+        pending.trace.ExportSpans();
+      }
       pending.promise.set_value(std::move(response));
       return future;
     }
+    if (telemetry) pending.trace.Begin(obs::RequestStage::kQueue);
     queue_.push_back(std::move(pending));
     metrics.queue_depth->Set(static_cast<double>(queue_.size()));
   }
@@ -308,6 +436,106 @@ size_t GeoService::queue_depth() const {
   return queue_.size();
 }
 
+std::vector<obs::SloMonitor::Evaluation> GeoService::EvaluateSlo() const {
+  if (slo_ == nullptr) return {};
+  return slo_->Evaluate();
+}
+
+ServiceStats GeoService::Stats() const {
+  ServiceStats stats;
+  stats.telemetry_enabled = options_.telemetry;
+  stats.window_seconds = options_.telemetry_window_seconds;
+  if (!options_.telemetry) return stats;
+  WindowMetrics& window = Window(options_.telemetry_window_seconds);
+  obs::WindowedHistogram::Snapshot latency = window.latency->TakeSnapshot();
+  stats.window_seconds = latency.window_seconds;  // The process-wide winner.
+  stats.requests_in_window = window.requests->ValueInWindow();
+  stats.requests_per_second = window.requests->RatePerSecond();
+  stats.served_in_window = latency.count;
+  stats.latency_p50_ms = latency.p50 * 1e3;
+  stats.latency_p99_ms = latency.p99 * 1e3;
+  stats.latency_p999_ms = latency.p999 * 1e3;
+  stats.cache_hits = window.cache_hits->ValueInWindow();
+  stats.cache_misses = window.cache_misses->ValueInWindow();
+  stats.shed = window.shed->ValueInWindow();
+  stats.deadline_expired = window.deadline_expired->ValueInWindow();
+  stats.fallback = window.fallback->ValueInWindow();
+  stats.degraded = window.degraded->ValueInWindow();
+  stats.slo = EvaluateSlo();
+  return stats;
+}
+
+std::string GeoService::StatsJson() const {
+  using obs::internal::AppendJsonDouble;
+  ServiceStats stats = Stats();
+  std::string out = "{\"window_seconds\": ";
+  AppendJsonDouble(&out, stats.window_seconds);
+  out += ", \"telemetry\": ";
+  out += stats.telemetry_enabled ? "true" : "false";
+  out += ", \"requests\": {\"in_window\": " +
+         std::to_string(stats.requests_in_window);
+  out += ", \"per_second\": ";
+  AppendJsonDouble(&out, stats.requests_per_second);
+  out += "}, \"latency_ms\": {\"served\": " +
+         std::to_string(stats.served_in_window);
+  out += ", \"p50\": ";
+  AppendJsonDouble(&out, stats.latency_p50_ms);
+  out += ", \"p99\": ";
+  AppendJsonDouble(&out, stats.latency_p99_ms);
+  out += ", \"p999\": ";
+  AppendJsonDouble(&out, stats.latency_p999_ms);
+  out += "}, \"breakdown\": {\"cache_hits\": " + std::to_string(stats.cache_hits);
+  out += ", \"cache_misses\": " + std::to_string(stats.cache_misses);
+  out += ", \"shed\": " + std::to_string(stats.shed);
+  out += ", \"deadline_expired\": " + std::to_string(stats.deadline_expired);
+  out += ", \"fallback\": " + std::to_string(stats.fallback);
+  out += ", \"degraded\": " + std::to_string(stats.degraded);
+  out += "}, \"slo\": " + obs::SloMonitor::ToJson(stats.slo);
+  out += "}";
+  return out;
+}
+
+HealthSnapshot GeoService::Health() const {
+  HealthSnapshot health;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    health.model_generation = state_->generation;
+    health.queue_depth = queue_.size();
+  }
+  health.reloads = health.model_generation - 1;  // Generation starts at 1.
+  health.queue_capacity = options_.queue_capacity;
+  health.num_workers = options_.num_workers;
+  size_t busy = busy_workers_.load(std::memory_order_relaxed);
+  health.worker_busy_fraction = options_.num_workers == 0
+                                    ? 0.0
+                                    : static_cast<double>(busy) /
+                                          static_cast<double>(options_.num_workers);
+  health.fault_armed = fault::Armed();
+  health.telemetry_enabled = options_.telemetry;
+  health.requests_total = requests_total_.load(std::memory_order_relaxed);
+  return health;
+}
+
+std::string GeoService::HealthJson() const {
+  using obs::internal::AppendJsonDouble;
+  HealthSnapshot health = Health();
+  std::string out =
+      "{\"model_generation\": " + std::to_string(health.model_generation);
+  out += ", \"reloads\": " + std::to_string(health.reloads);
+  out += ", \"queue_depth\": " + std::to_string(health.queue_depth);
+  out += ", \"queue_capacity\": " + std::to_string(health.queue_capacity);
+  out += ", \"workers\": " + std::to_string(health.num_workers);
+  out += ", \"worker_busy_fraction\": ";
+  AppendJsonDouble(&out, health.worker_busy_fraction);
+  out += ", \"fault_armed\": ";
+  out += health.fault_armed ? "true" : "false";
+  out += ", \"telemetry\": ";
+  out += health.telemetry_enabled ? "true" : "false";
+  out += ", \"requests_total\": " + std::to_string(health.requests_total);
+  out += "}";
+  return out;
+}
+
 void GeoService::PauseWorkersForTest() {
   std::lock_guard<std::mutex> lock(mu_);
   paused_ = true;
@@ -350,6 +578,12 @@ bool GeoService::NextBatch(std::vector<Pending>* batch) {
     for (size_t i = 0; i < n; ++i) {
       batch->push_back(std::move(queue_.front()));
       queue_.pop_front();
+      if (options_.telemetry) {
+        // Queue wait ends at worker pickup; the batch stage starts here and
+        // runs until the response is set.
+        batch->back().trace.End(obs::RequestStage::kQueue);
+        batch->back().trace.Begin(obs::RequestStage::kBatch);
+      }
     }
     Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
     return true;
@@ -362,6 +596,12 @@ void GeoService::ProcessBatch(std::vector<Pending>* batch) {
   ServeMetrics& metrics = Metrics();
   metrics.batches->Increment();
   metrics.batch_size->Observe(static_cast<double>(batch->size()));
+  const bool telemetry = options_.telemetry;
+  WindowMetrics* window =
+      telemetry ? &Window(options_.telemetry_window_seconds) : nullptr;
+  const size_t batch_size = batch->size();
+  busy_workers_.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedTimer drain_timer(metrics.batch_drain_seconds);
 
   // Snapshot the model for the whole batch: a concurrent hot reload must not
   // tear a batch across two models. In-flight responses carry this snapshot.
@@ -384,7 +624,14 @@ void GeoService::ProcessBatch(std::vector<Pending>* batch) {
       metrics.deadline_expired->Increment();
       ServeResponse response =
           DegradedResponse(*state, DegradeReason::kDeadline, request.submitted);
-      metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
+      metrics.degraded_latency_seconds->Observe(response.latency_ms * 1e-3);
+      if (telemetry) {
+        window->deadline_expired->Increment();
+        window->degraded->Increment();
+        request.trace.End(obs::RequestStage::kBatch);
+        FillTelemetry(&response, request.trace, state->generation, batch_size);
+        request.trace.ExportSpans();
+      }
       request.promise.set_value(std::move(response));
       continue;
     }
@@ -393,10 +640,21 @@ void GeoService::ProcessBatch(std::vector<Pending>* batch) {
     tweets.push_back(std::move(tweet));
     live.push_back(i);
   }
-  if (live.empty()) return;
+  if (live.empty()) {
+    // No model work ran — an all-expired batch would otherwise pollute the
+    // drain-time histogram with near-zero samples.
+    drain_timer.Cancel();
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
 
+  uint64_t predict_begin_us = telemetry ? obs::TraceNowMicros() : 0;
   std::vector<core::EdgePrediction> predictions;
-  state->model->PredictBatch(tweets, &predictions);
+  {
+    obs::ScopedTimer predict_timer(metrics.predict_seconds);
+    state->model->PredictBatch(tweets, &predictions);
+  }
+  uint64_t predict_end_us = telemetry ? obs::TraceNowMicros() : 0;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -416,8 +674,19 @@ void GeoService::ProcessBatch(std::vector<Pending>* batch) {
     response.model = state->model;
     response.latency_ms = DurationMs(Clock::now() - request.submitted);
     metrics.latency_seconds->Observe(response.latency_ms * 1e-3);
+    if (telemetry) {
+      window->latency->Observe(response.latency_ms * 1e-3);
+      if (response.prediction.used_fallback) window->fallback->Increment();
+      // The predict span is batch-wide: every member shares its stamps.
+      request.trace.SetStage(obs::RequestStage::kPredict, predict_begin_us,
+                             predict_end_us);
+      request.trace.End(obs::RequestStage::kBatch);
+      FillTelemetry(&response, request.trace, state->generation, batch_size);
+      request.trace.ExportSpans();
+    }
     request.promise.set_value(std::move(response));
   }
+  busy_workers_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void GeoService::WorkerLoop() {

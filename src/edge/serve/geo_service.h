@@ -1,8 +1,10 @@
 #ifndef EDGE_SERVE_GEO_SERVICE_H_
 #define EDGE_SERVE_GEO_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <iosfwd>
@@ -14,6 +16,8 @@
 
 #include "edge/common/status.h"
 #include "edge/core/edge_model.h"
+#include "edge/obs/slo.h"
+#include "edge/obs/trace_context.h"
 #include "edge/serve/lru_cache.h"
 #include "edge/text/ner.h"
 
@@ -55,6 +59,20 @@ struct GeoServiceOptions {
   double default_deadline_ms = 0.0;
   /// EdgeModel thread budget while draining one batch (0 = hardware).
   int predict_threads = 1;
+  /// Per-request lifecycle telemetry: deterministic request ids, the stage
+  /// waterfall in responses, sliding-window stats and SLO evaluation. Off
+  /// reverts the submit/batch paths to plain cumulative counters.
+  bool telemetry = true;
+  /// Sliding window the stats/SLO instruments aggregate over, in seconds.
+  /// The windowed instruments are process-global: the first service created
+  /// in a process fixes the window length for all of them.
+  double telemetry_window_seconds = 60.0;
+  /// Latency SLO: windowed p99 of served (non-degraded) requests must stay
+  /// at or below this many milliseconds.
+  double slo_p99_ms = 100.0;
+  /// Availability SLO: the fraction of requests degraded (shed or expired
+  /// deadline) over the window must not exceed 1 - slo_availability.
+  double slo_availability = 0.999;
 
   /// Rejected (Status, at Create time) rather than clamped: a tool that
   /// parses "--workers=-1" into a size_t would otherwise ask for 2^64
@@ -71,6 +89,25 @@ enum class DegradeReason {
 
 /// "none" / "shed" / "deadline".
 const char* DegradeReasonName(DegradeReason reason);
+
+/// Per-request lifecycle telemetry carried on the response: the request id,
+/// the producing model generation, the micro-batch the request rode in, and
+/// the per-stage latency waterfall. request_id == 0 means telemetry was off.
+/// Stage semantics: a cache hit records ner/cache only; a shed request
+/// records ner/cache; a queued request adds queue/batch/predict.
+struct RequestTelemetry {
+  uint64_t request_id = 0;
+  uint64_t model_generation = 0;
+  /// Requests in the micro-batch this one was served in (0 = never batched:
+  /// cache hit or shed at submit).
+  size_t batch_size = 0;
+  double ner_ms = 0.0;
+  double cache_ms = 0.0;
+  double queue_ms = 0.0;
+  double batch_ms = 0.0;
+  double predict_ms = 0.0;
+  double total_ms = 0.0;
+};
 
 /// One served answer: the full mixture prediction plus serving metadata.
 struct ServeResponse {
@@ -89,6 +126,47 @@ struct ServeResponse {
   DegradeReason degrade_reason = DegradeReason::kNone;
   /// Submit-to-completion wall time.
   double latency_ms = 0.0;
+  /// Lifecycle waterfall; telemetry.request_id == 0 when telemetry is off.
+  RequestTelemetry telemetry;
+};
+
+/// Point-in-time liveness/readiness view of one service instance — the
+/// per-replica health contract the sharded serving tier will scrape.
+struct HealthSnapshot {
+  uint64_t model_generation = 0;
+  uint64_t reloads = 0;  ///< Successful hot reloads since creation.
+  size_t queue_depth = 0;
+  size_t queue_capacity = 0;
+  size_t num_workers = 0;
+  /// Workers currently draining a batch / num_workers (instantaneous).
+  double worker_busy_fraction = 0.0;
+  /// True when any fault-injection point is armed — a replica that lies
+  /// about this would poison fleet-level debugging.
+  bool fault_armed = false;
+  bool telemetry_enabled = true;
+  uint64_t requests_total = 0;  ///< Lifetime submits to this instance.
+};
+
+/// Sliding-window serving statistics plus the SLO evaluations (see
+/// GeoService::Stats). All latency figures are milliseconds.
+struct ServiceStats {
+  double window_seconds = 0.0;
+  bool telemetry_enabled = true;
+  int64_t requests_in_window = 0;
+  double requests_per_second = 0.0;
+  /// Served (non-degraded) responses contributing to the latency window.
+  int64_t served_in_window = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_p999_ms = 0.0;
+  /// DegradeReason/cache breakdown over the window.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t shed = 0;
+  int64_t deadline_expired = 0;
+  int64_t fallback = 0;  ///< Model answered its prior (no known entity).
+  int64_t degraded = 0;  ///< shed + deadline_expired.
+  std::vector<obs::SloMonitor::Evaluation> slo;
 };
 
 /// The batched inference service. Thread-safe: any number of threads may
@@ -145,6 +223,22 @@ class GeoService {
   /// Requests currently queued (diagnostics; racy by nature).
   size_t queue_depth() const;
 
+  /// Sliding-window stats + SLO evaluations (the {"stats":true} verb).
+  /// Note the windowed instruments are process-global: with several services
+  /// in one process the window aggregates all of them.
+  ServiceStats Stats() const;
+  /// Stats() rendered as one JSON object (stable key order).
+  std::string StatsJson() const;
+
+  /// Point-in-time health of this instance (the {"health":true} verb).
+  HealthSnapshot Health() const;
+  /// Health() rendered as one JSON object (stable key order).
+  std::string HealthJson() const;
+
+  /// Evaluates the configured SLOs against the current window and publishes
+  /// edge.serve.slo.*.burn_rate/.ok gauges. Empty when telemetry is off.
+  std::vector<obs::SloMonitor::Evaluation> EvaluateSlo() const;
+
   /// Test hooks: freeze/unfreeze the workers so queue states (full, expired
   /// deadlines) can be constructed deterministically.
   void PauseWorkersForTest();
@@ -157,6 +251,8 @@ class GeoService {
     std::chrono::steady_clock::time_point submitted;
     /// time_point::max() = no deadline.
     std::chrono::steady_clock::time_point deadline;
+    /// Rides along through the queue; default (id 0) when telemetry is off.
+    obs::TraceContext trace;
   };
 
   /// Everything that swaps as a unit on hot reload. Workers snapshot the
@@ -189,6 +285,16 @@ class GeoService {
 
   GeoServiceOptions options_;
   text::TweetNer ner_;
+
+  /// Deterministic request ids: 1, 2, 3... in submission order per instance
+  /// (serialized submitters therefore see identical ids at any worker
+  /// budget; concurrent submitters get unique ids in arrival order).
+  std::atomic<uint64_t> next_request_id_{0};
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<size_t> busy_workers_{0};
+  /// Configured objectives over the process-global windowed instruments;
+  /// null when telemetry is off.
+  std::unique_ptr<obs::SloMonitor> slo_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -104,6 +104,21 @@ struct JsonCursor {
     return true;
   }
 
+  bool ParseBool(bool* out) {
+    SkipSpace();
+    if (line.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      *out = true;
+      return true;
+    }
+    if (line.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      *out = false;
+      return true;
+    }
+    return Fail("expected true or false");
+  }
+
   /// Skips a scalar value we don't care about (string/number/true/false/null).
   bool SkipScalar() {
     SkipSpace();
@@ -141,10 +156,22 @@ bool ParseRequestLine(const std::string& line, ServeRequest* request,
 
   JsonCursor cursor{line, first, error};
   if (!cursor.Expect('{')) return false;
+  // A JSON object must end up carrying text or a control verb: "{}" and
+  // objects of only unknown keys (e.g. a typo'd verb) used to parse as an
+  // empty-text prediction, silently answering the fallback prior.
+  auto check_payload = [&]() {
+    if (request->has_text || !request->reload_path.empty() || request->stats ||
+        request->health) {
+      return true;
+    }
+    return cursor.Fail(
+        "request object needs \"text\" or a control verb "
+        "(reload/stats/health)");
+  };
   cursor.SkipSpace();
   if (cursor.pos < line.size() && line[cursor.pos] == '}') {
     ++cursor.pos;
-    return true;
+    return check_payload();
   }
   for (;;) {
     std::string key;
@@ -152,6 +179,7 @@ bool ParseRequestLine(const std::string& line, ServeRequest* request,
     if (!cursor.Expect(':')) return false;
     if (key == "text") {
       if (!cursor.ParseString(&request->text)) return false;
+      request->has_text = true;
     } else if (key == "id") {
       if (!cursor.ParseString(&request->id)) return false;
     } else if (key == "deadline_ms") {
@@ -164,6 +192,12 @@ bool ParseRequestLine(const std::string& line, ServeRequest* request,
       if (request->reload_path.empty()) {
         return cursor.Fail("reload path must be non-empty");
       }
+    } else if (key == "stats") {
+      if (!cursor.ParseBool(&request->stats)) return false;
+      if (!request->stats) return cursor.Fail("stats must be true");
+    } else if (key == "health") {
+      if (!cursor.ParseBool(&request->health)) return false;
+      if (!request->health) return cursor.Fail("health must be true");
     } else {
       if (!cursor.SkipScalar()) return false;
     }
@@ -175,7 +209,7 @@ bool ParseRequestLine(const std::string& line, ServeRequest* request,
     }
     if (line[cursor.pos] == '}') {
       ++cursor.pos;
-      return true;
+      return check_payload();
     }
     return cursor.Fail("expected ',' or '}'");
   }
@@ -249,6 +283,27 @@ std::string ResponseToJsonLine(const ServeResponse& response,
   if (include_latency) {
     out += ",\"latency_ms\":";
     AppendJsonDouble(&out, response.latency_ms);
+    // The waterfall rides with latency_ms: both are wall-clock measurements
+    // excluded from the canonical (digested) form of a response.
+    if (response.telemetry.request_id != 0) {
+      const RequestTelemetry& t = response.telemetry;
+      out += ",\"telemetry\":{\"request_id\":" + std::to_string(t.request_id);
+      out += ",\"generation\":" + std::to_string(t.model_generation);
+      out += ",\"batch_size\":" + std::to_string(t.batch_size);
+      out += ",\"stages\":{\"ner_ms\":";
+      AppendJsonDouble(&out, t.ner_ms);
+      out += ",\"cache_ms\":";
+      AppendJsonDouble(&out, t.cache_ms);
+      out += ",\"queue_ms\":";
+      AppendJsonDouble(&out, t.queue_ms);
+      out += ",\"batch_ms\":";
+      AppendJsonDouble(&out, t.batch_ms);
+      out += ",\"predict_ms\":";
+      AppendJsonDouble(&out, t.predict_ms);
+      out += ",\"total_ms\":";
+      AppendJsonDouble(&out, t.total_ms);
+      out += "}}";
+    }
   }
   out.push_back('}');
   return out;

@@ -31,18 +31,30 @@ struct ServeRequest {
   /// Control line {"reload": "path.edge"}: hot-swap the served model from
   /// this checkpoint instead of predicting. Non-empty means control line.
   std::string reload_path;
+  /// Control line {"stats": true}: answer the sliding-window stats + SLO
+  /// evaluations instead of predicting.
+  bool stats = false;
+  /// Control line {"health": true}: answer the health snapshot.
+  bool health = false;
+  /// True when the line carried a "text" key (an empty text is a valid
+  /// request; a JSON object with neither text nor a control verb is not).
+  bool has_text = false;
 };
 
 /// Parses a raw-text or flat-JSON request line (see file comment). Returns
-/// false and sets *error on malformed JSON; raw text lines always succeed.
+/// false and sets *error on malformed JSON — including a JSON object that
+/// carries neither "text" nor a control verb (reload/stats/health), which
+/// earlier versions silently served as an empty-text prediction. Raw text
+/// lines always succeed.
 bool ParseRequestLine(const std::string& line, ServeRequest* request,
                       std::string* error);
 
 /// Renders one response as a single JSON line (no trailing newline). `model`
 /// supplies the plane->lat/lon projection for component centers and ellipses.
-/// With include_latency=false the wall-clock latency_ms field is omitted —
-/// the canonical form the scenario harness digests, since latency is the one
-/// field of a served response that is not a deterministic function of
+/// With include_latency=false the wall-clock latency_ms field AND the
+/// "telemetry" waterfall object are omitted — the canonical form the
+/// scenario harness digests, since wall-clock timings are the fields of a
+/// served response that are not a deterministic function of
 /// (snapshot, request stream).
 std::string ResponseToJsonLine(const ServeResponse& response,
                                const core::EdgeModel& model,

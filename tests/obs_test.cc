@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -17,9 +18,12 @@
 #include "edge/common/check.h"
 #include "edge/common/stopwatch.h"
 #include "edge/common/thread_pool.h"
+#include "edge/obs/exporter.h"
 #include "edge/obs/log.h"
 #include "edge/obs/metrics.h"
+#include "edge/obs/slo.h"
 #include "edge/obs/trace.h"
+#include "edge/obs/trace_context.h"
 
 namespace edge {
 namespace {
@@ -473,6 +477,325 @@ TEST(ObsTraceTest, ExportedChromeTraceJsonIsValid) {
   EXPECT_EQ(ReadFile(path), json);
   std::remove(path.c_str());
   obs::ClearTrace();
+}
+
+// --- Sliding-window instruments. ---
+
+/// Manually-stepped clock for the windowed instruments.
+struct FakeClock {
+  uint64_t now_micros = 0;
+  obs::WindowClock Fn() {
+    return [this] { return now_micros; };
+  }
+};
+
+TEST(ObsWindowedTest, EmptyWindowSnapshotIsZeros) {
+  FakeClock clock;
+  obs::WindowedHistogram histogram({/*window_seconds=*/6.0,
+                                    /*num_subwindows=*/6,
+                                    /*bounds=*/{0.01, 0.1, 1.0}},
+                                   clock.Fn());
+  obs::WindowedHistogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p999, 0.0);
+  EXPECT_EQ(snap.rate_per_second, 0.0);
+  EXPECT_EQ(histogram.Percentile(99.0), 0.0);
+}
+
+TEST(ObsWindowedTest, ObservationsAggregateWithinTheWindow) {
+  FakeClock clock;
+  obs::WindowedHistogram histogram({/*window_seconds=*/6.0,
+                                    /*num_subwindows=*/6,
+                                    /*bounds=*/{0.01, 0.1, 1.0}},
+                                   clock.Fn());
+  for (int i = 0; i < 90; ++i) histogram.Observe(0.005);  // First bucket.
+  for (int i = 0; i < 10; ++i) histogram.Observe(0.5);    // Third bucket.
+  obs::WindowedHistogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_DOUBLE_EQ(snap.min, 0.005);
+  EXPECT_DOUBLE_EQ(snap.max, 0.5);
+  EXPECT_LE(snap.p50, 0.01);
+  EXPECT_GT(snap.p99, 0.1);   // The 0.5s tail lands above the 0.1 bound.
+  EXPECT_GE(snap.p999, snap.p99);
+  EXPECT_NEAR(snap.rate_per_second, 100.0 / 6.0, 1e-9);
+}
+
+TEST(ObsWindowedTest, SingleSubWindowRollsOverCompletely) {
+  FakeClock clock;
+  obs::WindowedHistogram histogram({/*window_seconds=*/1.0,
+                                    /*num_subwindows=*/1,
+                                    /*bounds=*/{0.01, 1.0}},
+                                   clock.Fn());
+  histogram.Observe(0.5);
+  EXPECT_EQ(histogram.CountInWindow(), 1);
+  clock.now_micros += 1'000'000;  // One full window: the lone slot recycles.
+  EXPECT_EQ(histogram.CountInWindow(), 0);
+  histogram.Observe(0.25);
+  EXPECT_EQ(histogram.CountInWindow(), 1);
+}
+
+TEST(ObsWindowedTest, OldSubWindowsExpireAsTheWindowSlides) {
+  FakeClock clock;
+  obs::WindowedHistogram histogram({/*window_seconds=*/6.0,
+                                    /*num_subwindows=*/6,
+                                    /*bounds=*/{0.01, 1.0}},
+                                   clock.Fn());
+  histogram.Observe(0.1);  // Sub-window 0.
+  clock.now_micros = 3'000'000;
+  histogram.Observe(0.1);  // Sub-window 3.
+  EXPECT_EQ(histogram.CountInWindow(), 2);
+  clock.now_micros = 6'500'000;  // Window is now [0.5, 6.5): slot 0 expired.
+  EXPECT_EQ(histogram.CountInWindow(), 1);
+  clock.now_micros = 9'500'000;  // Slot 3 expired too.
+  EXPECT_EQ(histogram.CountInWindow(), 0);
+}
+
+TEST(ObsWindowedTest, BackwardsClockIsClampedMonotonic) {
+  FakeClock clock;
+  clock.now_micros = 5'000'000;
+  obs::WindowedHistogram histogram({/*window_seconds=*/6.0,
+                                    /*num_subwindows=*/6,
+                                    /*bounds=*/{0.01, 1.0}},
+                                   clock.Fn());
+  histogram.Observe(0.1);
+  clock.now_micros = 1'000'000;  // Clock jumps backwards.
+  histogram.Observe(0.2);        // Must not crash or unwind history.
+  EXPECT_EQ(histogram.CountInWindow(), 2);
+  obs::WindowedHistogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_DOUBLE_EQ(snap.max, 0.2);
+}
+
+TEST(ObsWindowedTest, ConcurrentWritersLoseNothing) {
+  // Real clock: the point is the locking discipline (run under TSAN in CI),
+  // and a 60 s window comfortably contains the whole test.
+  obs::WindowedHistogram histogram({/*window_seconds=*/60.0,
+                                    /*num_subwindows=*/6,
+                                    /*bounds=*/{0.01, 1.0}});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Observe(0.005);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(histogram.CountInWindow(), kThreads * kPerThread);
+}
+
+TEST(ObsWindowedTest, WindowedCounterRateAndExpiry) {
+  FakeClock clock;
+  obs::WindowedCounter counter({/*window_seconds=*/10.0, /*num_subwindows=*/5},
+                               clock.Fn());
+  EXPECT_EQ(counter.ValueInWindow(), 0);
+  counter.Increment(3);
+  clock.now_micros = 4'000'000;
+  counter.Increment();
+  EXPECT_EQ(counter.ValueInWindow(), 4);
+  EXPECT_NEAR(counter.RatePerSecond(), 0.4, 1e-9);
+  clock.now_micros = 11'000'000;  // First sub-window (the 3) expired.
+  EXPECT_EQ(counter.ValueInWindow(), 1);
+}
+
+TEST(ObsMetricsTest, ScopedTimerCancelSkipsObserve) {
+  obs::Histogram histogram({0.001, 1.0});
+  {
+    obs::ScopedTimer timer(&histogram);
+    timer.Cancel();  // Error path decided not to record this attempt.
+  }
+  EXPECT_EQ(histogram.count(), 0);
+}
+
+TEST(ObsMetricsTest, RegistryWindowedInstrumentsAndJsonSections) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::WindowedHistogram* histogram =
+      registry.GetWindowedHistogram("edge.test.windowed_histogram");
+  obs::WindowedCounter* counter =
+      registry.GetWindowedCounter("edge.test.windowed_counter");
+  // Same name, same instrument (first caller wins).
+  EXPECT_EQ(histogram,
+            registry.GetWindowedHistogram("edge.test.windowed_histogram"));
+  histogram->Observe(0.02);
+  counter->Increment(5);
+  std::string json = registry.ToJson();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_NE(json.find("\"windowed_histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"windowed_counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"edge.test.windowed_histogram\""), std::string::npos);
+  histogram->ResetForTest();
+  counter->ResetForTest();
+}
+
+// --- Trace async/instant events and the request TraceContext. ---
+
+TEST(ObsTraceTest, AsyncAndInstantEventsRenderValidChromeJson) {
+  obs::StartTracing();
+  obs::ClearTrace();
+  obs::RecordAsyncSpan("edge.test.async", /*flow_id=*/42, /*start_us=*/100,
+                       /*end_us=*/350);
+  obs::RecordInstant("edge.test.instant");
+  obs::StopTracing();
+
+  std::string json = obs::TraceToJson();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"edge.request\""), std::string::npos);
+  obs::ClearTrace();
+}
+
+TEST(ObsTraceContextTest, StageMathUsesRecordedStagesOnly) {
+  obs::TraceContext context(/*request_id=*/7);
+  EXPECT_EQ(context.request_id(), 7u);
+  context.SetStage(obs::RequestStage::kNer, 1000, 3500);
+  EXPECT_TRUE(context.HasStage(obs::RequestStage::kNer));
+  EXPECT_FALSE(context.HasStage(obs::RequestStage::kQueue));
+  EXPECT_DOUBLE_EQ(context.StageMs(obs::RequestStage::kNer), 2.5);
+  EXPECT_DOUBLE_EQ(context.StageMs(obs::RequestStage::kQueue), 0.0);
+  // A stage recorded at the trace origin (timestamp 0) still counts.
+  obs::TraceContext at_origin(/*request_id=*/8);
+  at_origin.SetStage(obs::RequestStage::kCacheProbe, 0, 0);
+  EXPECT_TRUE(at_origin.HasStage(obs::RequestStage::kCacheProbe));
+}
+
+TEST(ObsTraceContextTest, ExportSpansEmitsStageAndUmbrellaSpans) {
+  obs::StartTracing();
+  obs::ClearTrace();
+  obs::TraceContext context(/*request_id=*/11);
+  context.SetStage(obs::RequestStage::kNer, 100, 200);
+  context.SetStage(obs::RequestStage::kBatch, 300, 900);
+  context.ExportSpans();
+  obs::StopTracing();
+  std::string json = obs::TraceToJson();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_NE(json.find("edge.request.ner"), std::string::npos);
+  EXPECT_NE(json.find("edge.request.batch"), std::string::npos);
+  EXPECT_NE(json.find("\"edge.request\""), std::string::npos);  // Umbrella.
+  EXPECT_EQ(json.find("edge.request.queue"), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 11"), std::string::npos);
+  obs::ClearTrace();
+}
+
+TEST(ObsTraceContextTest, DefaultContextExportsNothing) {
+  obs::StartTracing();
+  obs::ClearTrace();
+  obs::TraceContext context;  // request_id 0 = telemetry off.
+  context.SetStage(obs::RequestStage::kNer, 100, 200);
+  context.ExportSpans();
+  obs::StopTracing();
+  EXPECT_EQ(obs::TraceToJson().find("edge.request"), std::string::npos);
+  obs::ClearTrace();
+}
+
+// --- SLO monitor. ---
+
+TEST(ObsSloTest, EmptyWindowEvaluatesToZeroBurn) {
+  FakeClock clock;
+  obs::WindowedHistogram latency({/*window_seconds=*/6.0, /*num_subwindows=*/6,
+                                  /*bounds=*/{0.01, 0.1, 1.0}},
+                                 clock.Fn());
+  obs::SloMonitor monitor("edge.test.slo");
+  monitor.AddLatencyObjective("latency_p99", &latency, 99.0, 0.1);
+  std::vector<obs::SloMonitor::Evaluation> evaluations = monitor.Evaluate();
+  ASSERT_EQ(evaluations.size(), 1u);
+  EXPECT_EQ(evaluations[0].burn_rate, 0.0);
+  EXPECT_TRUE(evaluations[0].ok);
+}
+
+TEST(ObsSloTest, LatencyObjectiveBurnsWhenTailExceedsThreshold) {
+  FakeClock clock;
+  obs::WindowedHistogram latency({/*window_seconds=*/6.0, /*num_subwindows=*/6,
+                                  /*bounds=*/{0.01, 0.1, 1.0}},
+                                 clock.Fn());
+  for (int i = 0; i < 100; ++i) latency.Observe(0.5);  // p99 ~ 0.5s.
+  obs::SloMonitor monitor("edge.test.slo");
+  monitor.AddLatencyObjective("latency_p99", &latency, 99.0, 0.1);
+  std::vector<obs::SloMonitor::Evaluation> evaluations = monitor.Evaluate();
+  ASSERT_EQ(evaluations.size(), 1u);
+  EXPECT_GT(evaluations[0].burn_rate, 1.0);
+  EXPECT_FALSE(evaluations[0].ok);
+  // The burn-rate gauges are published under the prefix.
+  obs::Registry& registry = obs::Registry::Global();
+  EXPECT_GT(registry.GetGauge("edge.test.slo.latency_p99.burn_rate")->value(),
+            1.0);
+  EXPECT_EQ(registry.GetGauge("edge.test.slo.latency_p99.ok")->value(), 0.0);
+}
+
+TEST(ObsSloTest, AvailabilityObjectiveTracksBadFraction) {
+  FakeClock clock;
+  obs::WindowedCounter bad({/*window_seconds=*/60.0, /*num_subwindows=*/6},
+                           clock.Fn());
+  obs::WindowedCounter total({/*window_seconds=*/60.0, /*num_subwindows=*/6},
+                             clock.Fn());
+  total.Increment(1000);
+  bad.Increment(1);  // 0.1% bad, exactly on a 99.9% objective.
+  obs::SloMonitor monitor("edge.test.slo");
+  monitor.AddAvailabilityObjective("availability", &bad, &total, 0.999);
+  std::vector<obs::SloMonitor::Evaluation> evaluations = monitor.Evaluate();
+  ASSERT_EQ(evaluations.size(), 1u);
+  EXPECT_NEAR(evaluations[0].burn_rate, 1.0, 1e-9);
+  bad.Increment(49);  // 5% bad: 50x the 0.1% budget.
+  evaluations = monitor.Evaluate();
+  EXPECT_NEAR(evaluations[0].burn_rate, 50.0, 1e-9);
+  EXPECT_FALSE(evaluations[0].ok);
+
+  std::string json = obs::SloMonitor::ToJson(evaluations);
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_NE(json.find("\"availability\""), std::string::npos);
+  EXPECT_NE(json.find("\"burn_rate\""), std::string::npos);
+}
+
+// --- Metrics exporter. ---
+
+TEST(ObsExporterTest, WritesValidJsonImmediatelyAndOnDemand) {
+  std::string path = ::testing::TempDir() + "obs_export_test.json";
+  std::remove(path.c_str());
+  {
+    obs::MetricsExporter::Options options;
+    options.path = path;
+    options.period_seconds = 3600.0;  // Only the immediate + final exports.
+    obs::MetricsExporter exporter(std::move(options));
+    std::string first = ReadFile(path);
+    EXPECT_FALSE(first.empty());  // The first export happens in the ctor.
+    JsonValidator validator(first);
+    EXPECT_TRUE(validator.Valid()) << first;
+    obs::Registry::Global().GetCounter("edge.test.export_marker")->Increment();
+    EXPECT_TRUE(exporter.ExportNow());
+    EXPECT_NE(ReadFile(path).find("edge.test.export_marker"), std::string::npos);
+  }
+  // No stray staging file left behind.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(ObsExporterTest, CustomPayloadAndEnvPeriod) {
+  std::string path = ::testing::TempDir() + "obs_export_custom.json";
+  {
+    obs::MetricsExporter::Options options;
+    options.path = path;
+    options.period_seconds = 3600.0;
+    options.payload = [] { return std::string("{\"custom\": true}\n"); };
+    obs::MetricsExporter exporter(std::move(options));
+    EXPECT_EQ(ReadFile(path), "{\"custom\": true}\n");
+  }
+  std::remove(path.c_str());
+
+  EXPECT_EQ(obs::MetricsExporter::PeriodFromEnv(10.0), 10.0);  // Unset.
+  setenv("EDGE_METRICS_EXPORT_EVERY", "2.5", 1);
+  EXPECT_EQ(obs::MetricsExporter::PeriodFromEnv(10.0), 2.5);
+  setenv("EDGE_METRICS_EXPORT_EVERY", "zero", 1);
+  EXPECT_EQ(obs::MetricsExporter::PeriodFromEnv(10.0), 10.0);  // Strict parse.
+  setenv("EDGE_METRICS_EXPORT_EVERY", "-1", 1);
+  EXPECT_EQ(obs::MetricsExporter::PeriodFromEnv(10.0), 10.0);  // Must be > 0.
+  unsetenv("EDGE_METRICS_EXPORT_EVERY");
 }
 
 TEST(ObsStopwatchTest, LapSecondsResetsLapNotTotal) {

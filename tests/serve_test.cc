@@ -18,6 +18,7 @@
 #include "edge/data/pipeline.h"
 #include "edge/data/worlds.h"
 #include "edge/fault/fault.h"
+#include "edge/obs/metrics.h"
 #include "edge/serve/json_codec.h"
 #include "edge/serve/lru_cache.h"
 
@@ -507,6 +508,217 @@ TEST_F(GeoServiceTest, ResponsesCarryTheProducingModel) {
   EXPECT_NE(line.find("\"point\""), std::string::npos);
 }
 
+// --- Request telemetry, windowed stats, SLO and health (obs tentpole). ---
+
+// Request ids are assigned at submit time from a per-service counter, so a
+// serialized submitter sees exactly 1..N regardless of how many workers race
+// on the other side of the queue.
+TEST_F(GeoServiceTest, RequestIdsAreUniqueAndStableAcrossWorkerBudgets) {
+  for (size_t workers : {1, 4}) {
+    GeoServiceOptions options;
+    options.max_batch = 4;
+    options.max_delay_ms = 0.5;
+    options.num_workers = workers;
+    options.cache_capacity = 0;
+    std::unique_ptr<GeoService> service = MakeService(options);
+
+    constexpr size_t kRequests = 20;
+    std::vector<std::future<ServeResponse>> futures;
+    for (size_t i = 0; i < kRequests; ++i) {
+      futures.push_back(service->SubmitAsync((*texts_)[i % texts_->size()]));
+    }
+    for (size_t i = 0; i < kRequests; ++i) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " request=" + std::to_string(i));
+      ServeResponse response = futures[i].get();
+      // Ids follow submission order, starting at 1: unique by construction.
+      EXPECT_EQ(response.telemetry.request_id, i + 1);
+      EXPECT_EQ(response.telemetry.model_generation, 1u);
+    }
+  }
+}
+
+TEST_F(GeoServiceTest, TelemetryWaterfallCoversTheLifecycle) {
+  GeoServiceOptions options;
+  options.max_delay_ms = 0.5;
+  options.cache_capacity = 64;
+  std::unique_ptr<GeoService> service = MakeService(options);
+
+  // Pick a text with entities so the second request can hit the cache.
+  text::TweetNer ner(*gazetteer_);
+  std::string text;
+  for (const std::string& candidate : *texts_) {
+    if (!ner.Extract(candidate).empty()) {
+      text = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(text.empty());
+
+  ServeResponse batched = service->Predict(text);
+  EXPECT_FALSE(batched.from_cache);
+  EXPECT_EQ(batched.telemetry.request_id, 1u);
+  EXPECT_GE(batched.telemetry.batch_size, 1u);  // Served by a micro-batch.
+  EXPECT_GE(batched.telemetry.queue_ms, 0.0);
+  EXPECT_GE(batched.telemetry.batch_ms, 0.0);
+  EXPECT_GE(batched.telemetry.total_ms, 0.0);
+  // The waterfall rides the response JSON (include_latency=true)...
+  std::string line = ResponseToJsonLine(batched, *service->model(), "r");
+  EXPECT_NE(line.find("\"telemetry\":{\"request_id\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"stages\":{\"ner_ms\":"), std::string::npos);
+  // ...but not the canonical (digested) form.
+  std::string canonical = ResponseToJsonLine(batched, *service->model(), "r",
+                                             /*include_latency=*/false);
+  EXPECT_EQ(canonical.find("telemetry"), std::string::npos);
+
+  ServeResponse hit = service->Predict(text);
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(hit.telemetry.request_id, 2u);
+  EXPECT_EQ(hit.telemetry.batch_size, 0u);  // Cache hits are never batched.
+  EXPECT_FALSE(hit.telemetry.queue_ms > 0.0 && hit.telemetry.batch_ms > 0.0);
+}
+
+TEST_F(GeoServiceTest, TelemetryOffMeansNoIdsAndNoJsonKey) {
+  GeoServiceOptions options;
+  options.max_delay_ms = 0.5;
+  options.telemetry = false;
+  std::unique_ptr<GeoService> service = MakeService(options);
+  ServeResponse response = service->Predict((*texts_)[0]);
+  EXPECT_EQ(response.telemetry.request_id, 0u);
+  std::string line = ResponseToJsonLine(response, *service->model(), "r");
+  EXPECT_EQ(line.find("telemetry"), std::string::npos);
+  ServiceStats stats = service->Stats();
+  EXPECT_FALSE(stats.telemetry_enabled);
+  EXPECT_TRUE(service->EvaluateSlo().empty());
+}
+
+// An injected latency fault on the batch path must show up in the windowed
+// p99 within the same window — the "can we see tonight's regression in
+// tonight's stats" drill.
+TEST_F(GeoServiceTest, WindowedP99ReflectsInjectedBatchLatency) {
+  // The serve window instruments are process-global: clear other tests'
+  // residue so this window holds only the faulted requests.
+  obs::Registry::Global().ResetValuesForTest();
+  fault::Disarm();
+  GeoServiceOptions options;
+  options.max_delay_ms = 0.5;
+  options.cache_capacity = 0;
+  std::unique_ptr<GeoService> service = MakeService(options);
+
+  ASSERT_TRUE(fault::Configure("serve.batch=latency,ms=25,times=100"));
+  for (size_t i = 0; i < 8; ++i) service->Predict((*texts_)[i]);
+  fault::Disarm();
+
+  ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.served_in_window, 8);
+  EXPECT_EQ(stats.requests_in_window, 8);
+  EXPECT_GE(stats.latency_p99_ms, 20.0) << "25ms injected sleep not visible";
+  EXPECT_GE(stats.latency_p999_ms, stats.latency_p99_ms);
+  EXPECT_EQ(stats.degraded, 0);
+}
+
+// A shed storm must trip the availability SLO: the burn-rate gauge goes
+// above 1 and the evaluation reports not-ok.
+TEST_F(GeoServiceTest, SloAvailabilityBurnTripsUnderShedStorm) {
+  obs::Registry::Global().ResetValuesForTest();
+  GeoServiceOptions options;
+  options.queue_capacity = 2;
+  options.max_batch = 64;
+  options.max_delay_ms = 20.0;
+  options.cache_capacity = 0;
+  std::unique_ptr<GeoService> service = MakeService(options);
+
+  service->PauseWorkersForTest();
+  std::vector<std::future<ServeResponse>> admitted;
+  admitted.push_back(service->SubmitAsync((*texts_)[0]));
+  admitted.push_back(service->SubmitAsync((*texts_)[1]));
+  size_t shed = 0;
+  for (size_t i = 0; i < 30; ++i) {
+    ServeResponse response = service->SubmitAsync((*texts_)[2]).get();
+    if (response.degrade_reason == DegradeReason::kShed) ++shed;
+  }
+  EXPECT_EQ(shed, 30u);
+
+  std::vector<obs::SloMonitor::Evaluation> evaluations = service->EvaluateSlo();
+  bool found = false;
+  for (const obs::SloMonitor::Evaluation& evaluation : evaluations) {
+    if (evaluation.name != "availability") continue;
+    found = true;
+    // 30 of 32 requests degraded against a 0.1% error budget.
+    EXPECT_GT(evaluation.burn_rate, 1.0);
+    EXPECT_FALSE(evaluation.ok);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(obs::Registry::Global()
+                .GetGauge("edge.serve.slo.availability.burn_rate")
+                ->value(),
+            1.0);
+
+  ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.shed, 30);
+  EXPECT_EQ(stats.degraded, 30);
+
+  service->ResumeWorkers();
+  for (auto& future : admitted) future.get();
+}
+
+TEST_F(GeoServiceTest, StatsAndHealthSnapshotsAndJson) {
+  GeoServiceOptions options;
+  options.max_delay_ms = 0.5;
+  options.cache_capacity = 16;
+  options.num_workers = 2;
+  std::unique_ptr<GeoService> service = MakeService(options);
+  service->Predict((*texts_)[0]);
+
+  HealthSnapshot health = service->Health();
+  EXPECT_EQ(health.model_generation, 1u);
+  EXPECT_EQ(health.reloads, 0u);
+  EXPECT_EQ(health.num_workers, 2u);
+  EXPECT_EQ(health.queue_capacity, options.queue_capacity);
+  EXPECT_GE(health.worker_busy_fraction, 0.0);
+  EXPECT_LE(health.worker_busy_fraction, 1.0);
+  EXPECT_FALSE(health.fault_armed);
+  EXPECT_TRUE(health.telemetry_enabled);
+  EXPECT_EQ(health.requests_total, 1u);
+
+  // A reload shows up as generation 2 / one reload.
+  std::stringstream fresh(*checkpoint2_);
+  ASSERT_TRUE(service->ReloadCheckpoint(&fresh).ok());
+  health = service->Health();
+  EXPECT_EQ(health.model_generation, 2u);
+  EXPECT_EQ(health.reloads, 1u);
+
+  for (const std::string& line : {service->StatsJson(), service->HealthJson()}) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), '{'),
+              std::count(line.begin(), line.end(), '}'));
+    EXPECT_EQ(std::count(line.begin(), line.end(), '['),
+              std::count(line.begin(), line.end(), ']'));
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+  }
+  EXPECT_NE(service->StatsJson().find("\"window_seconds\""), std::string::npos);
+  EXPECT_NE(service->StatsJson().find("\"breakdown\""), std::string::npos);
+  EXPECT_NE(service->StatsJson().find("\"slo\""), std::string::npos);
+  EXPECT_NE(service->HealthJson().find("\"model_generation\": 2"),
+            std::string::npos);
+  EXPECT_NE(service->HealthJson().find("\"fault_armed\": false"),
+            std::string::npos);
+}
+
+TEST_F(GeoServiceTest, TelemetryOptionsValidation) {
+  GeoServiceOptions options;
+  options.telemetry_window_seconds = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = GeoServiceOptions();
+  options.slo_p99_ms = -5.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = GeoServiceOptions();
+  options.slo_availability = 1.0;  // No error budget.
+  EXPECT_FALSE(options.Validate().ok());
+  options = GeoServiceOptions();
+  options.slo_availability = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
 TEST(LruCacheTest, EvictsInLruOrderAndPromotesOnGet) {
   LruCache<std::string, int> cache(2);
   cache.Put("a", 1);
@@ -557,6 +769,38 @@ TEST(JsonCodecTest, RejectsMalformedJson) {
   EXPECT_FALSE(ParseRequestLine(R"({"text": 42 "id"})", &request, &error));
   EXPECT_FALSE(ParseRequestLine(R"({"deadline_ms": -3, "text": "x"})", &request, &error));
   EXPECT_FALSE(ParseRequestLine(R"({"nested": {"no": 1}})", &request, &error));
+}
+
+// A JSON object with no payload used to parse as an empty-text prediction,
+// silently answering the fallback prior — it must be an error now.
+TEST(JsonCodecTest, RejectsObjectsWithoutTextOrControlVerb) {
+  ServeRequest request;
+  std::string error;
+  EXPECT_FALSE(ParseRequestLine("{}", &request, &error));
+  EXPECT_NE(error.find("control verb"), std::string::npos);
+  EXPECT_FALSE(ParseRequestLine(R"({"id": "r-1"})", &request, &error));
+  EXPECT_FALSE(ParseRequestLine(R"({"relaod": "m.edge"})", &request, &error));
+  // An explicit empty text is still a valid request...
+  ASSERT_TRUE(ParseRequestLine(R"({"text": ""})", &request, &error)) << error;
+  EXPECT_TRUE(request.has_text);
+  EXPECT_EQ(request.text, "");
+  // ...and so is a raw empty line (the whole line is the tweet).
+  EXPECT_TRUE(ParseRequestLine("", &request, &error));
+}
+
+TEST(JsonCodecTest, ParsesStatsAndHealthControlVerbs) {
+  ServeRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseRequestLine(R"({"stats": true, "id": "s-1"})", &request, &error))
+      << error;
+  EXPECT_TRUE(request.stats);
+  EXPECT_FALSE(request.health);
+  EXPECT_EQ(request.id, "s-1");
+  ASSERT_TRUE(ParseRequestLine(R"({"health": true})", &request, &error)) << error;
+  EXPECT_TRUE(request.health);
+  // false is a contradiction, not a no-op — reject loudly.
+  EXPECT_FALSE(ParseRequestLine(R"({"stats": false})", &request, &error));
+  EXPECT_FALSE(ParseRequestLine(R"({"health": 1})", &request, &error));
 }
 
 TEST_F(GeoServiceTest, ResponseJsonIsWellFormedAndEchoesId) {

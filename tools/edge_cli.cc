@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -85,7 +86,11 @@ int Usage() {
                "  edge_cli predict  --model m.edge --gazetteer g.tsv --text \"...\"\n"
                "observability (any subcommand):\n"
                "  --log-level trace|debug|info|warn|error|off\n"
-               "  --metrics-out metrics.json    --trace-out trace.json\n");
+               "  --metrics-out metrics.json    --trace-out trace.json\n"
+               "  --metrics-export live.json    periodic registry snapshot while\n"
+               "                                training (atomic tmp+rename)\n"
+               "  --metrics-export-every S      export period, default 10 s\n"
+               "                                (env EDGE_METRICS_EXPORT_EVERY wins)\n");
   return 2;
 }
 
@@ -203,6 +208,11 @@ int RunTrain(const Args& args) {
   if (!args.ok()) return Usage();
 
   InstallTrainSignalHandlers();
+  // Live registry exports let an operator watch a long Fit() from outside the
+  // process (epoch NLL series, windowed throughput) without waiting for the
+  // end-of-run --metrics-out snapshot.
+  std::unique_ptr<obs::MetricsExporter> exporter = tools::MakeMetricsExporter(args);
+  if (args.Has("metrics-export") && exporter == nullptr) return Usage();
   core::EdgeModel model(config);
   model.Fit(processed);
   if (g_train_stop.load(std::memory_order_relaxed)) {

@@ -19,20 +19,33 @@
 ///   --cache-capacity N      LRU response cache entries, 0=off (default 4096)
 ///   --deadline-ms D         default per-request deadline, 0=none (default 0)
 ///   --predict-threads N     model threads per batch, 0=hw     (default 1)
+///   --telemetry B           request ids/waterfalls/window stats (default true)
+///   --slo-p99-ms D          latency SLO threshold              (default 100)
+///   --slo-availability F    availability SLO target            (default 0.999)
+///   --metrics-export p.json periodic atomic metrics+health snapshot
+///   --metrics-export-every S  export period seconds (default 10; the
+///                             EDGE_METRICS_EXPORT_EVERY env var wins)
 /// plus the shared observability flags (--log-level, --metrics-out,
 /// --trace-out).
 ///
 /// Responses stream in input order; up to 4 x max-batch requests are kept in
 /// flight so micro-batches actually form while earlier answers print.
 ///
+/// Control verbs (DESIGN.md §14), answered in input order like any request:
+///   - {"stats": true}: sliding-window stats + SLO burn rates.
+///   - {"health": true}: health snapshot (generation, queue, workers, fault
+///     state).
+///   - {"reload": "new.edge"}: hot-reload from an arbitrary checkpoint;
+///     answers {"reload":"ok",...} or {"reload":"failed",...}.
+/// Malformed lines (bad JSON, or an object with neither "text" nor a control
+/// verb) answer a structured {"error": "...", "line": N} line — they are
+/// never silently dropped.
+///
 /// Fault tolerance (DESIGN.md §12):
 ///   - SIGINT / SIGTERM: stop reading, drain every in-flight request (each
 ///     still gets its response line), flush, exit 0.
 ///   - SIGHUP: hot-reload the model from the --model path; serving continues
 ///     on the old model if the new checkpoint is rejected.
-///   - {"reload": "new.edge"} control line: hot-reload from an arbitrary
-///     checkpoint; answers {"reload":"ok",...} or {"reload":"failed",...} in
-///     input order like any other request.
 
 #include <csignal>
 #include <cstdio>
@@ -40,9 +53,11 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 
+#include "edge/obs/json_util.h"
 #include "edge/serve/geo_service.h"
 #include "edge/serve/json_codec.h"
 #include "tool_args.h"
@@ -84,13 +99,16 @@ int Usage() {
                "usage: edge_serve --model m.edge --gazetteer g.tsv\n"
                "  [--max-batch N] [--max-delay-ms D] [--workers N]\n"
                "  [--queue-capacity N] [--cache-capacity N] [--deadline-ms D]\n"
-               "  [--predict-threads N]\n"
+               "  [--predict-threads N] [--telemetry true|false]\n"
+               "  [--slo-p99-ms D] [--slo-availability F]\n"
+               "  [--metrics-export m.json] [--metrics-export-every S]\n"
                "  [--log-level L] [--metrics-out m.json] [--trace-out t.json]\n"
                "reads one request per stdin line (raw text or\n"
                "{\"text\":...,\"id\":...,\"deadline_ms\":...}), writes one JSON\n"
                "response line per request in order;\n"
-               "{\"reload\":\"new.edge\"} hot-swaps the model; SIGHUP reloads\n"
-               "--model; SIGINT/SIGTERM drain in-flight requests and exit 0\n");
+               "{\"reload\":\"new.edge\"} hot-swaps the model; {\"stats\":true}\n"
+               "and {\"health\":true} answer window stats / health; SIGHUP\n"
+               "reloads --model; SIGINT/SIGTERM drain in-flight and exit 0\n");
   return 2;
 }
 
@@ -120,6 +138,30 @@ std::string ReloadResultLine(const std::string& id, const Status& status,
     }
     out += "\"reload\":\"failed\",\"error\":\"" + message + "\"}";
   }
+  return out;
+}
+
+/// Wraps an already-rendered JSON body as {"id":...,"<key>": <body>}.
+std::string ControlResultLine(const std::string& id, const char* key,
+                              const std::string& body) {
+  std::string out = "{";
+  if (!id.empty()) {
+    out += "\"id\":";
+    edge::obs::internal::AppendJsonString(&out, id);
+    out += ",";
+  }
+  out += "\"";
+  out += key;
+  out += "\":" + body + "}";
+  return out;
+}
+
+/// Structured rejection for a malformed request line: the parse error plus
+/// the 1-based input line number, always valid JSON.
+std::string BadRequestLine(const std::string& error, size_t line_number) {
+  std::string out = "{\"error\":";
+  edge::obs::internal::AppendJsonString(&out, error);
+  out += ",\"line\":" + std::to_string(line_number) + "}";
   return out;
 }
 
@@ -158,6 +200,16 @@ int main(int argc, char** argv) {
   options.default_deadline_ms = args.GetDouble("deadline-ms", 0.0);
   options.predict_threads =
       static_cast<int>(args.GetInt("predict-threads", options.predict_threads));
+  std::string telemetry_flag = args.Get("telemetry", "true");
+  if (telemetry_flag != "true" && telemetry_flag != "false") {
+    std::fprintf(stderr, "--telemetry: '%s' is not true or false\n",
+                 telemetry_flag.c_str());
+    return Usage();
+  }
+  options.telemetry = telemetry_flag == "true";
+  options.slo_p99_ms = args.GetDouble("slo-p99-ms", options.slo_p99_ms);
+  options.slo_availability =
+      args.GetDouble("slo-availability", options.slo_availability);
   // Strict flag parsing: GetInt/GetDouble flag malformed values on the Args.
   if (!args.ok()) return Usage();
 
@@ -169,6 +221,19 @@ int main(int argc, char** argv) {
     return 1;
   }
   serve::GeoService& geo = *service.value();
+
+  // Periodic scrape file: health + the full registry, atomically swapped in
+  // place so a tail/scraper never reads a torn document. Destroyed (= final
+  // export) before the service so the payload never outlives `geo`.
+  std::unique_ptr<obs::MetricsExporter> exporter =
+      tools::MakeMetricsExporter(args, [&geo] {
+        std::string payload = "{\"schema\": \"edge-metrics-export.v1\",\n";
+        payload += "\"health\": " + geo.HealthJson() + ",\n";
+        payload += "\"stats\": " + geo.StatsJson() + ",\n";
+        payload += "\"metrics\": " + obs::Registry::Global().ToJson() + "}\n";
+        return payload;
+      });
+  if (args.Has("metrics-export") && exporter == nullptr) return Usage();
 
   InstallSignalHandlers();
 
@@ -218,12 +283,26 @@ int main(int argc, char** argv) {
     if (!serve::ParseRequestLine(line, &request, &error)) {
       ++bad_lines;
       std::fprintf(stderr, "line %zu: %s\n", line_number, error.c_str());
-      // Bad lines still answer in input order, through the same queue.
+      // Bad lines still answer in input order, through the same queue — with
+      // the actual parse error, so a misspelled control verb is debuggable
+      // from the response stream alone.
       InFlight rejected;
       rejected.is_literal = true;
-      rejected.literal =
-          "{\"error\":\"bad request\",\"line\":" + std::to_string(line_number) + "}";
+      rejected.literal = BadRequestLine(error, line_number);
       in_flight.push_back(std::move(rejected));
+      while (in_flight.size() >= max_in_flight) drain_front();
+      continue;
+    }
+    if (request.stats || request.health) {
+      // Introspection verbs answer from the live instruments, keeping their
+      // slot in the one-line-out-per-line-in contract.
+      InFlight ack;
+      ack.id = std::move(request.id);
+      ack.is_literal = true;
+      ack.literal = request.stats
+                        ? ControlResultLine(ack.id, "stats", geo.StatsJson())
+                        : ControlResultLine(ack.id, "health", geo.HealthJson());
+      in_flight.push_back(std::move(ack));
       while (in_flight.size() >= max_in_flight) drain_front();
       continue;
     }

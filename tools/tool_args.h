@@ -7,11 +7,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "edge/common/status.h"
 #include "edge/data/io.h"
+#include "edge/obs/exporter.h"
 #include "edge/obs/log.h"
 #include "edge/obs/metrics.h"
 #include "edge/obs/trace.h"
@@ -19,8 +23,8 @@
 
 /// \file
 /// Flag parsing and the shared observability flags (--log-level,
-/// --metrics-out, --trace-out) for the command-line tools. Header-only so a
-/// tool is still a single .cc file.
+/// --metrics-out, --trace-out, --metrics-export) for the command-line tools.
+/// Header-only so a tool is still a single .cc file.
 
 namespace edge::tools {
 
@@ -134,6 +138,25 @@ inline void FlushObservability(const Args& args) {
     std::fprintf(stderr, "wrote Chrome trace to %s (open at chrome://tracing)\n",
                  trace_path.c_str());
   }
+}
+
+/// Builds the periodic --metrics-export exporter when the flag is present
+/// (null otherwise). The period comes from --metrics-export-every, overridden
+/// by the EDGE_METRICS_EXPORT_EVERY environment variable; default 10 s.
+/// `payload` overrides the default whole-registry snapshot (edge_serve wraps
+/// it with a health section). Destroying the returned exporter performs a
+/// final export, so tools just let it fall out of scope at exit.
+inline std::unique_ptr<obs::MetricsExporter> MakeMetricsExporter(
+    const Args& args, std::function<std::string()> payload = nullptr) {
+  std::string path = args.Get("metrics-export");
+  if (path.empty()) return nullptr;
+  obs::MetricsExporter::Options options;
+  options.path = std::move(path);
+  options.period_seconds = obs::MetricsExporter::PeriodFromEnv(
+      args.GetDouble("metrics-export-every", 10.0));
+  options.payload = std::move(payload);
+  if (!args.ok()) return nullptr;
+  return std::make_unique<obs::MetricsExporter>(std::move(options));
 }
 
 /// Reads a gazetteer TSV (see edge/data/io.h).

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a minimal JSON-Schema subset.
+
+Stdlib-only (json + argparse), so CI can assert the shape of the
+--metrics-export snapshot and the {"stats": true} serve response without
+installing a schema library. Supported keywords, which is all the checked-in
+schemas under tools/schemas/ use:
+
+  type        object | array | string | number | integer | boolean
+  properties  per-key subschemas (unknown keys are allowed)
+  required    list of keys that must be present
+  items       subschema applied to every array element
+  const       exact value match
+  minimum     numeric lower bound
+
+Usage:
+  validate_metrics.py --schema tools/schemas/metrics_export.schema.json FILE
+  ... FILE -          reads the document from stdin
+
+Exit status 0 when the document conforms; 1 with a path-qualified message on
+the first violation; 2 on unreadable/unparseable inputs.
+"""
+
+import argparse
+import json
+import sys
+
+
+class SchemaError(Exception):
+    """A document/schema mismatch, carrying the JSON-pointer-ish path."""
+
+
+def _type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    raise SchemaError(f"schema uses unsupported type '{expected}'")
+
+
+def validate(value, schema, path="$"):
+    expected = schema.get("type")
+    if expected is not None and not _type_ok(value, expected):
+        raise SchemaError(f"{path}: expected {expected}, got {type(value).__name__}")
+    if "const" in schema and value != schema["const"]:
+        raise SchemaError(f"{path}: expected {schema['const']!r}, got {value!r}")
+    if "minimum" in schema:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SchemaError(f"{path}: minimum applies to numbers only")
+        if value < schema["minimum"]:
+            raise SchemaError(f"{path}: {value} below minimum {schema['minimum']}")
+    for key in schema.get("required", []):
+        if not isinstance(value, dict) or key not in value:
+            raise SchemaError(f"{path}: missing required key '{key}'")
+    for key, subschema in schema.get("properties", {}).items():
+        if isinstance(value, dict) and key in value:
+            validate(value[key], subschema, f"{path}.{key}")
+    if "items" in schema and isinstance(value, list):
+        for index, element in enumerate(value):
+            validate(element, schema["items"], f"{path}[{index}]")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--schema", required=True, help="schema JSON file")
+    parser.add_argument("document", help="document JSON file, or - for stdin")
+    args = parser.parse_args()
+
+    try:
+        with open(args.schema, encoding="utf-8") as handle:
+            schema = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"cannot load schema {args.schema}: {err}", file=sys.stderr)
+        return 2
+    try:
+        if args.document == "-":
+            document = json.load(sys.stdin)
+        else:
+            with open(args.document, encoding="utf-8") as handle:
+                document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"cannot load document {args.document}: {err}", file=sys.stderr)
+        return 2
+
+    try:
+        validate(document, schema)
+    except SchemaError as err:
+        print(f"schema violation: {err}", file=sys.stderr)
+        return 1
+    print(f"{args.document}: conforms to {args.schema}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

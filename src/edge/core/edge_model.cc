@@ -9,6 +9,7 @@
 
 #include "edge/common/file_util.h"
 #include "edge/common/math_util.h"
+#include "edge/core/model_store.h"
 #include "edge/common/rng.h"
 #include "edge/common/stopwatch.h"
 #include "edge/common/thread_pool.h"
@@ -51,10 +52,37 @@ const geo::LocalProjection& EdgeModel::projection() const {
   return *projection_;
 }
 
+size_t EdgeModel::NodeIdOf(std::string_view name) const {
+  if (store_ != nullptr) {
+    size_t id = store_->NodeId(name);
+    return id == MmapModelStore::kNotFound ? graph::EntityGraph::kNotFound : id;
+  }
+  return graph_.NodeId(name);
+}
+
+std::string_view EdgeModel::NodeNameOf(size_t id) const {
+  if (store_ != nullptr) return store_->NodeName(id);
+  return graph_.NodeName(id);
+}
+
+size_t EdgeModel::num_entities() const {
+  return store_ != nullptr ? store_->num_nodes() : graph_.num_nodes();
+}
+
+size_t EdgeModel::hidden_dim() const {
+  return store_ != nullptr ? store_->hidden() : smoothed_embeddings_.cols();
+}
+
+nn::ConstRowSpan EdgeModel::EmbeddingRowOf(size_t node,
+                                           std::vector<double>* scratch) const {
+  if (store_ != nullptr) return store_->EmbeddingRow(node, scratch);
+  return smoothed_embeddings_.RowSpan(node);
+}
+
 std::vector<size_t> EdgeModel::GraphIds(const data::ProcessedTweet& tweet) const {
   std::vector<size_t> ids;
   for (const text::Entity& e : tweet.entities) {
-    size_t id = graph_.NodeId(e.name);
+    size_t id = NodeIdOf(e.name);
     if (id != graph::EntityGraph::kNotFound) ids.push_back(id);
   }
   // Canonical ascending-id order: attention/aggregation are mathematically
@@ -513,15 +541,38 @@ EdgePrediction EdgeModel::PredictFromIds(const std::vector<size_t>& ids,
     return prediction;
   }
 
-  size_t hidden = smoothed_embeddings_.cols();
+  size_t hidden = hidden_dim();
   size_t k_count = ids.size();
 
-  // Attention scores (Eq. 2-3) over cached smoothed embeddings.
+  // Gather the tweet's embedding rows once. Dense and fp64-store rows are
+  // read in place (for a mapped store that is the zero-copy path — the
+  // pointers alias the file mapping); quantized stores decode into one
+  // packed scratch buffer. The arithmetic below is unchanged from the dense
+  // path, so a fp64 store is bitwise-identical to the text checkpoint.
+  std::vector<const double*> rows(k_count);
+  std::vector<double> scratch;
+  if (store_ != nullptr && !store_->zero_copy()) {
+    scratch.resize(k_count * hidden);
+    for (size_t k = 0; k < k_count; ++k) {
+      store_->DequantizeRow(ids[k], &scratch[k * hidden]);
+      rows[k] = &scratch[k * hidden];
+    }
+  } else if (store_ != nullptr) {
+    for (size_t k = 0; k < k_count; ++k) {
+      rows[k] = store_->EmbeddingRow(ids[k], nullptr).data;
+    }
+  } else {
+    for (size_t k = 0; k < k_count; ++k) {
+      rows[k] = smoothed_embeddings_.row_data(ids[k]);
+    }
+  }
+
+  // Attention scores (Eq. 2-3) over the gathered rows.
   std::vector<double> weights(k_count, 1.0);
   if (config_.use_attention) {
     for (size_t k = 0; k < k_count; ++k) {
       double s = attention_b_;
-      const double* row = smoothed_embeddings_.row_data(ids[k]);
+      const double* row = rows[k];
       for (size_t d = 0; d < hidden; ++d) s += row[d] * attention_q_.At(d, 0);
       weights[k] = std::max(s, 0.0);
     }
@@ -531,7 +582,7 @@ EdgePrediction EdgeModel::PredictFromIds(const std::vector<size_t>& ids,
   // Aggregated tweet embedding (Eq. 4) and MDN head (Eq. 7).
   std::vector<double> z(hidden, 0.0);
   for (size_t k = 0; k < k_count; ++k) {
-    const double* row = smoothed_embeddings_.row_data(ids[k]);
+    const double* row = rows[k];
     for (size_t d = 0; d < hidden; ++d) z[d] += weights[k] * row[d];
   }
   size_t theta_dim = head_b_.cols();
@@ -567,7 +618,7 @@ EdgePrediction EdgeModel::Predict(const data::ProcessedTweet& tweet) const {
   EDGE_CHECK(fitted_) << "Predict() before Fit()";
   std::vector<std::pair<size_t, std::string>> known;
   for (const text::Entity& e : tweet.entities) {
-    size_t id = graph_.NodeId(e.name);
+    size_t id = NodeIdOf(e.name);
     if (id != graph::EntityGraph::kNotFound) known.emplace_back(id, e.name);
   }
   // Canonical ascending-id order (see GraphIds): the prediction depends only
@@ -646,8 +697,8 @@ Status EdgeModel::SaveInference(std::ostream* out) const {
   os << config_.num_components << " " << config_.sigma_min_km << " " << config_.rho_max
      << " " << (config_.use_attention ? 1 : 0) << "\n";
   os << projection_->origin().lat << " " << projection_->origin().lon << "\n";
-  os << graph_.num_nodes() << " " << smoothed_embeddings_.cols() << "\n";
-  for (size_t n = 0; n < graph_.num_nodes(); ++n) os << graph_.NodeName(n) << "\n";
+  os << num_entities() << " " << hidden_dim() << "\n";
+  for (size_t n = 0; n < num_entities(); ++n) os << NodeNameOf(n) << "\n";
   auto write_matrix = [&os](const nn::Matrix& m) {
     os << m.rows() << " " << m.cols() << "\n";
     for (size_t r = 0; r < m.rows(); ++r) {
@@ -656,7 +707,19 @@ Status EdgeModel::SaveInference(std::ostream* out) const {
       }
     }
   };
-  write_matrix(smoothed_embeddings_);
+  // Embeddings go through the row-gather path so store-backed models (fp64
+  // bitwise, quantized at their decoded values) convert back to canonical
+  // text without materializing a dense matrix copy.
+  {
+    os << num_entities() << " " << hidden_dim() << "\n";
+    std::vector<double> scratch;
+    for (size_t r = 0; r < num_entities(); ++r) {
+      nn::ConstRowSpan row = EmbeddingRowOf(r, &scratch);
+      for (size_t c = 0; c < row.cols; ++c) {
+        os << row[c] << (c + 1 == row.cols ? '\n' : ' ');
+      }
+    }
+  }
   write_matrix(attention_q_);
   os << attention_b_ << "\n";
   write_matrix(head_w_);
@@ -780,6 +843,39 @@ Result<std::unique_ptr<EdgeModel>> EdgeModel::LoadInference(std::istream* in) {
   if (!(model->coord_scale_km_ > 0.0) || !std::isfinite(model->coord_scale_km_)) {
     return Status::InvalidArgument("non-positive coordinate scale");
   }
+  return model;
+}
+
+Result<std::unique_ptr<EdgeModel>> EdgeModel::LoadFromStore(
+    std::shared_ptr<const MmapModelStore> store) {
+  EDGE_CHECK(store != nullptr);
+  // The store already ran the untrusted-input gates (MmapModelStore::Validate
+  // enforces the LoadInference contract), so everything here is O(1) in
+  // entity count: copy the config and the O(hidden) matrices, keep the
+  // mapping for the O(entities) state. No graph rebuild, no embedding parse.
+  EdgeConfig config;
+  config.display_name = store->display_name();
+  config.num_components = store->num_components();
+  config.sigma_min_km = store->sigma_min_km();
+  config.rho_max = store->rho_max();
+  config.use_attention = store->use_attention();
+  Status config_status = config.Validate();
+  if (!config_status.ok()) {
+    return Status::InvalidArgument("corrupt store config: " +
+                                   config_status.ToString());
+  }
+  auto model = std::make_unique<EdgeModel>(config);
+  model->fitted_ = true;
+  model->projection_ = std::make_unique<geo::LocalProjection>(
+      geo::LatLon{store->origin_lat(), store->origin_lon()});
+  model->attention_q_ = store->attention_q();
+  model->attention_b_ = store->attention_b();
+  model->head_w_ = store->head_w();
+  model->head_b_ = store->head_b();
+  model->fallback_mean_ = {store->fallback_x(), store->fallback_y()};
+  model->fallback_sigma_km_ = store->fallback_sigma_km();
+  model->coord_scale_km_ = store->coord_scale_km();
+  model->store_ = std::move(store);
   return model;
 }
 

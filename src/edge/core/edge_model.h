@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "edge/core/edge_config.h"
@@ -17,6 +18,9 @@
 #include "edge/nn/layers.h"
 
 namespace edge::core {
+
+class MmapModelStore;
+enum class EmbedPrecision : uint32_t;
 
 /// One entity's learned attention weight in a prediction — the
 /// interpretability signal of Eq. 2-3 (which entities drove the location).
@@ -114,14 +118,55 @@ class EdgeModel : public eval::Geolocator {
   /// running.
   static Result<std::unique_ptr<EdgeModel>> LoadInference(std::istream* in);
 
+  /// Builds a Predict()-capable model over an already-validated edge-model.v1
+  /// store (model_store.h). Embedding rows are served out of the store —
+  /// zero-copy for fp64, dequantize-on-gather for fp32/fp16/int8 — so this is
+  /// O(1) in entity count: no embedding copy, no graph reconstruction. The
+  /// model holds the shared_ptr, keeping every ConstRowSpan it gathers valid.
+  /// Like LoadInference results, the model cannot be Fit() again.
+  static Result<std::unique_ptr<EdgeModel>> LoadFromStore(
+      std::shared_ptr<const MmapModelStore> store);
+
+  /// Node id of an entity name in this model's vocabulary (the id space the
+  /// embedding rows and the serve-layer cache keys live in), or
+  /// graph::EntityGraph::kNotFound. Routes to the entity graph for trained /
+  /// text-loaded models and to the mapped vocabulary for store-backed ones —
+  /// both number nodes in the same insertion order, so ids agree across
+  /// formats for the same checkpoint.
+  size_t NodeIdOf(std::string_view name) const;
+
+  /// Entity name of node `id` (inverse of NodeIdOf). The view aliases model
+  /// storage and lives as long as the model.
+  std::string_view NodeNameOf(size_t id) const;
+
+  /// Number of entities in the vocabulary (= embedding rows).
+  size_t num_entities() const;
+
+  /// The backing store for store-backed models, nullptr otherwise.
+  const MmapModelStore* store() const { return store_.get(); }
+
  private:
+  friend Status SerializeModelStore(const EdgeModel& model,
+                                    EmbedPrecision precision, std::string* out);
+
   /// Node ids of a tweet's in-graph entities, in canonical ascending order.
   std::vector<size_t> GraphIds(const data::ProcessedTweet& tweet) const;
   EdgePrediction PredictFromIds(const std::vector<size_t>& ids,
                                 const std::vector<std::string>& names) const;
+  /// Embedding row `node`, wherever it lives (dense matrix, mapped fp64
+  /// store, or dequantized via *scratch for quantized stores).
+  nn::ConstRowSpan EmbeddingRowOf(size_t node, std::vector<double>* scratch) const;
+  /// Embedding width (dense matrix or store header).
+  size_t hidden_dim() const;
 
   EdgeConfig config_;
   bool fitted_ = false;
+
+  /// Set only by LoadFromStore: the mapped checkpoint this model serves
+  /// embeddings from. When set, smoothed_embeddings_ and graph_ stay empty;
+  /// the attention/head matrices below are copies of the store's (they are
+  /// O(hidden), not O(entities)).
+  std::shared_ptr<const MmapModelStore> store_;
 
   std::unique_ptr<embedding::Entity2Vec> entity2vec_;
   graph::EntityGraph graph_;

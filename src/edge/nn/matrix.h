@@ -21,6 +21,16 @@ namespace edge::nn {
 /// The backing matrix must outlive the span. This is the zero-copy currency
 /// of the row-oriented paths (GatherRows, ConcatRows, batched prediction):
 /// callers read through the span instead of materializing a 1 x C Matrix.
+///
+/// Mapped-memory lifetime rule: a span need not point into a Matrix at all —
+/// core::MmapModelStore serves spans that alias an mmap'd checkpoint file
+/// (fp64 stores) or a caller-owned dequantize scratch buffer (quantized
+/// stores). Whatever the backing object is — Matrix, mapping, or scratch
+/// vector — it must stay alive and unmodified for as long as the span is
+/// read. Store-backed EdgeModels uphold this by holding the store's
+/// shared_ptr for the model's lifetime and bounding scratch spans to a single
+/// prediction; new call sites must pick one of those two patterns
+/// (DESIGN.md §15).
 struct ConstRowSpan {
   const double* data = nullptr;
   size_t cols = 0;

@@ -255,9 +255,8 @@ std::string GeoService::CacheKey(const core::EdgeModel& model,
                                  const std::vector<text::Entity>& entities) {
   std::vector<size_t> ids;
   ids.reserve(entities.size());
-  const graph::EntityGraph& graph = model.entity_graph();
   for (const text::Entity& e : entities) {
-    size_t id = graph.NodeId(e.name);
+    size_t id = model.NodeIdOf(e.name);
     if (id != graph::EntityGraph::kNotFound) ids.push_back(id);
   }
   std::sort(ids.begin(), ids.end());
@@ -392,7 +391,11 @@ Status GeoService::ReloadCheckpoint(std::istream* in) {
                    << obs::Kv("error", loaded.status().ToString());
     return loaded.status();
   }
-  std::unique_ptr<core::EdgeModel> model = std::move(loaded).value();
+  return AdoptReloadedModel(std::move(loaded).value());
+}
+
+Status GeoService::AdoptReloadedModel(std::unique_ptr<core::EdgeModel> model) {
+  ServeMetrics& metrics = Metrics();
   model->set_num_threads(options_.predict_threads);
   auto fresh = std::make_shared<ModelState>();
   fresh->fallback = model->FallbackPrediction();
@@ -413,6 +416,26 @@ Status GeoService::ReloadCheckpoint(std::istream* in) {
 }
 
 Status GeoService::ReloadFromFile(const std::string& path) {
+  if (core::LooksLikeModelStore(path)) {
+    // Binary checkpoint: mmap + validate (per options_.model_store_verify)
+    // and swap — under kFast no step here scales with entity count. The
+    // store's Open probes the same io.checkpoint.read fault point as the
+    // text read, so transient-fault chaos drills cover both formats.
+    Result<std::shared_ptr<const core::MmapModelStore>> store = Status::Internal("");
+    Status status = RetryWithBackoff(/*attempts=*/4, /*base_backoff_ms=*/1.0, [&]() {
+      store = core::MmapModelStore::Open(path, options_.model_store_verify);
+      return store.ok() ? Status::Ok() : store.status();
+    });
+    if (status.ok()) {
+      auto loaded = core::EdgeModel::LoadFromStore(std::move(store).value());
+      if (loaded.ok()) return AdoptReloadedModel(std::move(loaded).value());
+      status = loaded.status();
+    }
+    Metrics().reload_failures->Increment();
+    EDGE_LOG(WARN) << "model store reload rejected" << obs::Kv("path", path)
+                   << obs::Kv("error", status.ToString());
+    return status;
+  }
   std::string content;
   Status status = RetryWithBackoff(/*attempts=*/4, /*base_backoff_ms=*/1.0, [&]() {
     return ReadFileToString(path, &content, "io.checkpoint.read");

@@ -16,6 +16,7 @@
 
 #include "edge/common/status.h"
 #include "edge/core/edge_model.h"
+#include "edge/core/model_store.h"
 #include "edge/obs/slo.h"
 #include "edge/obs/trace_context.h"
 #include "edge/serve/lru_cache.h"
@@ -73,6 +74,12 @@ struct GeoServiceOptions {
   /// Availability SLO: the fraction of requests degraded (shed or expired
   /// deadline) over the window must not exceed 1 - slo_availability.
   double slo_availability = 0.999;
+  /// Verification depth when (re)loading an edge-model.v1 binary checkpoint.
+  /// kFull checksums every section (O(model)); kFast runs the structural
+  /// gates only, making ReloadFromFile on a binary checkpoint an O(1)
+  /// map-and-swap in entity count. Use kFast when artifacts come from a
+  /// trusted pipeline that already verified them once (see StoreVerify).
+  core::StoreVerify model_store_verify = core::StoreVerify::kFull;
 
   /// Rejected (Status, at Create time) rather than clamped: a tool that
   /// parses "--workers=-1" into a size_t would otherwise ask for 2^64
@@ -207,8 +214,13 @@ class GeoService {
   /// they started with; the response cache is cleared with the swap.
   Status ReloadCheckpoint(std::istream* in);
 
-  /// ReloadCheckpoint from a file, retrying transient read faults with
-  /// backoff (fault point io.checkpoint.read).
+  /// Hot reload from a checkpoint file of either format, retrying transient
+  /// read faults with backoff (fault point io.checkpoint.read). Text files
+  /// take the ReloadCheckpoint parse path; edge-model.v1 files are mmap'd and
+  /// verified per options.model_store_verify — under kFast that is an O(1)
+  /// map-and-swap regardless of entity count. Both paths preserve the reload
+  /// invariants: validation before any served-state change, in-flight batches
+  /// finish on their producing model, cache cleared with the generation bump.
   Status ReloadFromFile(const std::string& path);
 
   /// The model currently being served (e.g. for projection() when rendering
@@ -274,9 +286,13 @@ class GeoService {
   /// drained); returns false to terminate the worker.
   bool NextBatch(std::vector<Pending>* batch);
   void ProcessBatch(std::vector<Pending>* batch);
-  /// Sorted-entity-id cache key ("3,17,42") under `model`'s entity graph;
-  /// "" when no entity is in-graph. Keys are only meaningful within one
-  /// model generation (the cache is cleared on reload).
+  /// Validated-model tail shared by every reload path: thread budget, fresh
+  /// fallback, generation bump, state swap, cache clear.
+  Status AdoptReloadedModel(std::unique_ptr<core::EdgeModel> model);
+  /// Sorted-entity-id cache key ("3,17,42") under `model`'s vocabulary
+  /// (entity graph or mapped store — ids agree across formats for the same
+  /// checkpoint); "" when no entity is known. Keys are only meaningful within
+  /// one model generation (the cache is cleared on reload).
   static std::string CacheKey(const core::EdgeModel& model,
                               const std::vector<text::Entity>& entities);
   static ServeResponse DegradedResponse(

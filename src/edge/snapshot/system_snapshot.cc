@@ -11,6 +11,7 @@
 
 #include "edge/common/file_util.h"
 #include "edge/common/hash.h"
+#include "edge/core/model_store.h"
 
 namespace edge::snapshot {
 
@@ -211,8 +212,8 @@ struct SectionSpec {
 };
 
 constexpr SectionSpec kSections[] = {
-    {"world", true},  {"rng", true},   {"vocab", true},     {"graph", true},
-    {"model", true},  {"serve", true}, {"trainstate", false},
+    {"world", true},  {"rng", true},   {"vocab", true},      {"graph", true},
+    {"model", true},  {"serve", true}, {"trainstate", false}, {"modelbin", false},
 };
 
 std::string SectionPath(const std::string& dir, const std::string& name) {
@@ -622,6 +623,11 @@ Result<SystemSnapshot> CaptureSystemSnapshot(const core::EdgeModel& model,
   status = model.SaveInference(&model_out);
   if (!status.ok()) return status;
   snapshot.model_checkpoint = model_out.str();
+  // fp64 keeps the store's predictions bitwise-identical to the text
+  // checkpoint, so either section can serve the replay.
+  status = core::SerializeModelStore(model, core::EmbedPrecision::kFp64,
+                                     &snapshot.model_store);
+  if (!status.ok()) return status;
   snapshot.graph = model.entity_graph();
   for (const data::ProcessedTweet& tweet : dataset.train) {
     for (const text::Entity& entity : tweet.entities) {
@@ -657,6 +663,9 @@ Status SaveSystemSnapshot(const SystemSnapshot& snapshot, const std::string& dir
   sections.emplace_back("serve", SerializeServeOptions(snapshot.serve_options));
   if (snapshot.has_train_state) {
     sections.emplace_back("trainstate", core::SerializeTrainState(snapshot.train_state));
+  }
+  if (!snapshot.model_store.empty()) {
+    sections.emplace_back("modelbin", snapshot.model_store);
   }
 
   std::ostringstream manifest;
@@ -808,6 +817,32 @@ Result<SystemSnapshot> LoadSystemSnapshot(const std::string& dir) {
     if (!train_state.ok()) return train_state.status();
     snapshot.train_state = std::move(train_state).value();
     snapshot.has_train_state = true;
+  }
+
+  if (listed.find("modelbin") != listed.end()) {
+    status = read_section("modelbin", &snapshot.model_store);
+    if (!status.ok()) return status;
+    // Full store validation (header, manifest, per-section checksums, finite
+    // scans), then a cross-check that the binary store describes the same
+    // model as the text section: same vocabulary, id for id.
+    Result<std::shared_ptr<const core::MmapModelStore>> store =
+        core::MmapModelStore::FromBytes(snapshot.model_store,
+                                        core::StoreVerify::kFull);
+    if (!store.ok()) {
+      return Status::InvalidArgument("modelbin section rejected: " +
+                                     store.status().ToString());
+    }
+    const core::MmapModelStore& bin = *store.value();
+    if (bin.num_nodes() != model.value()->num_entities()) {
+      return Status::InvalidArgument(
+          "modelbin and model sections disagree on node count");
+    }
+    for (size_t id = 0; id < bin.num_nodes(); ++id) {
+      if (bin.NodeName(id) != model.value()->NodeNameOf(id)) {
+        return Status::InvalidArgument(
+            "modelbin and model sections disagree at node " + std::to_string(id));
+      }
+    }
   }
 
   // Cross-section consistency: the model's node table must be the graph's,

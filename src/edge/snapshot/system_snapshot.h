@@ -59,6 +59,13 @@ struct SystemSnapshot {
   /// Serialized EDGE-INFERENCE v1 checkpoint (core/edge_model.h).
   std::string model_checkpoint;
 
+  /// Serialized edge-model.v1 binary store at fp64 (core/model_store.h) —
+  /// the artifact a serving replica mmap-reloads without an O(model) parse.
+  /// Optional ("" = absent) for back-compat with pre-PR-8 snapshots; when
+  /// present, Load validates it under the full store gates and cross-checks
+  /// its vocabulary against the model section.
+  std::string model_store;
+
   /// Serving configuration the scenario harness replays under.
   serve::GeoServiceOptions serve_options;
 

@@ -1,0 +1,532 @@
+#include "edge/core/model_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edge/common/check.h"
+#include "edge/common/hash.h"
+#include "edge/core/edge_model.h"
+#include "edge/data/generator.h"
+#include "edge/data/pipeline.h"
+#include "edge/data/worlds.h"
+#include "edge/graph/entity_graph.h"
+
+/// edge-model.v1 drills (DESIGN.md §15): bitwise text<->binary round trips,
+/// store-backed prediction parity at several thread budgets, zero-copy
+/// aliasing, quantization error bounds, and the untrusted-input sweep — every
+/// header truncation, sampled bit flips over the whole file, wrong
+/// magic/version/endianness and implausible dimensions must come back from
+/// Open/FromBytes as a Status, never an abort.
+
+namespace edge::core {
+namespace {
+
+// --- Byte-level helpers ---------------------------------------------------
+
+uint64_t ReadU64At(const std::string& bytes, size_t offset) {
+  uint64_t v = 0;
+  EDGE_CHECK(offset + 8 <= bytes.size());
+  std::memcpy(&v, bytes.data() + offset, 8);
+  return v;
+}
+
+void WriteU64At(std::string* bytes, size_t offset, uint64_t v) {
+  EDGE_CHECK(offset + 8 <= bytes->size());
+  std::memcpy(bytes->data() + offset, &v, 8);
+}
+
+void WriteU32At(std::string* bytes, size_t offset, uint32_t v) {
+  EDGE_CHECK(offset + 4 <= bytes->size());
+  std::memcpy(bytes->data() + offset, &v, 4);
+}
+
+/// Recomputes the header checksum after a deliberate header edit, so the
+/// semantic gate behind the checksum is what the test exercises.
+void FixHeaderChecksum(std::string* bytes) {
+  WriteU64At(bytes, 120, Fnv1a64Bytes(bytes->data(), 120));
+}
+
+bool Rejected(const std::string& bytes,
+              StoreVerify verify = StoreVerify::kFull) {
+  return !MmapModelStore::FromBytes(bytes, verify).ok();
+}
+
+// --- Fixture --------------------------------------------------------------
+
+/// One trained model per test binary, plus its canonical text checkpoint and
+/// fp64 store bytes. Everything is read-only after SetUpTestSuite.
+class ModelStoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::WorldPresetOptions world_options;
+    world_options.num_fine_pois = 12;
+    world_options.num_coarse_areas = 2;
+    world_options.num_chains = 2;
+    world_options.num_topics = 6;
+    data::TweetGenerator generator(data::MakeNymaWorld(world_options));
+    data::Dataset dataset = generator.Generate(700);
+    data::Pipeline pipeline(generator.BuildGazetteer());
+    processed_ = new data::ProcessedDataset(pipeline.Process(dataset));
+
+    core::EdgeConfig config;
+    config.auto_dim = false;
+    config.embedding_dim = 16;
+    config.gcn_hidden = {16};
+    config.epochs = 6;
+    config.batch_size = 128;
+    config.entity2vec.epochs = 2;
+    model_ = new EdgeModel(config);
+    model_->Fit(*processed_);
+
+    std::ostringstream text;
+    Status status = model_->SaveInference(&text);
+    EDGE_CHECK(status.ok()) << status.ToString();
+    text_checkpoint_ = new std::string(text.str());
+
+    store_bytes_ = new std::string();
+    status = SerializeModelStore(*model_, EmbedPrecision::kFp64, store_bytes_);
+    EDGE_CHECK(status.ok()) << status.ToString();
+  }
+
+  static void TearDownTestSuite() {
+    delete store_bytes_;
+    delete text_checkpoint_;
+    delete model_;
+    delete processed_;
+    store_bytes_ = nullptr;
+    text_checkpoint_ = nullptr;
+    model_ = nullptr;
+    processed_ = nullptr;
+  }
+
+  static std::string SerializeAt(EmbedPrecision precision) {
+    std::string bytes;
+    Status status = SerializeModelStore(*model_, precision, &bytes);
+    EDGE_CHECK(status.ok()) << status.ToString();
+    return bytes;
+  }
+
+  static std::unique_ptr<EdgeModel> LoadStoreModel(
+      std::string bytes, StoreVerify verify = StoreVerify::kFull) {
+    auto store = MmapModelStore::FromBytes(std::move(bytes), verify);
+    EDGE_CHECK(store.ok()) << store.status().ToString();
+    auto model = EdgeModel::LoadFromStore(std::move(store).value());
+    EDGE_CHECK(model.ok()) << model.status().ToString();
+    return std::move(model).value();
+  }
+
+  /// Test tweets: the processed test split (known entities, repeats) plus
+  /// the no-entity degenerate.
+  static std::vector<data::ProcessedTweet> TestTweets() {
+    std::vector<data::ProcessedTweet> tweets(processed_->test.begin(),
+                                             processed_->test.end());
+    tweets.resize(std::min<size_t>(tweets.size(), 64));
+    tweets.push_back({});
+    return tweets;
+  }
+
+  static data::ProcessedDataset* processed_;
+  static EdgeModel* model_;
+  static std::string* text_checkpoint_;
+  static std::string* store_bytes_;
+};
+
+data::ProcessedDataset* ModelStoreTest::processed_ = nullptr;
+EdgeModel* ModelStoreTest::model_ = nullptr;
+std::string* ModelStoreTest::text_checkpoint_ = nullptr;
+std::string* ModelStoreTest::store_bytes_ = nullptr;
+
+void ExpectBitwiseEqual(const EdgePrediction& a, const EdgePrediction& b) {
+  EXPECT_EQ(a.point.lat, b.point.lat);
+  EXPECT_EQ(a.point.lon, b.point.lon);
+  EXPECT_EQ(a.used_fallback, b.used_fallback);
+  ASSERT_EQ(a.mixture.num_components(), b.mixture.num_components());
+  for (size_t m = 0; m < a.mixture.num_components(); ++m) {
+    EXPECT_EQ(a.mixture.weight(m), b.mixture.weight(m));
+    EXPECT_EQ(a.mixture.component(m).mean().x, b.mixture.component(m).mean().x);
+    EXPECT_EQ(a.mixture.component(m).mean().y, b.mixture.component(m).mean().y);
+    EXPECT_EQ(a.mixture.component(m).sigma_x(), b.mixture.component(m).sigma_x());
+    EXPECT_EQ(a.mixture.component(m).sigma_y(), b.mixture.component(m).sigma_y());
+    EXPECT_EQ(a.mixture.component(m).rho(), b.mixture.component(m).rho());
+  }
+  ASSERT_EQ(a.attention.size(), b.attention.size());
+  for (size_t k = 0; k < a.attention.size(); ++k) {
+    EXPECT_EQ(a.attention[k].entity, b.attention[k].entity);
+    EXPECT_EQ(a.attention[k].weight, b.attention[k].weight);
+  }
+}
+
+// --- Round trips ----------------------------------------------------------
+
+TEST_F(ModelStoreTest, TextBinaryTextRoundTripIsBitwise) {
+  std::unique_ptr<EdgeModel> reloaded = LoadStoreModel(*store_bytes_);
+  std::ostringstream out;
+  ASSERT_TRUE(reloaded->SaveInference(&out).ok());
+  EXPECT_EQ(out.str(), *text_checkpoint_);
+}
+
+TEST_F(ModelStoreTest, FileRoundTripThroughLoadInferenceAuto) {
+  std::string dir = ::testing::TempDir();
+  std::string bin_path = dir + "model_store_roundtrip.bin";
+  ASSERT_TRUE(
+      SaveModelStoreAtomic(*model_, EmbedPrecision::kFp64, bin_path).ok());
+  EXPECT_TRUE(LooksLikeModelStore(bin_path));
+
+  auto from_bin = LoadInferenceAuto(bin_path);
+  ASSERT_TRUE(from_bin.ok()) << from_bin.status().ToString();
+  std::ostringstream bin_text;
+  ASSERT_TRUE(from_bin.value()->SaveInference(&bin_text).ok());
+  EXPECT_EQ(bin_text.str(), *text_checkpoint_);
+
+  // And the text path through the same sniffing loader.
+  std::string text_path = dir + "model_store_roundtrip.edge";
+  {
+    std::ofstream out(text_path, std::ios::binary | std::ios::trunc);
+    out << *text_checkpoint_;
+  }
+  EXPECT_FALSE(LooksLikeModelStore(text_path));
+  auto from_text = LoadInferenceAuto(text_path);
+  ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+  EXPECT_EQ(from_text.value()->num_entities(), model_->num_entities());
+  std::filesystem::remove(bin_path);
+  std::filesystem::remove(text_path);
+}
+
+TEST_F(ModelStoreTest, SerializationIsDeterministic) {
+  EXPECT_EQ(SerializeAt(EmbedPrecision::kFp64), *store_bytes_);
+  EXPECT_EQ(SerializeAt(EmbedPrecision::kInt8), SerializeAt(EmbedPrecision::kInt8));
+}
+
+// --- Prediction parity ----------------------------------------------------
+
+TEST_F(ModelStoreTest, StorePredictionsBitwiseMatchTextModelAtThreadBudgets) {
+  std::unique_ptr<EdgeModel> store_model = LoadStoreModel(*store_bytes_);
+  std::istringstream text_in(*text_checkpoint_);
+  auto text_model = EdgeModel::LoadInference(&text_in);
+  ASSERT_TRUE(text_model.ok()) << text_model.status().ToString();
+
+  std::vector<data::ProcessedTweet> tweets = TestTweets();
+  for (int threads : {1, 2, 4}) {
+    store_model->set_num_threads(threads);
+    text_model.value()->set_num_threads(threads);
+    std::vector<EdgePrediction> from_store;
+    std::vector<EdgePrediction> from_text;
+    store_model->PredictBatch(tweets, &from_store);
+    text_model.value()->PredictBatch(tweets, &from_text);
+    ASSERT_EQ(from_store.size(), from_text.size());
+    for (size_t i = 0; i < from_store.size(); ++i) {
+      ExpectBitwiseEqual(from_store[i], from_text[i]);
+    }
+  }
+}
+
+TEST_F(ModelStoreTest, NodeIdsAgreeWithTextCheckpoint) {
+  // The serve cache keys on entity ids; binary and text models must assign
+  // the same id to every name (vocab is stored in node-id order).
+  std::unique_ptr<EdgeModel> store_model = LoadStoreModel(*store_bytes_);
+  ASSERT_EQ(store_model->num_entities(), model_->num_entities());
+  for (size_t id = 0; id < model_->num_entities(); ++id) {
+    EXPECT_EQ(store_model->NodeNameOf(id), model_->NodeNameOf(id));
+    EXPECT_EQ(store_model->NodeIdOf(model_->NodeNameOf(id)), id);
+  }
+  EXPECT_EQ(store_model->NodeIdOf("no_such_entity_name"),
+            graph::EntityGraph::kNotFound);
+}
+
+// --- Zero copy ------------------------------------------------------------
+
+TEST_F(ModelStoreTest, Fp64RowsAliasTheMappedBytes) {
+  auto store = MmapModelStore::FromBytes(*store_bytes_, StoreVerify::kFull);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const MmapModelStore& s = *store.value();
+  ASSERT_TRUE(s.zero_copy());
+  const char* begin = s.raw_data();
+  const char* end = begin + s.file_size();
+  for (size_t node : {size_t{0}, s.num_nodes() / 2, s.num_nodes() - 1}) {
+    nn::ConstRowSpan row = s.EmbeddingRow(node, nullptr);
+    ASSERT_EQ(row.cols, s.hidden());
+    const char* p = reinterpret_cast<const char*>(row.data);
+    EXPECT_GE(p, begin);
+    EXPECT_LE(p + row.cols * sizeof(double), end);
+  }
+}
+
+TEST_F(ModelStoreTest, QuantizedRowsDequantizeIntoScratch) {
+  auto store =
+      MmapModelStore::FromBytes(SerializeAt(EmbedPrecision::kInt8), StoreVerify::kFull);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_FALSE(store.value()->zero_copy());
+  std::vector<double> scratch;
+  nn::ConstRowSpan row = store.value()->EmbeddingRow(0, &scratch);
+  EXPECT_EQ(row.data, scratch.data());
+  EXPECT_EQ(row.cols, store.value()->hidden());
+}
+
+// --- Quantization error bounds --------------------------------------------
+
+TEST_F(ModelStoreTest, Int8ErrorBoundedByHalfScale) {
+  std::unique_ptr<EdgeModel> exact = LoadStoreModel(*store_bytes_);
+  auto store =
+      MmapModelStore::FromBytes(SerializeAt(EmbedPrecision::kInt8), StoreVerify::kFull);
+  ASSERT_TRUE(store.ok());
+  std::vector<double> scratch;
+  for (size_t node = 0; node < store.value()->num_nodes(); ++node) {
+    nn::ConstRowSpan exact_row = exact->store()->EmbeddingRow(node, nullptr);
+    nn::ConstRowSpan q_row = store.value()->EmbeddingRow(node, &scratch);
+    double maxabs = 0.0;
+    for (double v : exact_row) maxabs = std::max(maxabs, std::fabs(v));
+    // Symmetric per-row scale: worst-case rounding error is scale / 2.
+    double bound = maxabs / 127.0 * 0.5 + 1e-12;
+    for (size_t c = 0; c < q_row.cols; ++c) {
+      EXPECT_NEAR(q_row[c], exact_row[c], bound) << "node " << node;
+    }
+  }
+}
+
+TEST_F(ModelStoreTest, Fp16ErrorBoundedByRelativeEpsilon) {
+  std::unique_ptr<EdgeModel> exact = LoadStoreModel(*store_bytes_);
+  auto store =
+      MmapModelStore::FromBytes(SerializeAt(EmbedPrecision::kFp16), StoreVerify::kFull);
+  ASSERT_TRUE(store.ok());
+  std::vector<double> scratch;
+  for (size_t node = 0; node < store.value()->num_nodes(); ++node) {
+    nn::ConstRowSpan exact_row = exact->store()->EmbeddingRow(node, nullptr);
+    nn::ConstRowSpan h_row = store.value()->EmbeddingRow(node, &scratch);
+    for (size_t c = 0; c < h_row.cols; ++c) {
+      // binary16 has a 10-bit mantissa: relative error <= 2^-11 for normal
+      // values; subnormals bottom out at an absolute 2^-25.
+      double tolerance =
+          std::max(std::fabs(exact_row[c]) * 0x1p-11, 0x1p-25) + 1e-300;
+      EXPECT_NEAR(h_row[c], exact_row[c], tolerance) << "node " << node;
+    }
+  }
+}
+
+TEST(Fp16Test, ConversionRoundTripsAndRounds) {
+  // Exactly representable values round-trip bitwise.
+  for (double v : {0.0, 1.0, -1.0, 0.5, 1.5, -2048.0, 65504.0, 0x1p-24}) {
+    EXPECT_EQ(Fp16ToDouble(Fp16FromDouble(v)), v) << v;
+  }
+  // Round-to-nearest-even: 1 + 2^-11 is exactly between 1.0 and the next
+  // half (1 + 2^-10); ties go to the even mantissa (1.0).
+  EXPECT_EQ(Fp16ToDouble(Fp16FromDouble(1.0 + 0x1p-11)), 1.0);
+  // 1 + 3*2^-11 ties between 1 + 2^-10 (odd mantissa) and 1 + 2^-9 (even):
+  // round-to-nearest-even picks the latter.
+  EXPECT_EQ(Fp16ToDouble(Fp16FromDouble(1.0 + 3 * 0x1p-11)), 1.0 + 0x1p-9);
+  // Overflow saturates to infinity; infinities and NaN keep their class.
+  EXPECT_TRUE(std::isinf(Fp16ToDouble(Fp16FromDouble(1e10))));
+  EXPECT_TRUE(std::isinf(Fp16ToDouble(
+      Fp16FromDouble(std::numeric_limits<double>::infinity()))));
+  EXPECT_TRUE(std::isnan(Fp16ToDouble(
+      Fp16FromDouble(std::numeric_limits<double>::quiet_NaN()))));
+  EXPECT_EQ(Fp16ToDouble(Fp16FromDouble(-0.0)), 0.0);
+  EXPECT_TRUE(std::signbit(Fp16ToDouble(Fp16FromDouble(-0.0))));
+}
+
+TEST_F(ModelStoreTest, QuantizedPredictionsStayGeographicallyClose) {
+  std::unique_ptr<EdgeModel> exact = LoadStoreModel(*store_bytes_);
+  std::vector<data::ProcessedTweet> tweets = TestTweets();
+  for (EmbedPrecision precision :
+       {EmbedPrecision::kFp32, EmbedPrecision::kFp16, EmbedPrecision::kInt8}) {
+    std::unique_ptr<EdgeModel> quantized = LoadStoreModel(SerializeAt(precision));
+    for (const data::ProcessedTweet& tweet : tweets) {
+      EdgePrediction a = exact->Predict(tweet);
+      EdgePrediction b = quantized->Predict(tweet);
+      // Embedding perturbations are small relative to km-scale geometry; a
+      // degree of drift would mean the dequantization path is broken.
+      EXPECT_NEAR(a.point.lat, b.point.lat, 0.5)
+          << EmbedPrecisionName(precision);
+      EXPECT_NEAR(a.point.lon, b.point.lon, 0.5)
+          << EmbedPrecisionName(precision);
+    }
+  }
+}
+
+// --- Untrusted-input gates ------------------------------------------------
+
+TEST_F(ModelStoreTest, EveryHeaderPrefixTruncationIsRejected) {
+  for (size_t length = 0; length < 128; ++length) {
+    EXPECT_TRUE(Rejected(store_bytes_->substr(0, length), StoreVerify::kFull))
+        << "prefix " << length;
+    EXPECT_TRUE(Rejected(store_bytes_->substr(0, length), StoreVerify::kFast))
+        << "prefix " << length;
+  }
+}
+
+TEST_F(ModelStoreTest, SampledTruncationsAreRejected) {
+  const std::string& bytes = *store_bytes_;
+  for (size_t k = 0; k <= 64; ++k) {
+    size_t length = bytes.size() * k / 65;
+    if (k == 64) length = bytes.size() - 1;  // Drop-one-byte case.
+    EXPECT_TRUE(Rejected(bytes.substr(0, length), StoreVerify::kFull))
+        << "truncated to " << length;
+    EXPECT_TRUE(Rejected(bytes.substr(0, length), StoreVerify::kFast))
+        << "truncated to " << length;
+  }
+}
+
+TEST_F(ModelStoreTest, SampledBitFlipsAreRejectedAtFullVerify) {
+  // kFull covers every byte: header + sections + manifest checksums, plus
+  // must-be-zero reserved bytes and alignment gaps. Any single flipped bit,
+  // anywhere, must reject.
+  const std::string& bytes = *store_bytes_;
+  for (size_t k = 0; k < 256; ++k) {
+    size_t offset = bytes.size() * (2 * k + 1) / 512;
+    for (uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::string corrupt = bytes;
+      corrupt[offset] = static_cast<char>(corrupt[offset] ^ mask);
+      EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFull))
+          << "bit flip at " << offset << " mask " << int{mask};
+    }
+  }
+}
+
+TEST_F(ModelStoreTest, AppendedBytesAreRejected) {
+  EXPECT_TRUE(Rejected(*store_bytes_ + "x", StoreVerify::kFull));
+  EXPECT_TRUE(Rejected(*store_bytes_ + "x", StoreVerify::kFast));
+  EXPECT_TRUE(Rejected(*store_bytes_ + std::string(4096, '\0'), StoreVerify::kFast));
+}
+
+TEST_F(ModelStoreTest, WrongMagicVersionAndEndiannessAreRejected) {
+  {
+    std::string corrupt = *store_bytes_;
+    corrupt[0] = 'X';
+    FixHeaderChecksum(&corrupt);  // Checksum valid: the magic gate must fire.
+    EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFast));
+  }
+  {
+    std::string corrupt = *store_bytes_;
+    WriteU32At(&corrupt, 8, 2);  // Future format version.
+    FixHeaderChecksum(&corrupt);
+    EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFast));
+  }
+  {
+    std::string corrupt = *store_bytes_;
+    WriteU32At(&corrupt, 12, 0x04030201);  // Big-endian writer.
+    FixHeaderChecksum(&corrupt);
+    EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFast));
+  }
+  {
+    std::string corrupt = *store_bytes_;
+    WriteU32At(&corrupt, 36, 17);  // Unknown embedding precision.
+    FixHeaderChecksum(&corrupt);
+    EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFast));
+  }
+}
+
+TEST_F(ModelStoreTest, ImplausibleDimensionsAreRejectedBeforeAllocation) {
+  // A huge num_nodes with a fixed-up checksum must die on the structural
+  // size gates (sections can't cover the claimed vocabulary), not OOM.
+  for (uint64_t absurd : {uint64_t{1} << 62, uint64_t{1} << 27}) {
+    std::string corrupt = *store_bytes_;
+    WriteU64At(&corrupt, 40, absurd);
+    FixHeaderChecksum(&corrupt);
+    EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFast)) << absurd;
+    EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFull)) << absurd;
+  }
+  {
+    std::string corrupt = *store_bytes_;
+    WriteU64At(&corrupt, 48, uint64_t{1} << 40);  // hidden dim.
+    FixHeaderChecksum(&corrupt);
+    EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFast));
+  }
+  {
+    std::string corrupt = *store_bytes_;
+    WriteU64At(&corrupt, 40, 0);  // Empty vocabulary.
+    FixHeaderChecksum(&corrupt);
+    EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFast));
+  }
+}
+
+TEST_F(ModelStoreTest, ManifestOffsetGatesCatchRelocation) {
+  {
+    std::string corrupt = *store_bytes_;
+    WriteU64At(&corrupt, 24, ReadU64At(corrupt, 24) + 64);
+    FixHeaderChecksum(&corrupt);
+    EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFast));
+  }
+  {
+    std::string corrupt = *store_bytes_;
+    WriteU64At(&corrupt, 24, corrupt.size());  // Manifest past the end.
+    FixHeaderChecksum(&corrupt);
+    EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFast));
+  }
+  {
+    std::string corrupt = *store_bytes_;
+    WriteU64At(&corrupt, 16, corrupt.size() + 1);  // Lying file_size.
+    FixHeaderChecksum(&corrupt);
+    EXPECT_TRUE(Rejected(corrupt, StoreVerify::kFast));
+  }
+}
+
+TEST_F(ModelStoreTest, FastVerifyTotalOverCorruptPayloads) {
+  // kFast skips payload checksums, so a payload flip may load — but every
+  // subsequent access must stay in bounds and total: lookups degrade to
+  // kNotFound / "", never crash (this is the ASAN-audited contract).
+  const std::string& bytes = *store_bytes_;
+  size_t payload_begin = 4096;  // Past header + config; inside vocab/embeddings.
+  size_t payload_end = ReadU64At(bytes, 24);
+  ASSERT_GT(payload_end, payload_begin + 128);
+  for (size_t k = 0; k < 64; ++k) {
+    size_t offset =
+        payload_begin + (payload_end - payload_begin) * (2 * k + 1) / 128;
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x55);
+    auto store = MmapModelStore::FromBytes(corrupt, StoreVerify::kFast);
+    if (!store.ok()) continue;  // Structural gates may still catch it.
+    const MmapModelStore& s = *store.value();
+    std::vector<double> scratch;
+    for (size_t node = 0; node < std::min<size_t>(s.num_nodes(), 8); ++node) {
+      (void)s.NodeName(node);
+      (void)s.NodeId(s.NodeName(node));
+      (void)s.EmbeddingRow(node, &scratch);
+    }
+    (void)s.NodeId("katz_deli");
+  }
+  SUCCEED();
+}
+
+TEST_F(ModelStoreTest, UnfittedModelDoesNotSerialize) {
+  EdgeModel unfitted{EdgeConfig{}};
+  std::string bytes;
+  EXPECT_FALSE(
+      SerializeModelStore(unfitted, EmbedPrecision::kFp64, &bytes).ok());
+}
+
+TEST(ModelStoreSniffTest, MissingAndForeignFilesAreHandled) {
+  EXPECT_FALSE(LooksLikeModelStore("/nonexistent/model.bin"));
+  std::string path = ::testing::TempDir() + "model_store_foreign.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "EDGE-INFERENCE v1\nnot a binary store\n";
+  }
+  EXPECT_FALSE(LooksLikeModelStore(path));
+  EXPECT_FALSE(LoadInferenceAuto(path).ok());  // Text parse fails cleanly.
+  std::filesystem::remove(path);
+}
+
+TEST(ModelStoreSniffTest, PrecisionNamesRoundTrip) {
+  for (EmbedPrecision precision :
+       {EmbedPrecision::kFp64, EmbedPrecision::kFp32, EmbedPrecision::kFp16,
+        EmbedPrecision::kInt8}) {
+    EmbedPrecision parsed;
+    ASSERT_TRUE(ParseEmbedPrecision(EmbedPrecisionName(precision), &parsed));
+    EXPECT_EQ(parsed, precision);
+  }
+  EmbedPrecision parsed;
+  EXPECT_FALSE(ParseEmbedPrecision("fp8", &parsed));
+}
+
+}  // namespace
+}  // namespace edge::core

@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include "edge/common/check.h"
+#include "edge/common/file_util.h"
+#include "edge/core/model_store.h"
 #include "edge/data/generator.h"
 #include "edge/data/pipeline.h"
 #include "edge/data/worlds.h"
@@ -506,6 +508,139 @@ TEST_F(GeoServiceTest, ResponsesCarryTheProducingModel) {
   EXPECT_NE(response.model.get(), service->model().get());
   std::string line = ResponseToJsonLine(response, *response.model, "old");
   EXPECT_NE(line.find("\"point\""), std::string::npos);
+}
+
+// --- edge-model.v1 hot reload (model-store tentpole) ----------------------
+
+/// Writes `text_checkpoint` as a binary fp64 edge-model.v1 file and returns
+/// its path.
+std::string WriteBinaryStore(const std::string& text_checkpoint,
+                             const std::string& name) {
+  std::stringstream in(text_checkpoint);
+  auto model = core::EdgeModel::LoadInference(&in);
+  EDGE_CHECK(model.ok()) << model.status().ToString();
+  std::string path = ::testing::TempDir() + "/" + name;
+  Status status = core::SaveModelStoreAtomic(*model.value(),
+                                             core::EmbedPrecision::kFp64, path);
+  EDGE_CHECK(status.ok()) << status.ToString();
+  return path;
+}
+
+// Reloading from a binary store must answer bitwise-identically to reloading
+// from the equivalent text checkpoint, at every worker budget — PR-4's
+// determinism contract is format-independent.
+TEST_F(GeoServiceTest, BinaryReloadMatchesTextReloadBitwise) {
+  fault::Disarm();
+  std::string text_path = ::testing::TempDir() + "/binary_parity_model.edge";
+  {
+    std::ofstream out(text_path, std::ios::binary | std::ios::trunc);
+    out << *checkpoint2_;
+    ASSERT_TRUE(out.good());
+  }
+  std::string bin_path = WriteBinaryStore(*checkpoint2_, "binary_parity_model.bin");
+
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    GeoServiceOptions options;
+    options.max_delay_ms = 0.5;
+    options.num_workers = workers;
+    options.cache_capacity = 0;
+    // kFast is the O(1) map-and-swap path; parity must hold there too.
+    options.model_store_verify = workers == 1 ? core::StoreVerify::kFull
+                                              : core::StoreVerify::kFast;
+    std::unique_ptr<GeoService> from_text = MakeService(options);
+    std::unique_ptr<GeoService> from_binary = MakeService(options);
+    ASSERT_TRUE(from_text->ReloadFromFile(text_path).ok());
+    ASSERT_TRUE(from_binary->ReloadFromFile(bin_path).ok());
+    EXPECT_EQ(from_text->model_generation(), 2u);
+    EXPECT_EQ(from_binary->model_generation(), 2u);
+    for (size_t i = 0; i < std::min<size_t>(texts_->size(), 24); ++i) {
+      const std::string& text = (*texts_)[i];
+      ExpectBitwiseEqual(from_binary->Predict(text).prediction,
+                         from_text->Predict(text).prediction);
+    }
+  }
+  std::filesystem::remove(text_path);
+  std::filesystem::remove(bin_path);
+}
+
+// In-flight responses keep rendering on the model that produced them across
+// a binary map-and-swap, exactly as across a text reload.
+TEST_F(GeoServiceTest, ResponsesCarryProducingModelAcrossBinaryReload) {
+  fault::Disarm();
+  std::string bin_path = WriteBinaryStore(*checkpoint2_, "binary_inflight.bin");
+  GeoServiceOptions options;
+  options.max_delay_ms = 0.5;
+  options.cache_capacity = 16;
+  options.model_store_verify = core::StoreVerify::kFast;
+  std::unique_ptr<GeoService> service = MakeService(options);
+  ServeResponse response = service->Predict((*texts_)[0]);
+  ASSERT_NE(response.model, nullptr);
+
+  ASSERT_TRUE(service->ReloadFromFile(bin_path).ok());
+  EXPECT_EQ(service->model_generation(), 2u);
+  // The pre-swap response still renders against its own retained model.
+  EXPECT_NE(response.model.get(), service->model().get());
+  std::string line = ResponseToJsonLine(response, *response.model, "old");
+  EXPECT_NE(line.find("\"point\""), std::string::npos);
+  // Post-swap answers come from the store-backed model, bitwise.
+  for (size_t i = 0; i < 8; ++i) {
+    const std::string& text = (*texts_)[i];
+    ExpectBitwiseEqual(service->Predict(text).prediction,
+                       Reference(*service, text));
+  }
+  std::filesystem::remove(bin_path);
+}
+
+// A corrupt binary store is rejected by the Open gates and the old model
+// keeps serving unchanged — same rollback contract as text checkpoints.
+TEST_F(GeoServiceTest, BinaryReloadCorruptStoreRollsBack) {
+  fault::Disarm();
+  std::string bin_path = WriteBinaryStore(*checkpoint2_, "binary_corrupt.bin");
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(bin_path, &bytes).ok());
+  for (size_t flip : {bytes.size() / 3, bytes.size() / 2}) {
+    std::string corrupt = bytes;
+    corrupt[flip] = static_cast<char>(corrupt[flip] ^ 0x20);
+    std::ofstream out(bin_path, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+    out.close();
+
+    GeoServiceOptions options;
+    options.max_delay_ms = 0.5;
+    options.cache_capacity = 0;
+    std::unique_ptr<GeoService> service = MakeService(options);
+    core::EdgePrediction before = service->Predict((*texts_)[0]).prediction;
+    EXPECT_FALSE(service->ReloadFromFile(bin_path).ok());
+    EXPECT_EQ(service->model_generation(), 1u);
+    ExpectBitwiseEqual(service->Predict((*texts_)[0]).prediction, before);
+  }
+  std::filesystem::remove(bin_path);
+}
+
+// The response cache is keyed per model generation: after a binary reload a
+// repeated request must be answered by the new model, never the cached old
+// response (ids agree across formats, so this is the gate that protects it).
+TEST_F(GeoServiceTest, CacheServesNewModelAfterBinaryReload) {
+  fault::Disarm();
+  std::string bin_path = WriteBinaryStore(*checkpoint2_, "binary_cachegen.bin");
+  GeoServiceOptions options;
+  options.max_delay_ms = 0.5;
+  options.cache_capacity = 64;
+  options.model_store_verify = core::StoreVerify::kFast;
+  std::unique_ptr<GeoService> service = MakeService(options);
+
+  const std::string& text = (*texts_)[0];
+  ServeResponse first = service->Predict(text);
+  ServeResponse cached = service->Predict(text);
+  ExpectBitwiseEqual(cached.prediction, first.prediction);
+
+  ASSERT_TRUE(service->ReloadFromFile(bin_path).ok());
+  ServeResponse fresh = service->Predict(text);
+  // Reference() reads the service's current (store-backed) model.
+  ExpectBitwiseEqual(fresh.prediction, Reference(*service, text));
+  // And a repeat is served from the generation-2 cache, still new-model.
+  ExpectBitwiseEqual(service->Predict(text).prediction, fresh.prediction);
+  std::filesystem::remove(bin_path);
 }
 
 // --- Request telemetry, windowed stats, SLO and health (obs tentpole). ---

@@ -10,8 +10,11 @@
 ///   echo "lunch at katz_deli" | edge_serve --model m.edge --gazetteer g.tsv
 ///
 /// Flags:
-///   --model m.edge          EDGE-INFERENCE checkpoint (required)
+///   --model m.edge          checkpoint, text EDGE-INFERENCE or binary
+///                           edge-model.v1, sniffed by magic (required)
 ///   --gazetteer g.tsv       NER dictionary (required)
+///   --store-verify full|fast  binary-store validation depth (default full;
+///                           fast makes binary hot reload O(1) map-and-swap)
 ///   --max-batch N           micro-batch flush size            (default 16)
 ///   --max-delay-ms D        micro-batch flush age             (default 2)
 ///   --workers N             batch worker threads              (default 1)
@@ -57,6 +60,7 @@
 #include <string>
 #include <utility>
 
+#include "edge/core/model_store.h"
 #include "edge/obs/json_util.h"
 #include "edge/serve/geo_service.h"
 #include "edge/serve/json_codec.h"
@@ -100,6 +104,7 @@ int Usage() {
                "  [--max-batch N] [--max-delay-ms D] [--workers N]\n"
                "  [--queue-capacity N] [--cache-capacity N] [--deadline-ms D]\n"
                "  [--predict-threads N] [--telemetry true|false]\n"
+               "  [--store-verify full|fast]\n"
                "  [--slo-p99-ms D] [--slo-availability F]\n"
                "  [--metrics-export m.json] [--metrics-export-every S]\n"
                "  [--log-level L] [--metrics-out m.json] [--trace-out t.json]\n"
@@ -176,11 +181,6 @@ int main(int argc, char** argv) {
   std::string gaz_path = args.Get("gazetteer");
   if (model_path.empty() || gaz_path.empty()) return Usage();
 
-  std::ifstream model_in(model_path);
-  if (!model_in.good()) {
-    std::fprintf(stderr, "cannot open %s\n", model_path.c_str());
-    return 1;
-  }
   Result<text::Gazetteer> gazetteer = tools::LoadGazetteer(gaz_path);
   if (!gazetteer.ok()) {
     std::fprintf(stderr, "bad gazetteer: %s\n", gazetteer.status().ToString().c_str());
@@ -210,11 +210,29 @@ int main(int argc, char** argv) {
   options.slo_p99_ms = args.GetDouble("slo-p99-ms", options.slo_p99_ms);
   options.slo_availability =
       args.GetDouble("slo-availability", options.slo_availability);
+  std::string verify_flag = args.Get("store-verify", "full");
+  if (verify_flag == "full") {
+    options.model_store_verify = core::StoreVerify::kFull;
+  } else if (verify_flag == "fast") {
+    options.model_store_verify = core::StoreVerify::kFast;
+  } else {
+    std::fprintf(stderr, "--store-verify: '%s' is not full or fast\n",
+                 verify_flag.c_str());
+    return Usage();
+  }
   // Strict flag parsing: GetInt/GetDouble flag malformed values on the Args.
   if (!args.ok()) return Usage();
 
-  auto service = serve::GeoService::Create(&model_in, std::move(gazetteer).value(),
-                                           options);
+  // The initial load goes through the same sniffing path as hot reload, so
+  // --model accepts either checkpoint format.
+  auto model = core::LoadInferenceAuto(model_path, options.model_store_verify);
+  if (!model.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", model_path.c_str(),
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  auto service = serve::GeoService::Create(std::move(model).value(),
+                                           std::move(gazetteer).value(), options);
   if (!service.ok()) {
     std::fprintf(stderr, "cannot serve %s: %s\n", model_path.c_str(),
                  service.status().ToString().c_str());

@@ -13,10 +13,21 @@
 /// configuration with request telemetry off, on, and on+tracing, so the
 /// observability overhead is a measured number (budget: fully enabled must
 /// stay within 5% of the disabled-path QPS).
+///
+/// The BENCH_serve.json "open_loop" section drives the service the way a
+/// network does: arrivals on a fixed schedule that does not slow down when
+/// the service falls behind (closed-loop clients self-throttle and hide
+/// overload). Rates are set relative to the measured closed-loop capacity —
+/// below, near and well past saturation — and each row records
+/// p50/p99/p999 and how the service degraded: shed at admission or expired
+/// in queue, both answered with the fallback prior. The invariant under
+/// overload is zero errors — every request gets a well-formed response.
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <future>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -102,6 +113,78 @@ LoadResult RunLoad(const std::string& checkpoint, const text::Gazetteer& gazette
   return result;
 }
 
+struct OpenLoopResult {
+  double target_qps;
+  double offered_qps;   ///< What the pacer actually achieved.
+  double achieved_qps;  ///< Completions over wall clock.
+  size_t requests;
+  size_t full_service;
+  size_t shed;      ///< Degraded: admission queue full.
+  size_t deadline;  ///< Degraded: expired while queued.
+  double p50_ms;
+  double p99_ms;
+  double p999_ms;
+};
+
+/// One pacer thread submits on the fixed schedule; responses complete on the
+/// service's workers. Latency is submit->completion, which under overload
+/// includes the queue wait — exactly the number a network client sees.
+OpenLoopResult RunOpenLoop(const std::string& checkpoint,
+                           const text::Gazetteer& gazetteer,
+                           const std::vector<std::string>& texts,
+                           double target_qps, size_t total_requests,
+                           double deadline_ms) {
+  serve::GeoServiceOptions options;
+  options.max_batch = 8;
+  options.max_delay_ms = 1.0;
+  options.num_workers = 2;
+  options.cache_capacity = 0;
+  options.queue_capacity = 256;  // Small enough that overload actually sheds.
+  options.default_deadline_ms = deadline_ms;
+  std::stringstream stream(checkpoint);
+  auto service = serve::GeoService::Create(&stream, gazetteer, options);
+  EDGE_CHECK(service.ok()) << service.status().ToString();
+
+  std::vector<std::future<serve::ServeResponse>> futures;
+  futures.reserve(total_requests);
+  const auto period = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / target_qps));
+  Stopwatch watch;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < total_requests; ++r) {
+    std::this_thread::sleep_until(start + r * period);
+    futures.push_back(service.value()->SubmitAsync(texts[(r * 17) % texts.size()]));
+  }
+  double offered_seconds = watch.ElapsedSeconds();
+
+  OpenLoopResult result;
+  result.target_qps = target_qps;
+  result.requests = total_requests;
+  result.full_service = 0;
+  result.shed = 0;
+  result.deadline = 0;
+  std::vector<double> latencies;
+  latencies.reserve(total_requests);
+  for (std::future<serve::ServeResponse>& future : futures) {
+    serve::ServeResponse response = future.get();
+    latencies.push_back(response.latency_ms);
+    if (!response.degraded) {
+      ++result.full_service;
+    } else if (response.degrade_reason == serve::DegradeReason::kShed) {
+      ++result.shed;
+    } else {
+      ++result.deadline;
+    }
+  }
+  double seconds = watch.ElapsedSeconds();
+  result.offered_qps = static_cast<double>(total_requests) / offered_seconds;
+  result.achieved_qps = static_cast<double>(total_requests) / seconds;
+  result.p50_ms = PercentileMs(&latencies, 0.50);
+  result.p99_ms = PercentileMs(&latencies, 0.99);
+  result.p999_ms = PercentileMs(&latencies, 0.999);
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -169,9 +252,46 @@ int main() {
                  r.degraded, static_cast<double>(r.requests) / r.seconds, r.p50_ms,
                  r.p99_ms, i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+
+  // Open-loop overload sweep, rated against the best measured closed-loop
+  // capacity so "2.5x" still means overload when the hardware changes.
+  double capacity_qps = 0.0;
+  for (const LoadResult& r : results) {
+    if (r.cache) continue;
+    capacity_qps = std::max(capacity_qps, static_cast<double>(r.requests) / r.seconds);
+  }
+  const double kDeadlineMs = 50.0;
+  const size_t kOpenLoopRequests = 2000;
+  std::vector<OpenLoopResult> open_loop;
+  for (double factor : {0.5, 1.0, 2.5}) {
+    double target = std::max(1.0, factor * capacity_qps);
+    std::fprintf(stderr, "open loop: %.0fx capacity (%.0f qps target)\n", factor,
+                 target);
+    open_loop.push_back(RunOpenLoop(checkpoint, gazetteer, texts, target,
+                                    kOpenLoopRequests, kDeadlineMs));
+  }
+  std::fprintf(out, "  \"open_loop\": {\n");
+  std::fprintf(out, "    \"max_batch\": 8, \"workers\": 2, \"queue_capacity\": 256,\n");
+  std::fprintf(out, "    \"deadline_ms\": %.1f,\n", kDeadlineMs);
+  std::fprintf(out, "    \"closed_loop_capacity_qps\": %.1f,\n", capacity_qps);
+  std::fprintf(out, "    \"runs\": [\n");
+  for (size_t i = 0; i < open_loop.size(); ++i) {
+    const OpenLoopResult& r = open_loop[i];
+    std::fprintf(out,
+                 "      {\"target_qps\": %.1f, \"offered_qps\": %.1f, "
+                 "\"achieved_qps\": %.1f, \"requests\": %zu, "
+                 "\"full_service\": %zu, \"shed\": %zu, \"deadline_expired\": %zu, "
+                 "\"errors\": 0, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f}%s\n",
+                 r.target_qps, r.offered_qps, r.achieved_qps, r.requests,
+                 r.full_service, r.shed, r.deadline, r.p50_ms, r.p99_ms, r.p999_ms,
+                 i + 1 < open_loop.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n  }\n}\n");
   std::fclose(out);
-  std::fprintf(stderr, "wrote BENCH_serve.json (%zu runs)\n", results.size());
+  std::fprintf(stderr, "wrote BENCH_serve.json (%zu closed + %zu open-loop runs)\n",
+               results.size(), open_loop.size());
 
   // Observability-overhead comparison at one fixed configuration. The three
   // modes share the checkpoint and request schedule, so the only variable is

@@ -1,0 +1,69 @@
+#include "edge/net/line_framer.h"
+
+#include <cstring>
+
+namespace edge::net {
+
+void LineFramer::Append(const char* data, size_t n) {
+  // Compact lazily: only when the dead prefix dominates the buffer, so the
+  // steady state (many small lines) stays amortized O(bytes).
+  if (head_ > 0 && (head_ >= buffer_.size() || head_ > (64u << 10))) {
+    buffer_.erase(0, head_);
+    head_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+LineFramer::Event LineFramer::Next(std::string* line) {
+  if (discarding_) {
+    // Drop the remainder of an oversized line through its terminator.
+    const void* nl = std::memchr(buffer_.data() + head_, '\n', buffer_.size() - head_);
+    if (nl == nullptr) {
+      head_ = buffer_.size();
+      scanned_ = 0;
+      return Event::kNeedMore;
+    }
+    head_ = static_cast<size_t>(static_cast<const char*>(nl) - buffer_.data()) + 1;
+    scanned_ = 0;
+    discarding_ = false;
+    return Next(line);
+  }
+
+  const size_t unscanned = head_ + scanned_;
+  const void* nl = unscanned < buffer_.size()
+                       ? std::memchr(buffer_.data() + unscanned, '\n',
+                                     buffer_.size() - unscanned)
+                       : nullptr;
+  if (nl == nullptr) {
+    scanned_ = buffer_.size() - head_;
+    // +1 leaves room for a trailing '\r' that would be stripped once the
+    // '\n' arrives; a line of exactly max bytes + CRLF must not trip this.
+    if (scanned_ > max_line_bytes_ + 1) {
+      // The line is already too long and its terminator has not even
+      // arrived: reject now and drop bytes until it does.
+      head_ = buffer_.size();
+      scanned_ = 0;
+      discarding_ = true;
+      return Event::kOversized;
+    }
+    return Event::kNeedMore;
+  }
+
+  const size_t end = static_cast<size_t>(static_cast<const char*>(nl) - buffer_.data());
+  size_t len = end - head_;
+  // CRLF tolerance: strip one trailing '\r' before anything else — it is
+  // part of the terminator, so it neither reaches the payload nor counts
+  // against the length cap.
+  if (len > 0 && buffer_[head_ + len - 1] == '\r') --len;
+  if (len > max_line_bytes_) {
+    head_ = end + 1;
+    scanned_ = 0;
+    return Event::kOversized;
+  }
+  line->assign(buffer_, head_, len);
+  head_ = end + 1;
+  scanned_ = 0;
+  return Event::kLine;
+}
+
+}  // namespace edge::net

@@ -1,0 +1,61 @@
+#ifndef EDGE_NET_LINE_FRAMER_H_
+#define EDGE_NET_LINE_FRAMER_H_
+
+#include <cstddef>
+#include <string>
+
+/// \file
+/// Incremental LDJSON line framing for the socket serving tier.
+///
+/// TCP is a byte stream: one read() may deliver half a request, three
+/// requests, or a request plus the first bytes of the next. LineFramer
+/// re-frames the stream into newline-terminated lines:
+///
+///   - partial lines buffer across reads until their '\n' arrives;
+///   - several complete lines in one read come back as several events;
+///   - a trailing "\r" (CRLF clients: telnet, curl, Windows tooling) is
+///     stripped from the payload;
+///   - a line exceeding max_line_bytes is rejected as one kOversized event
+///     and its bytes are discarded through the terminating '\n', so a
+///     misbehaving client can neither balloon server memory nor desync the
+///     one-response-per-line contract.
+
+namespace edge::net {
+
+class LineFramer {
+ public:
+  /// Default per-line cap. Tweets are ~10^2 bytes; 1 MiB leaves three orders
+  /// of magnitude of headroom while bounding per-connection buffering.
+  static constexpr size_t kDefaultMaxLineBytes = 1 << 20;
+
+  enum class Event {
+    kNeedMore,   ///< No complete line buffered; feed more bytes.
+    kLine,       ///< *line holds the next complete line (terminator stripped).
+    kOversized,  ///< Next line exceeded max_line_bytes; its bytes are dropped.
+  };
+
+  explicit LineFramer(size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Buffers `n` raw stream bytes.
+  void Append(const char* data, size_t n);
+
+  /// Pops the next framing event. Call until kNeedMore after every Append.
+  Event Next(std::string* line);
+
+  /// Bytes buffered and not yet returned (diagnostics).
+  size_t buffered() const { return buffer_.size() - head_; }
+
+  size_t max_line_bytes() const { return max_line_bytes_; }
+
+ private:
+  std::string buffer_;
+  size_t head_ = 0;       ///< Start of the unconsumed region in buffer_.
+  size_t scanned_ = 0;    ///< Bytes past head_ already scanned for '\n'.
+  bool discarding_ = false;  ///< Inside an oversized line, dropping bytes.
+  size_t max_line_bytes_;
+};
+
+}  // namespace edge::net
+
+#endif  // EDGE_NET_LINE_FRAMER_H_

@@ -1,0 +1,139 @@
+#include "edge/net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace edge::net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Fills a sockaddr_in for `host` (dotted quad; "" = INADDR_ANY).
+Status MakeAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (host.empty()) {
+    addr->sin_addr.s_addr = htonl(INADDR_ANY);
+    return Status::Ok();
+  }
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SplitHostPort(const std::string& address, std::string* host,
+                     uint16_t* port) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= address.size()) {
+    return Status::InvalidArgument("expected host:port, got '" + address + "'");
+  }
+  *host = address.substr(0, colon);
+  const std::string port_text = address.substr(colon + 1);
+  long value = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad port in '" + address + "'");
+    }
+    value = value * 10 + (c - '0');
+    if (value > 65535) {
+      return Status::InvalidArgument("port out of range in '" + address + "'");
+    }
+  }
+  if (value == 0) return Status::InvalidArgument("port 0 in '" + address + "'");
+  *port = static_cast<uint16_t>(value);
+  return Status::Ok();
+}
+
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      uint16_t* bound_port) {
+  sockaddr_in addr;
+  Status status = MakeAddr(host, port, &addr);
+  if (!status.ok()) return status;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status error = Status::Internal(Errno("bind " + host + ":" + std::to_string(port)));
+    CloseFd(fd);
+    return error;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    Status error = Status::Internal(Errno("listen"));
+    CloseFd(fd);
+    return error;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      Status error = Status::Internal(Errno("getsockname"));
+      CloseFd(fd);
+      return error;
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  status = SetNonBlocking(fd);
+  if (!status.ok()) {
+    CloseFd(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  Status status = MakeAddr(host.empty() ? "127.0.0.1" : host, port, &addr);
+  if (!status.ok()) return status;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status error = Status::Internal(
+        Errno("connect " + host + ":" + std::to_string(port)));
+    CloseFd(fd);
+    return error;
+  }
+  // Request lines are latency-sensitive and tiny; never Nagle-delay them.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  status = SetNonBlocking(fd);
+  if (!status.ok()) {
+    CloseFd(fd);
+    return status;
+  }
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Internal(Errno("fcntl(F_GETFL)"));
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Internal(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::Ok();
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace edge::net

@@ -1,0 +1,39 @@
+#ifndef EDGE_NET_SOCKET_UTIL_H_
+#define EDGE_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "edge/common/status.h"
+
+/// \file
+/// Thin POSIX TCP helpers for the serving tier: create a listener, dial a
+/// peer, flip a descriptor non-blocking. Everything returns Status — socket
+/// setup failures (port in use, peer down) are operational conditions, not
+/// invariant violations.
+
+namespace edge::net {
+
+/// "host:port" -> (host, port). Returns InvalidArgument on a missing or
+/// malformed port.
+Status SplitHostPort(const std::string& address, std::string* host,
+                     uint16_t* port);
+
+/// Creates a bound, listening, non-blocking TCP socket (SO_REUSEADDR).
+/// `port` 0 binds an ephemeral port; *bound_port always receives the actual
+/// one. Returns the listening fd.
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      uint16_t* bound_port);
+
+/// Blocking connect to host:port; the returned fd is already non-blocking.
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// O_NONBLOCK on an existing descriptor.
+Status SetNonBlocking(int fd);
+
+/// close() that ignores EINTR (retrying close is not portable).
+void CloseFd(int fd);
+
+}  // namespace edge::net
+
+#endif  // EDGE_NET_SOCKET_UTIL_H_

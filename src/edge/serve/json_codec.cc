@@ -1,6 +1,7 @@
 #include "edge/serve/json_codec.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdlib>
 
 #include "edge/obs/json_util.h"
@@ -39,6 +40,40 @@ struct JsonCursor {
     return true;
   }
 
+  /// Four hex digits of a \u escape -> code unit in [0, 0xFFFF].
+  bool ParseHex4(unsigned* code) {
+    if (pos + 4 > line.size()) return Fail("truncated \\u escape");
+    *code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = line[pos++];
+      *code <<= 4;
+      if (h >= '0' && h <= '9') *code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') *code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') *code |= static_cast<unsigned>(h - 'A' + 10);
+      else return Fail("bad \\u escape");
+    }
+    return true;
+  }
+
+  /// Appends one Unicode code point (<= U+10FFFF) as UTF-8.
+  static void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
   bool ParseString(std::string* out) {
     SkipSpace();
     if (pos >= line.size() || line[pos] != '"') return Fail("expected string");
@@ -63,28 +98,29 @@ struct JsonCursor {
         case 'b': out->push_back('\b'); break;
         case 'f': out->push_back('\f'); break;
         case 'u': {
-          if (pos + 4 > line.size()) return Fail("truncated \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = line[pos++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return Fail("bad \\u escape");
+          if (!ParseHex4(&code)) return false;
+          // UTF-16 surrogate halves are not code points. A high surrogate
+          // must pair with an immediately following \u-escaped low half
+          // (emoji tweets arrive exactly this way: "😀" is 😀);
+          // either half alone has no valid UTF-8 encoding.
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Fail("unpaired low surrogate");
           }
-          // Tweets are ASCII in this codebase; encode BMP code points as
-          // UTF-8 so round-trips stay lossless anyway.
-          if (code < 0x80) {
-            out->push_back(static_cast<char>(code));
-          } else if (code < 0x800) {
-            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
-            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos + 2 > line.size() || line[pos] != '\\' ||
+                line[pos + 1] != 'u') {
+              return Fail("unpaired high surrogate");
+            }
+            pos += 2;
+            unsigned low = 0;
+            if (!ParseHex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("unpaired high surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           }
+          AppendUtf8(out, code);
           break;
         }
         default: return Fail("unknown escape");
@@ -93,13 +129,46 @@ struct JsonCursor {
     return Fail("unterminated string");
   }
 
+  /// Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+  /// strtod would also accept "nan", "inf", hex floats and leading zeros —
+  /// and a NaN deadline slips past every "< 0" validation gate downstream, so
+  /// the wire grammar is validated before any conversion and the converted
+  /// value must be finite.
   bool ParseNumber(double* out) {
     SkipSpace();
-    const char* begin = line.c_str() + pos;
-    char* end = nullptr;
-    double v = std::strtod(begin, &end);
-    if (end == begin) return Fail("expected number");
-    pos += static_cast<size_t>(end - begin);
+    const size_t start = pos;
+    size_t p = pos;
+    auto is_digit = [this](size_t i) {
+      return i < line.size() && line[i] >= '0' && line[i] <= '9';
+    };
+    if (p < line.size() && line[p] == '-') ++p;
+    if (!is_digit(p)) return Fail("expected number");
+    if (line[p] == '0') {
+      ++p;  // JSON forbids leading zeros: "0123" is not a number.
+    } else {
+      while (is_digit(p)) ++p;
+    }
+    if (p < line.size() && line[p] == '.') {
+      ++p;
+      if (!is_digit(p)) return Fail("missing fraction digits");
+      while (is_digit(p)) ++p;
+    }
+    if (p < line.size() && (line[p] == 'e' || line[p] == 'E')) {
+      ++p;
+      if (p < line.size() && (line[p] == '+' || line[p] == '-')) ++p;
+      if (!is_digit(p)) return Fail("missing exponent digits");
+      while (is_digit(p)) ++p;
+    }
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(line.data() + start, line.data() + p, v);
+    if (ec == std::errc::result_out_of_range) {
+      // e.g. "1e999": syntactically JSON, but there is no finite double and
+      // non-finite values poison every arithmetic gate downstream.
+      pos = p;
+      return Fail("number out of range");
+    }
+    if (ec != std::errc() || ptr != line.data() + p) return Fail("expected number");
+    pos = p;
     *out = v;
     return true;
   }
@@ -119,7 +188,11 @@ struct JsonCursor {
     return Fail("expected true or false");
   }
 
-  /// Skips a scalar value we don't care about (string/number/true/false/null).
+  /// Skips a scalar value we don't care about. The skipped token must still
+  /// be a valid JSON scalar (string/number/true/false/null): the old
+  /// skip-to-delimiter loop advanced zero characters over {"x":} and happily
+  /// swallowed bare garbage, reporting success for lines that were never
+  /// JSON.
   bool SkipScalar() {
     SkipSpace();
     if (pos >= line.size()) return Fail("expected value");
@@ -129,8 +202,19 @@ struct JsonCursor {
       return ParseString(&ignored);
     }
     if (c == '{' || c == '[') return Fail("nested values are not supported");
-    while (pos < line.size() && line[pos] != ',' && line[pos] != '}') ++pos;
-    return true;
+    if (c == 't' || c == 'f') {
+      bool ignored;
+      return ParseBool(&ignored);
+    }
+    if (c == 'n') {
+      if (line.compare(pos, 4, "null") == 0) {
+        pos += 4;
+        return true;
+      }
+      return Fail("expected value");
+    }
+    double ignored;
+    return ParseNumber(&ignored);
   }
 };
 
@@ -168,10 +252,20 @@ bool ParseRequestLine(const std::string& line, ServeRequest* request,
         "request object needs \"text\" or a control verb "
         "(reload/stats/health)");
   };
+  // One object per line is the whole grammar: anything but whitespace after
+  // the closing '}' (a second object, stray bytes) is a framing error, not a
+  // request.
+  auto check_end = [&]() {
+    cursor.SkipSpace();
+    if (cursor.pos < line.size()) {
+      return cursor.Fail("trailing characters after object");
+    }
+    return check_payload();
+  };
   cursor.SkipSpace();
   if (cursor.pos < line.size() && line[cursor.pos] == '}') {
     ++cursor.pos;
-    return check_payload();
+    return check_end();
   }
   for (;;) {
     std::string key;
@@ -209,7 +303,7 @@ bool ParseRequestLine(const std::string& line, ServeRequest* request,
     }
     if (line[cursor.pos] == '}') {
       ++cursor.pos;
-      return check_payload();
+      return check_end();
     }
     return cursor.Fail("expected ',' or '}'");
   }

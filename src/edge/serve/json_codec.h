@@ -7,13 +7,29 @@
 #include "edge/serve/geo_service.h"
 
 /// \file
-/// Line-delimited JSON wire format for tools/edge_serve. One request line in,
-/// one response line out, in order.
+/// Line-delimited JSON wire format for tools/edge_serve and the networked
+/// tier behind tools/edge_router. One request line in, one response line
+/// out, in order — per stream (the stdin pipe, or one TCP connection).
 ///
 /// Request lines are either raw tweet text or a flat JSON object:
 ///   {"text": "pizza near @nypl", "id": "req-7", "deadline_ms": 15}
 /// A line whose first non-space character is '{' is parsed as JSON; anything
 /// else is taken verbatim as the tweet text.
+///
+/// The accepted JSON grammar (DESIGN.md §16) is strict RFC 8259 restricted
+/// to one flat object per line:
+///   - values are strings, numbers, true/false or null; nested objects and
+///     arrays are rejected (`{"x": {}}` is an error, not a skip);
+///   - numbers are `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?` and must
+///     be finite: strtod-isms (`nan`, `inf`, hex floats, leading zeros or
+///     `+`) and overflow (`1e999`) are parse errors;
+///   - string escapes are RFC 8259's; `\uXXXX` decodes UTF-16, combining
+///     surrogate pairs into one 4-byte UTF-8 code point (an escaped emoji is
+///     real UTF-8, not two CESU-8 triples) and rejecting lone surrogates;
+///   - every key must carry a value (`{"x":}` is an error) and nothing may
+///     follow the closing brace;
+///   - unknown keys with scalar values are skipped, so old clients keep
+///     working against newer servers.
 ///
 /// Response lines carry the full mixture (per-component weight, lat/lon
 /// center, km sigmas, rho and the 95% confidence ellipse), the Eq. 14 mode

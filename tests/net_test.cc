@@ -1,0 +1,322 @@
+#include "edge/net/line_framer.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edge/common/check.h"
+#include "edge/net/line_server.h"
+#include "edge/net/socket_util.h"
+
+namespace edge::net {
+namespace {
+
+// --- LineFramer: TCP gives byte soup, the framer must give exact lines ----
+
+std::vector<std::string> Feed(LineFramer* framer, std::string_view bytes,
+                              std::vector<bool>* oversized = nullptr) {
+  framer->Append(bytes.data(), bytes.size());
+  std::vector<std::string> lines;
+  while (true) {
+    std::string line;
+    LineFramer::Event event = framer->Next(&line);
+    if (event == LineFramer::Event::kNeedMore) break;
+    if (event == LineFramer::Event::kOversized) {
+      if (oversized != nullptr) oversized->push_back(true);
+      continue;
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+TEST(LineFramerTest, ReassemblesALineSplitAcrossReads) {
+  LineFramer framer(1024);
+  EXPECT_TRUE(Feed(&framer, "hel").empty());
+  EXPECT_TRUE(Feed(&framer, "lo wo").empty());
+  std::vector<std::string> lines = Feed(&framer, "rld\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "hello world");
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(LineFramerTest, SplitsMultipleLinesInOneRead) {
+  LineFramer framer(1024);
+  std::vector<std::string> lines = Feed(&framer, "a\nbb\n\nccc\ntail");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "bb");
+  EXPECT_EQ(lines[2], "");  // Empty lines are real lines.
+  EXPECT_EQ(lines[3], "ccc");
+  EXPECT_EQ(framer.buffered(), 4u);  // "tail" awaits its terminator.
+  lines = Feed(&framer, "\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "tail");
+}
+
+TEST(LineFramerTest, ByteAtATimeDelivery) {
+  LineFramer framer(1024);
+  std::string input = "ab\ncd\n";
+  std::vector<std::string> lines;
+  for (char c : input) {
+    for (std::string& line : Feed(&framer, std::string_view(&c, 1))) {
+      lines.push_back(std::move(line));
+    }
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "ab");
+  EXPECT_EQ(lines[1], "cd");
+}
+
+TEST(LineFramerTest, StripsExactlyOneTrailingCarriageReturn) {
+  LineFramer framer(1024);
+  std::vector<std::string> lines = Feed(&framer, "crlf\r\nbare\ninner\rkept\r\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "crlf");
+  EXPECT_EQ(lines[1], "bare");
+  EXPECT_EQ(lines[2], "inner\rkept");  // Only the terminator's \r goes.
+}
+
+TEST(LineFramerTest, OversizedLineIsRejectedOnceAndStreamRecovers) {
+  LineFramer framer(8);
+  std::vector<bool> oversized;
+  // The long line arrives in pieces; exactly one kOversized fires (as soon as
+  // the cap is provably exceeded, before its newline even shows up).
+  EXPECT_TRUE(Feed(&framer, "0123456", &oversized).empty());
+  EXPECT_TRUE(oversized.empty());
+  EXPECT_TRUE(Feed(&framer, "89abcdef", &oversized).empty());
+  EXPECT_EQ(oversized.size(), 1u);
+  // Everything up to the next terminator is discarded; later lines survive.
+  std::vector<std::string> lines =
+      Feed(&framer, "-more-garbage-\nok\n", &oversized);
+  EXPECT_EQ(oversized.size(), 1u);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "ok");
+}
+
+TEST(LineFramerTest, OversizedAtTerminatorInOneRead) {
+  LineFramer framer(4);
+  std::vector<bool> oversized;
+  std::vector<std::string> lines = Feed(&framer, "toolong\nok\n", &oversized);
+  EXPECT_EQ(oversized.size(), 1u);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "ok");
+}
+
+TEST(LineFramerTest, MaxLengthLineIsAccepted) {
+  LineFramer framer(4);
+  std::vector<std::string> lines = Feed(&framer, "abcd\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "abcd");
+  // CRLF: the \r does not count against the cap (it is part of the
+  // terminator, not the line).
+  lines = Feed(&framer, "wxyz\r\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "wxyz");
+}
+
+TEST(SocketUtilTest, SplitHostPort) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(SplitHostPort("127.0.0.1:7070", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 7070);
+  EXPECT_FALSE(SplitHostPort("127.0.0.1", &host, &port).ok());
+  EXPECT_FALSE(SplitHostPort("127.0.0.1:", &host, &port).ok());
+  EXPECT_FALSE(SplitHostPort("127.0.0.1:notaport", &host, &port).ok());
+  EXPECT_FALSE(SplitHostPort("127.0.0.1:99999", &host, &port).ok());
+}
+
+// --- LineServer: real sockets on loopback ---------------------------------
+
+/// Echo fixture: every received line is answered as "echo:<line>"; oversized
+/// lines answer "oversized". The test thread pumps RunOnce itself, so all
+/// callbacks run on it.
+class LineServerTest : public ::testing::Test {
+ protected:
+  void StartEcho(LineServer::Options options) {
+    LineServer::Callbacks callbacks;
+    callbacks.on_open = [this](LineServer::ConnId id) {
+      ++opened_;
+      last_opened_ = id;
+    };
+    callbacks.on_line = [this](LineServer::ConnId id, std::string&& line) {
+      server_->Send(id, "echo:" + line);
+    };
+    callbacks.on_oversized = [this](LineServer::ConnId id) {
+      server_->Send(id, "oversized");
+    };
+    callbacks.on_eof = [this](LineServer::ConnId id) {
+      ++eofs_;
+      server_->Close(id);
+    };
+    callbacks.on_close = [this](LineServer::ConnId) { ++closed_; };
+    auto server = LineServer::Listen(options, std::move(callbacks));
+    EDGE_CHECK(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  int Dial() {
+    Result<int> fd = ConnectTcp("127.0.0.1", server_->port());
+    EDGE_CHECK(fd.ok()) << fd.status().ToString();
+    return fd.value();
+  }
+
+  /// Sends all of `data` on the non-blocking fd, pumping the server loop
+  /// through EAGAIN.
+  void SendAll(int fd, std::string_view data) {
+    size_t sent = 0;
+    for (int spins = 0; sent < data.size() && spins < 10000; ++spins) {
+      ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n > 0) sent += static_cast<size_t>(n);
+      server_->RunOnce(1);
+    }
+    ASSERT_EQ(sent, data.size());
+  }
+
+  /// Pumps until `fd` has yielded `lines` full lines (or the spin cap).
+  std::vector<std::string> ReadLines(int fd, size_t lines) {
+    std::string buf;
+    for (int spins = 0; spins < 10000; ++spins) {
+      server_->RunOnce(1);
+      char tmp[4096];
+      ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+      if (n > 0) buf.append(tmp, static_cast<size_t>(n));
+      if (static_cast<size_t>(
+              std::count(buf.begin(), buf.end(), '\n')) >= lines) {
+        break;
+      }
+    }
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+      size_t nl = buf.find('\n', start);
+      if (nl == std::string::npos) break;
+      out.push_back(buf.substr(start, nl - start));
+      start = nl + 1;
+    }
+    return out;
+  }
+
+  std::unique_ptr<LineServer> server_;
+  int opened_ = 0;
+  int eofs_ = 0;
+  int closed_ = 0;
+  LineServer::ConnId last_opened_ = 0;
+};
+
+TEST_F(LineServerTest, EchoesManyConcurrentConnections) {
+  StartEcho(LineServer::Options());
+  std::vector<int> fds;
+  for (int c = 0; c < 5; ++c) fds.push_back(Dial());
+  for (int c = 0; c < 5; ++c) {
+    SendAll(fds[c], "hello-" + std::to_string(c) + "\nsecond\n");
+  }
+  for (int c = 0; c < 5; ++c) {
+    std::vector<std::string> lines = ReadLines(fds[c], 2);
+    ASSERT_EQ(lines.size(), 2u) << "conn " << c;
+    EXPECT_EQ(lines[0], "echo:hello-" + std::to_string(c));
+    EXPECT_EQ(lines[1], "echo:second");
+  }
+  EXPECT_EQ(server_->connection_count(), 5u);
+  EXPECT_EQ(opened_, 5);
+  for (int fd : fds) CloseFd(fd);
+  for (int spins = 0; spins < 1000 && closed_ < 5; ++spins) server_->RunOnce(1);
+  EXPECT_EQ(server_->connection_count(), 0u);
+}
+
+TEST_F(LineServerTest, ReassemblesLinesSplitAcrossPackets) {
+  StartEcho(LineServer::Options());
+  int fd = Dial();
+  SendAll(fd, "hel");
+  for (int i = 0; i < 20; ++i) server_->RunOnce(1);
+  SendAll(fd, "lo\r\nwor");
+  SendAll(fd, "ld\n");
+  std::vector<std::string> lines = ReadLines(fd, 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "echo:hello");  // CRLF tolerated.
+  EXPECT_EQ(lines[1], "echo:world");
+  CloseFd(fd);
+}
+
+TEST_F(LineServerTest, OversizedLineAnswersAndStreamContinues) {
+  LineServer::Options options;
+  options.max_line_bytes = 16;
+  StartEcho(options);
+  int fd = Dial();
+  SendAll(fd, std::string(100, 'x') + "\nfits\n");
+  std::vector<std::string> lines = ReadLines(fd, 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "oversized");
+  EXPECT_EQ(lines[1], "echo:fits");
+  CloseFd(fd);
+}
+
+TEST_F(LineServerTest, EofAfterBufferedLinesDeliversThenCloses) {
+  StartEcho(LineServer::Options());
+  int fd = Dial();
+  SendAll(fd, "last words\n");
+  ::shutdown(fd, SHUT_WR);  // Half-close: the reply must still arrive.
+  std::vector<std::string> lines = ReadLines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "echo:last words");
+  for (int spins = 0; spins < 1000 && closed_ < 1; ++spins) server_->RunOnce(1);
+  EXPECT_EQ(eofs_, 1);
+  EXPECT_EQ(closed_, 1);
+  CloseFd(fd);
+}
+
+TEST_F(LineServerTest, PauseReadingHoldsFramedLinesUntilResume) {
+  int delivered = 0;
+  LineServer::ConnId opened_id = 0;
+  LineServer::Callbacks callbacks;
+  callbacks.on_open = [&](LineServer::ConnId id) { opened_id = id; };
+  callbacks.on_line = [&](LineServer::ConnId id, std::string&&) {
+    ++delivered;
+    if (delivered == 1) server_->PauseReading(id);  // After the first line.
+    server_->Send(id, "n=" + std::to_string(delivered));
+  };
+  auto server = LineServer::Listen(LineServer::Options(), std::move(callbacks));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  server_ = std::move(server).value();
+
+  int fd = Dial();
+  SendAll(fd, "one\ntwo\nthree\n");
+  std::vector<std::string> lines = ReadLines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "n=1");
+  for (int spins = 0; spins < 50; ++spins) server_->RunOnce(1);
+  EXPECT_EQ(delivered, 1);  // Paused: lines two/three framed but undelivered.
+
+  // Resume must deliver the already-buffered lines without new socket reads.
+  server_->ResumeReading(opened_id);
+  lines = ReadLines(fd, 2);
+  EXPECT_EQ(delivered, 3);
+  CloseFd(fd);
+}
+
+TEST_F(LineServerTest, AdoptedSocketpairGetsFramedLikeAnAcceptedConn) {
+  StartEcho(LineServer::Options());
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  ASSERT_TRUE(SetNonBlocking(pair[0]).ok());
+  LineServer::ConnId id = server_->Adopt(pair[0]);
+  EXPECT_TRUE(server_->IsOpen(id));
+  SendAll(pair[1], "via adopt\n");
+  std::vector<std::string> lines = ReadLines(pair[1], 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "echo:via adopt");
+  server_->CloseNow(id);
+  CloseFd(pair[1]);
+}
+
+}  // namespace
+}  // namespace edge::net

@@ -23,6 +23,7 @@
 #include "edge/obs/metrics.h"
 #include "edge/serve/json_codec.h"
 #include "edge/serve/lru_cache.h"
+#include "edge/serve/session.h"
 
 namespace edge::serve {
 namespace {
@@ -936,6 +937,109 @@ TEST(JsonCodecTest, ParsesStatsAndHealthControlVerbs) {
   // false is a contradiction, not a no-op — reject loudly.
   EXPECT_FALSE(ParseRequestLine(R"({"stats": false})", &request, &error));
   EXPECT_FALSE(ParseRequestLine(R"({"health": 1})", &request, &error));
+}
+
+// Regression: ParseNumber used strtod, which accepts nan/inf/hex — so
+// {"deadline_ms": nan} sailed through the < 0 gate as a "no deadline"
+// request instead of a parse error. The grammar is now strict JSON:
+// -?(0|[1-9][0-9]*)(.[0-9]+)?([eE][+-]?[0-9]+)?, finite values only.
+TEST(JsonCodecTest, RejectsNonJsonNumberSyntax) {
+  ServeRequest request;
+  std::string error;
+  for (const char* bad :
+       {R"({"deadline_ms": nan, "text": "x"})",    // strtod's nan
+        R"({"deadline_ms": inf, "text": "x"})",    // strtod's inf
+        R"({"deadline_ms": -inf, "text": "x"})",   //
+        R"({"deadline_ms": 0x10, "text": "x"})",   // strtod's hex floats
+        R"({"deadline_ms": 1e999, "text": "x"})",  // syntactic but not finite
+        R"({"deadline_ms": .5, "text": "x"})",     // JSON needs a leading digit
+        R"({"deadline_ms": 5., "text": "x"})",     // ...and a trailing one
+        R"({"deadline_ms": +3, "text": "x"})",     // no leading plus
+        R"({"deadline_ms": 01, "text": "x"})",     // no leading zeros
+        R"({"deadline_ms": 1e, "text": "x"})",     // empty exponent
+        R"({"deadline_ms": --1, "text": "x"})"}) {
+    EXPECT_FALSE(ParseRequestLine(bad, &request, &error)) << bad;
+  }
+  for (const char* good :
+       {R"({"deadline_ms": 0, "text": "x"})", R"({"deadline_ms": 12.5, "text": "x"})",
+        R"({"deadline_ms": 1.25e1, "text": "x"})",
+        R"({"deadline_ms": 0.5E+1, "text": "x"})"}) {
+    EXPECT_TRUE(ParseRequestLine(good, &request, &error)) << good << ": " << error;
+    EXPECT_GE(request.deadline_ms, 0.0);
+  }
+}
+
+// Regression: the \u escape path emitted each UTF-16 code unit as its own
+// 3-byte sequence, so an escaped emoji ("🍕") became two invalid
+// CESU-8 surrogate encodings instead of one 4-byte UTF-8 character — and the
+// NER then tokenized garbage. Pairs must combine; lone surrogates must fail.
+TEST(JsonCodecTest, DecodesSurrogatePairsToUtf8) {
+  ServeRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseRequestLine(R"({"text": "\ud83c\udf55 slice"})", &request,
+                               &error))
+      << error;
+  EXPECT_EQ(request.text, "\xF0\x9F\x8D\x95 slice");  // U+1F355, 4-byte UTF-8.
+  ASSERT_TRUE(ParseRequestLine(R"({"text": "caf\u00e9 \u0041"})", &request,
+                               &error))
+      << error;
+  EXPECT_EQ(request.text, "caf\xC3\xA9 A");  // 2-byte and 1-byte planes.
+  ASSERT_TRUE(ParseRequestLine(R"({"text": "\u20ac"})", &request, &error));
+  EXPECT_EQ(request.text, "\xE2\x82\xAC");  // 3-byte BMP still works.
+  // Unpaired surrogates have no UTF-8 encoding: reject, don't emit CESU-8.
+  EXPECT_FALSE(ParseRequestLine(R"({"text": "\ud83c"})", &request, &error));
+  EXPECT_FALSE(ParseRequestLine(R"({"text": "\ud83c!"})", &request, &error));
+  EXPECT_FALSE(ParseRequestLine(R"({"text": "\udf55"})", &request, &error));
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"text": "\ud83cA"})", &request, &error));
+}
+
+// Regression: SkipScalar treated "no recognized token" as an empty scalar,
+// so {"x":} and a dangling comma parsed cleanly. A key now requires a value.
+TEST(JsonCodecTest, RejectsEmptyAndTrailingValues) {
+  ServeRequest request;
+  std::string error;
+  EXPECT_FALSE(ParseRequestLine(R"({"x":})", &request, &error));
+  EXPECT_FALSE(ParseRequestLine(R"({"x": , "text": "a"})", &request, &error));
+  EXPECT_FALSE(ParseRequestLine(R"({"text": "a", "x":})", &request, &error));
+  EXPECT_FALSE(ParseRequestLine(R"({"text": "a"} trailing)", &request, &error));
+  EXPECT_FALSE(ParseRequestLine(R"({"text": "a"}})", &request, &error));
+  // Unknown keys with real scalar values still skip cleanly.
+  EXPECT_TRUE(ParseRequestLine(R"({"text": "a", "x": null, "y": -2.5})",
+                               &request, &error))
+      << error;
+}
+
+// The per-stream session must answer exactly one line per input line, in
+// input order, with control verbs and malformed lines holding their slots.
+TEST_F(GeoServiceTest, ServeSessionAnswersInOrder) {
+  GeoServiceOptions options;
+  options.max_delay_ms = 0.5;
+  std::unique_ptr<GeoService> service = MakeService(options);
+  ServeSessionOptions session_options;
+  session_options.max_in_flight = 8;
+  ServeSession session(service.get(), session_options);
+
+  session.HandleLine(R"({"text": "pizza near the deli", "id": "a"})");
+  session.HandleLine(R"({"deadline_ms": nan})");  // Malformed: slot 2.
+  session.HandleLine(R"({"health": true, "id": "h"})");
+  session.HandleOversized();  // Slot 4.
+  session.HandleLine((*texts_)[0]);
+  EXPECT_EQ(session.in_flight(), 5u);
+  EXPECT_EQ(session.bad_lines(), 2u);
+
+  std::vector<std::string> out;
+  session.DrainAll(&out);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_TRUE(session.in_flight() == 0 && !session.AtCapacity());
+  EXPECT_NE(out[0].find("\"id\":\"a\""), std::string::npos);
+  EXPECT_NE(out[0].find("\"point\""), std::string::npos);
+  EXPECT_NE(out[1].find("\"error\""), std::string::npos);
+  EXPECT_NE(out[1].find("\"line\":2"), std::string::npos);
+  EXPECT_NE(out[2].find("\"health\""), std::string::npos);
+  EXPECT_NE(out[3].find("exceeds maximum length"), std::string::npos);
+  EXPECT_NE(out[3].find("\"line\":4"), std::string::npos);
+  EXPECT_NE(out[4].find("\"point\""), std::string::npos);
 }
 
 TEST_F(GeoServiceTest, ResponseJsonIsWellFormedAndEchoesId) {

@@ -1,0 +1,768 @@
+/// edge_router — LDJSON scale-out router over N edge_serve replicas.
+///
+/// Listens for the same line-delimited JSON protocol as edge_serve and fans
+/// requests out to a fleet of `edge_serve --listen` replicas, preserving the
+/// one-response-per-line, in-input-order contract per client connection.
+///
+///   edge_serve --model m.edge --gazetteer g.tsv --listen 7071 &
+///   edge_serve --model m.edge --gazetteer g.tsv --listen 7072 &
+///   edge_router --gazetteer g.tsv --listen 7070
+///               --replicas 127.0.0.1:7071,127.0.0.1:7072
+///
+/// Dispatch (DESIGN.md §16): the router runs the same NER as the service and
+/// consistent-hashes the sorted canonical entity-name set onto the replica
+/// ring, so requests mentioning the same entities always land on the same
+/// replica and per-replica LRU caches stay exact. Replica names<->node-ids
+/// are bijective per model, which is why hashing names (the router holds no
+/// model) partitions identically to hashing the service's node-id cache key.
+/// A replica whose in-flight queue is --spill-threshold deeper than the
+/// least-loaded one forfeits the request to that replica (losing only cache
+/// locality, never correctness: predictions are bitwise-deterministic
+/// functions of the entity set, whichever replica computes them).
+///
+/// Responses are forwarded verbatim — the router adds, rewrites and parses
+/// nothing on the reply path — so bitwise parity with in-process serving is
+/// preserved by construction across the network hop.
+///
+/// Control verbs:
+///   - {"stats": true} / {"health": true}: broadcast to every live replica;
+///     the client gets one aggregate line embedding each replica's raw reply
+///     plus router-level fleet state.
+///   - {"reload": "new.edge"}: coordinated hot reload — the router drains
+///     every replica's in-flight queue (new predictions are held, answered
+///     after the reload in their input-order slots), broadcasts the reload,
+///     and resumes once every replica acknowledges. In-flight batches finish
+///     on their producing model generation (the PR-5 invariant, now
+///     fleet-wide).
+///
+/// Liveness: every --probe-interval-ms the router sends {"health": true} to
+/// each replica; a replica that drops its connection is marked down, its
+/// pending requests answer structured error lines, and the hash ring routes
+/// around it. Replicas are not redialed (restart the router to re-add).
+///
+/// Flags:
+///   --replicas H:P,H:P,...  replica addresses (required)
+///   --gazetteer g.tsv       NER dictionary, same file the replicas use
+///                           (required)
+///   --listen PORT           client listen port; 0 = ephemeral (default 0);
+///                           announced on stderr as "listening on HOST:PORT"
+///   --host H                listen address            (default 127.0.0.1)
+///   --max-line-bytes N      per-line size cap         (default 1 MiB)
+///   --max-in-flight N       per-client pipelining window (default 128)
+///   --spill-threshold N     least-loaded fallback trigger depth (default 32)
+///   --vnodes N              ring virtual nodes per replica (default 64)
+///   --probe-interval-ms D   health probe period, 0 = off  (default 2000)
+/// plus the shared observability flags.
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "edge/net/line_server.h"
+#include "edge/net/socket_util.h"
+#include "edge/obs/json_util.h"
+#include "edge/serve/json_codec.h"
+#include "edge/serve/session.h"
+#include "edge/text/ner.h"
+#include "tool_args.h"
+
+namespace {
+
+using namespace edge;
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStop(int) { g_stop = 1; }
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: edge_router --replicas H:P,H:P,... --gazetteer g.tsv\n"
+               "  [--listen PORT] [--host H] [--max-line-bytes N]\n"
+               "  [--max-in-flight N] [--spill-threshold N] [--vnodes N]\n"
+               "  [--probe-interval-ms D]\n"
+               "  [--log-level L] [--metrics-out m.json] [--trace-out t.json]\n"
+               "speaks the edge_serve LDJSON protocol and dispatches to N\n"
+               "edge_serve --listen replicas by consistent hash of the\n"
+               "request's sorted entity-name set; {\"reload\":...} drains the\n"
+               "fleet, reloads every replica and resumes; {\"stats\":true} /\n"
+               "{\"health\":true} aggregate across replicas\n");
+  return 2;
+}
+
+/// FNV-1a 64 — stable across runs/platforms, which keeps the ring layout
+/// (and therefore per-replica cache residency) reproducible.
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+enum class TokenType { kPredict, kBroadcast, kProbe };
+
+/// Aggregation state for one broadcast verb (stats/health/reload): the reply
+/// slot it will eventually fill, plus each replica's raw answer.
+struct Broadcast {
+  std::string key;  ///< "stats", "health" or "reload".
+  uint64_t client = 0;
+  uint64_t seq = 0;
+  std::string client_id;
+  size_t waiting = 0;
+  std::vector<std::pair<std::string, std::string>> replies;  ///< addr, raw.
+  std::vector<std::string> down;  ///< Addresses that never answered.
+};
+
+/// One expected reply from a replica. Replicas answer strictly in order per
+/// connection, so a FIFO of tokens fully describes reply routing — no id
+/// rewriting on the wire.
+struct Token {
+  TokenType type = TokenType::kPredict;
+  uint64_t client = 0;
+  uint64_t seq = 0;
+  std::shared_ptr<Broadcast> broadcast;
+};
+
+struct Replica {
+  std::string addr;
+  net::LineServer::ConnId conn = 0;
+  bool up = false;
+  std::deque<Token> fifo;  ///< Oldest expected reply at the front.
+  std::string last_health;  ///< Raw reply to the latest periodic probe.
+};
+
+/// One ordered response slot of a client connection. Slots are allocated in
+/// input order and flushed from the front only when ready, so replies that
+/// complete out of order (different replicas, broadcasts) still deliver in
+/// request order.
+struct Slot {
+  bool ready = false;
+  std::string line;
+};
+
+struct Client {
+  std::deque<Slot> slots;
+  uint64_t front_seq = 0;  ///< Sequence number of slots.front().
+  size_t line_number = 0;
+  size_t bad_lines = 0;
+  bool draining = false;  ///< EOF seen: flush remaining slots, then close.
+};
+
+/// A predict request held while a coordinated reload drains the fleet.
+struct Held {
+  uint64_t client = 0;
+  uint64_t seq = 0;
+  std::string raw_line;
+  std::string entity_key;
+};
+
+struct ReloadJob {
+  uint64_t client = 0;
+  uint64_t seq = 0;
+  std::string client_id;
+  std::string path;
+};
+
+class Router {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    size_t max_line_bytes = net::LineFramer::kDefaultMaxLineBytes;
+    size_t max_in_flight = 128;
+    size_t spill_threshold = 32;
+    size_t vnodes = 64;
+    double probe_interval_ms = 2000.0;
+  };
+
+  Router(text::Gazetteer gazetteer, Options options)
+      : ner_(std::move(gazetteer)), options_(options) {}
+
+  /// Dials every replica, builds the hash ring, binds the client listener.
+  Status Start(const std::vector<std::string>& replica_addrs) {
+    net::LineServer::Options server_options;
+    server_options.host = options_.host;
+    server_options.port = options_.port;
+    server_options.max_line_bytes = options_.max_line_bytes;
+    net::LineServer::Callbacks callbacks;
+    callbacks.on_open = [this](net::LineServer::ConnId id) { OnOpen(id); };
+    callbacks.on_line = [this](net::LineServer::ConnId id, std::string&& line) {
+      OnLine(id, std::move(line));
+    };
+    callbacks.on_oversized = [this](net::LineServer::ConnId id) {
+      OnOversized(id);
+    };
+    callbacks.on_eof = [this](net::LineServer::ConnId id) { OnEof(id); };
+    callbacks.on_close = [this](net::LineServer::ConnId id) { OnClose(id); };
+    auto listening =
+        net::LineServer::Listen(server_options, std::move(callbacks));
+    if (!listening.ok()) return listening.status();
+    server_ = std::move(listening).value();
+
+    replicas_.reserve(replica_addrs.size());
+    for (const std::string& addr : replica_addrs) {
+      std::string host;
+      uint16_t port = 0;
+      Status split = net::SplitHostPort(addr, &host, &port);
+      if (!split.ok()) return split;
+      Result<int> fd = net::ConnectTcp(host, port);
+      if (!fd.ok()) {
+        return Status::FailedPrecondition("replica " + addr + ": " +
+                                          fd.status().ToString());
+      }
+      Replica replica;
+      replica.addr = addr;
+      replica.conn = server_->Adopt(fd.value());
+      replica.up = true;
+      replica_by_conn_[replica.conn] = replicas_.size();
+      replicas_.push_back(std::move(replica));
+    }
+    // The ring hashes replica *addresses* (not indices) so the layout is a
+    // pure function of the fleet spec, independent of --replicas order.
+    for (size_t r = 0; r < replicas_.size(); ++r) {
+      for (size_t v = 0; v < options_.vnodes; ++v) {
+        ring_[Fnv1a(replicas_[r].addr + "#" + std::to_string(v))] = r;
+      }
+    }
+    return Status::Ok();
+  }
+
+  uint16_t port() const { return server_->port(); }
+
+  void Run() {
+    auto last_probe = std::chrono::steady_clock::now();
+    while (!g_stop) {
+      server_->RunOnce(PendingWork() ? 5 : 100);
+      FlushClients();
+      MaybeFinishDrain();
+      auto now = std::chrono::steady_clock::now();
+      if (options_.probe_interval_ms > 0 && state_ == State::kRunning &&
+          std::chrono::duration<double, std::milli>(now - last_probe).count() >=
+              options_.probe_interval_ms) {
+        last_probe = now;
+        SendProbes();
+      }
+    }
+    // Graceful shutdown: answer what can still be answered, flush, exit.
+    server_->StopAccepting();
+    for (int spins = 0; spins < 500 && PendingWork(); ++spins) {
+      server_->RunOnce(10);
+      FlushClients();
+      MaybeFinishDrain();
+    }
+    for (int spins = 0; spins < 500 && !server_->idle(); ++spins) {
+      server_->RunOnce(10);
+    }
+  }
+
+ private:
+  enum class State {
+    kRunning,
+    kDraining,   ///< Reload requested: waiting for replica FIFOs to empty.
+    kReloading,  ///< Reload broadcast sent: waiting for every ack.
+  };
+
+  bool PendingWork() const {
+    for (const Replica& replica : replicas_) {
+      if (!replica.fifo.empty()) return true;
+    }
+    for (const auto& [id, client] : clients_) {
+      if (!client.slots.empty()) return true;
+    }
+    return false;
+  }
+
+  // --- client side ---------------------------------------------------------
+
+  void OnOpen(net::LineServer::ConnId id) { clients_.emplace(id, Client()); }
+
+  void OnLine(net::LineServer::ConnId id, std::string&& line) {
+    auto replica_it = replica_by_conn_.find(id);
+    if (replica_it != replica_by_conn_.end()) {
+      OnReplicaLine(replica_it->second, std::move(line));
+      return;
+    }
+    auto it = clients_.find(id);
+    if (it == clients_.end()) return;
+    Client& client = it->second;
+    ++client.line_number;
+
+    serve::ServeRequest request;
+    std::string error;
+    if (!serve::ParseRequestLine(line, &request, &error)) {
+      ++client.bad_lines;
+      PushLiteral(id, serve::BadRequestLine(error, client.line_number));
+      return;
+    }
+    if (request.stats || request.health) {
+      uint64_t seq = PushPending(id);
+      StartBroadcast(request.stats ? "stats" : "health", id, seq, request.id);
+      return;
+    }
+    if (!request.reload_path.empty()) {
+      uint64_t seq = PushPending(id);
+      ReloadJob job;
+      job.client = id;
+      job.seq = seq;
+      job.client_id = std::move(request.id);
+      job.path = std::move(request.reload_path);
+      reload_jobs_.push_back(std::move(job));
+      if (state_ == State::kRunning) state_ = State::kDraining;
+      return;
+    }
+
+    uint64_t seq = PushPending(id);
+    std::string key = EntityKey(request.text);
+    if (state_ != State::kRunning) {
+      // A coordinated reload is in flight: hold the request; its slot keeps
+      // its place in the client's output order.
+      Held held;
+      held.client = id;
+      held.seq = seq;
+      held.raw_line = std::move(line);
+      held.entity_key = std::move(key);
+      held_.push_back(std::move(held));
+      return;
+    }
+    Dispatch(id, seq, line, key);
+    if (clients_.count(id) > 0 &&
+        clients_[id].slots.size() >= options_.max_in_flight) {
+      server_->PauseReading(id);
+    }
+  }
+
+  void OnOversized(net::LineServer::ConnId id) {
+    if (replica_by_conn_.count(id) > 0) return;  // Replicas never send these.
+    auto it = clients_.find(id);
+    if (it == clients_.end()) return;
+    ++it->second.line_number;
+    ++it->second.bad_lines;
+    PushLiteral(id, serve::BadRequestLine("line exceeds maximum length",
+                                          it->second.line_number));
+  }
+
+  void OnEof(net::LineServer::ConnId id) {
+    if (replica_by_conn_.count(id) > 0) {
+      server_->Close(id);  // A half-closed replica is a dead replica.
+      return;
+    }
+    auto it = clients_.find(id);
+    if (it == clients_.end()) return;
+    it->second.draining = true;
+    if (it->second.slots.empty()) server_->Close(id);
+  }
+
+  void OnClose(net::LineServer::ConnId id) {
+    auto replica_it = replica_by_conn_.find(id);
+    if (replica_it != replica_by_conn_.end()) {
+      OnReplicaDown(replica_it->second);
+      return;
+    }
+    clients_.erase(id);
+    // Held requests and broadcast slots for a vanished client resolve as
+    // no-ops in Fulfill; nothing to scrub eagerly.
+  }
+
+  /// Allocates the next in-order response slot; returns its sequence number.
+  uint64_t PushPending(net::LineServer::ConnId id) {
+    Client& client = clients_[id];
+    client.slots.emplace_back();
+    return client.front_seq + client.slots.size() - 1;
+  }
+
+  void PushLiteral(net::LineServer::ConnId id, std::string line) {
+    Client& client = clients_[id];
+    Slot slot;
+    slot.ready = true;
+    slot.line = std::move(line);
+    client.slots.push_back(std::move(slot));
+  }
+
+  /// Marks slot (client, seq) answered. Tolerates vanished clients.
+  void Fulfill(uint64_t client_id, uint64_t seq, std::string line) {
+    auto it = clients_.find(client_id);
+    if (it == clients_.end()) return;
+    Client& client = it->second;
+    if (seq < client.front_seq) return;
+    size_t index = static_cast<size_t>(seq - client.front_seq);
+    if (index >= client.slots.size()) return;
+    client.slots[index].ready = true;
+    client.slots[index].line = std::move(line);
+  }
+
+  /// Delivers every ready head slot, in order, per client; manages the
+  /// per-client pipelining window and drain-close.
+  void FlushClients() {
+    std::vector<net::LineServer::ConnId> to_close;
+    for (auto& [id, client] : clients_) {
+      bool was_over = client.slots.size() >= options_.max_in_flight;
+      while (!client.slots.empty() && client.slots.front().ready) {
+        server_->Send(id, client.slots.front().line);
+        client.slots.pop_front();
+        ++client.front_seq;
+      }
+      if (was_over && client.slots.size() < options_.max_in_flight) {
+        server_->ResumeReading(id);
+      }
+      if (client.draining && client.slots.empty()) to_close.push_back(id);
+    }
+    for (net::LineServer::ConnId id : to_close) server_->Close(id);
+  }
+
+  // --- dispatch ------------------------------------------------------------
+
+  /// Sorted canonical entity names joined by ',' — the name-space image of
+  /// the service's sorted node-id cache key.
+  std::string EntityKey(const std::string& text) {
+    std::vector<text::Entity> entities = ner_.Extract(text);
+    std::vector<std::string> names;
+    names.reserve(entities.size());
+    for (text::Entity& e : entities) names.push_back(std::move(e.name));
+    std::sort(names.begin(), names.end());
+    std::string key;
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) key.push_back(',');
+      key += names[i];
+    }
+    return key;
+  }
+
+  /// Ring walk from hash(key): first up replica at or after the point.
+  Replica* HashPick(const std::string& key) {
+    if (ring_.empty()) return nullptr;
+    auto it = ring_.lower_bound(Fnv1a(key));
+    for (size_t steps = 0; steps < ring_.size(); ++steps) {
+      if (it == ring_.end()) it = ring_.begin();
+      if (replicas_[it->second].up) return &replicas_[it->second];
+      ++it;
+    }
+    return nullptr;
+  }
+
+  Replica* LeastLoaded() {
+    Replica* best = nullptr;
+    for (Replica& replica : replicas_) {
+      if (!replica.up) continue;
+      if (best == nullptr || replica.fifo.size() < best->fifo.size()) {
+        best = &replica;
+      }
+    }
+    return best;
+  }
+
+  void Dispatch(uint64_t client, uint64_t seq, const std::string& raw_line,
+                const std::string& entity_key) {
+    Replica* chosen = HashPick(entity_key);
+    Replica* least = LeastLoaded();
+    if (chosen == nullptr || least == nullptr) {
+      Fulfill(client, seq,
+              "{\"error\":\"no replica available\",\"degraded\":true}");
+      return;
+    }
+    // Least-loaded fallback: spill off a hot shard once its queue is
+    // spill-threshold deeper than the coolest one. Cache locality is lost
+    // for this request; bitwise output is not (predictions are
+    // deterministic in the entity set).
+    if (chosen->fifo.size() >= least->fifo.size() + options_.spill_threshold) {
+      chosen = least;
+    }
+    // Forwarded verbatim: the replica parses exactly what the client wrote,
+    // so parity with in-process serving cannot drift in the router.
+    server_->Send(chosen->conn, raw_line);
+    Token token;
+    token.type = TokenType::kPredict;
+    token.client = client;
+    token.seq = seq;
+    chosen->fifo.push_back(std::move(token));
+  }
+
+  // --- replica side --------------------------------------------------------
+
+  void OnReplicaLine(size_t replica_index, std::string&& line) {
+    Replica& replica = replicas_[replica_index];
+    if (replica.fifo.empty()) return;  // Unsolicited; drop.
+    Token token = std::move(replica.fifo.front());
+    replica.fifo.pop_front();
+    switch (token.type) {
+      case TokenType::kPredict:
+        Fulfill(token.client, token.seq, std::move(line));
+        break;
+      case TokenType::kBroadcast:
+        token.broadcast->replies.emplace_back(replica.addr, std::move(line));
+        if (--token.broadcast->waiting == 0) FinishBroadcast(*token.broadcast);
+        break;
+      case TokenType::kProbe:
+        replica.last_health = std::move(line);
+        break;
+    }
+  }
+
+  void OnReplicaDown(size_t replica_index) {
+    Replica& replica = replicas_[replica_index];
+    replica.up = false;
+    std::fprintf(stderr, "edge_router: replica %s down (%zu in flight)\n",
+                 replica.addr.c_str(), replica.fifo.size());
+    // Every reply this replica still owed gets a structured error (predict)
+    // or counts the replica out of its aggregate (broadcast).
+    std::deque<Token> orphaned;
+    orphaned.swap(replica.fifo);
+    for (Token& token : orphaned) {
+      switch (token.type) {
+        case TokenType::kPredict:
+          Fulfill(token.client, token.seq,
+                  "{\"error\":\"replica " + replica.addr + " failed\"}");
+          break;
+        case TokenType::kBroadcast:
+          token.broadcast->down.push_back(replica.addr);
+          if (--token.broadcast->waiting == 0) {
+            FinishBroadcast(*token.broadcast);
+          }
+          break;
+        case TokenType::kProbe:
+          break;
+      }
+    }
+  }
+
+  // --- broadcasts (stats / health / reload) --------------------------------
+
+  void StartBroadcast(const char* key, uint64_t client, uint64_t seq,
+                      std::string client_id) {
+    auto broadcast = std::make_shared<Broadcast>();
+    broadcast->key = key;
+    broadcast->client = client;
+    broadcast->seq = seq;
+    broadcast->client_id = std::move(client_id);
+    for (Replica& replica : replicas_) {
+      if (!replica.up) {
+        broadcast->down.push_back(replica.addr);
+        continue;
+      }
+      server_->Send(replica.conn, std::string("{\"") + key + "\":true}");
+      Token token;
+      token.type = TokenType::kBroadcast;
+      token.broadcast = broadcast;
+      replica.fifo.push_back(std::move(token));
+      ++broadcast->waiting;
+    }
+    if (broadcast->waiting == 0) FinishBroadcast(*broadcast);
+  }
+
+  /// Composes the aggregate reply: router fleet state plus each replica's
+  /// raw answer embedded verbatim (replica replies are JSON objects).
+  void FinishBroadcast(const Broadcast& broadcast) {
+    if (broadcast.key == "reload") {
+      FinishReload(broadcast);
+      return;
+    }
+    std::string out = "{";
+    if (!broadcast.client_id.empty()) {
+      out += "\"id\":\"" + broadcast.client_id + "\",";
+    }
+    out += "\"" + broadcast.key + "\":{\"router\":{\"replicas\":" +
+           std::to_string(replicas_.size()) +
+           ",\"up\":" + std::to_string(UpCount()) + "},\"replicas\":[";
+    for (size_t i = 0; i < broadcast.replies.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{\"addr\":\"" + broadcast.replies[i].first +
+             "\",\"reply\":" + broadcast.replies[i].second + "}";
+    }
+    for (const std::string& addr : broadcast.down) {
+      if (out.back() != '[') out += ",";
+      out += "{\"addr\":\"" + addr + "\",\"up\":false}";
+    }
+    out += "]}}";
+    Fulfill(broadcast.client, broadcast.seq, std::move(out));
+  }
+
+  size_t UpCount() const {
+    size_t up = 0;
+    for (const Replica& replica : replicas_) up += replica.up ? 1 : 0;
+    return up;
+  }
+
+  // --- coordinated reload --------------------------------------------------
+
+  /// Drain barrier: once every replica FIFO is empty, broadcast the front
+  /// reload job. Called after every loop iteration.
+  void MaybeFinishDrain() {
+    if (state_ != State::kDraining || reload_jobs_.empty()) return;
+    for (const Replica& replica : replicas_) {
+      if (replica.up && !replica.fifo.empty()) return;
+    }
+    state_ = State::kReloading;
+    ReloadJob job = std::move(reload_jobs_.front());
+    reload_jobs_.pop_front();
+    auto broadcast = std::make_shared<Broadcast>();
+    broadcast->key = "reload";
+    broadcast->client = job.client;
+    broadcast->seq = job.seq;
+    broadcast->client_id = std::move(job.client_id);
+    std::string line = "{\"reload\":";
+    obs::internal::AppendJsonString(&line, job.path);
+    line += "}";
+    for (Replica& replica : replicas_) {
+      if (!replica.up) {
+        broadcast->down.push_back(replica.addr);
+        continue;
+      }
+      server_->Send(replica.conn, line);
+      Token token;
+      token.type = TokenType::kBroadcast;
+      token.broadcast = broadcast;
+      replica.fifo.push_back(std::move(token));
+      ++broadcast->waiting;
+    }
+    if (broadcast->waiting == 0) FinishBroadcast(*broadcast);
+  }
+
+  /// All reload acks are in: answer the client, then resume — dispatch every
+  /// held request (they render on the new generation) and any queued reload.
+  void FinishReload(const Broadcast& broadcast) {
+    bool all_ok = broadcast.down.empty();
+    for (const auto& [addr, reply] : broadcast.replies) {
+      if (reply.find("\"reload\":\"ok\"") == std::string::npos) all_ok = false;
+    }
+    std::string out = "{";
+    if (!broadcast.client_id.empty()) {
+      out += "\"id\":\"" + broadcast.client_id + "\",";
+    }
+    out += std::string("\"reload\":\"") + (all_ok ? "ok" : "failed") + "\"";
+    out += ",\"replicas\":[";
+    for (size_t i = 0; i < broadcast.replies.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{\"addr\":\"" + broadcast.replies[i].first +
+             "\",\"reply\":" + broadcast.replies[i].second + "}";
+    }
+    for (const std::string& addr : broadcast.down) {
+      if (out.back() != '[') out += ",";
+      out += "{\"addr\":\"" + addr + "\",\"up\":false}";
+    }
+    out += "]}";
+    Fulfill(broadcast.client, broadcast.seq, std::move(out));
+
+    state_ = reload_jobs_.empty() ? State::kRunning : State::kDraining;
+    // Held requests dispatch in arrival order. If another reload is queued
+    // the fleet re-drains; these requests ride in front of it.
+    std::deque<Held> held;
+    held.swap(held_);
+    for (Held& h : held) {
+      if (clients_.count(h.client) == 0) continue;
+      Dispatch(h.client, h.seq, h.raw_line, h.entity_key);
+    }
+  }
+
+  // --- liveness probes -----------------------------------------------------
+
+  void SendProbes() {
+    for (Replica& replica : replicas_) {
+      if (!replica.up) continue;
+      server_->Send(replica.conn, "{\"health\":true}");
+      Token token;
+      token.type = TokenType::kProbe;
+      replica.fifo.push_back(std::move(token));
+    }
+  }
+
+  text::TweetNer ner_;
+  Options options_;
+  std::unique_ptr<net::LineServer> server_;
+  std::vector<Replica> replicas_;
+  std::map<net::LineServer::ConnId, size_t> replica_by_conn_;
+  std::map<uint64_t, size_t> ring_;  ///< vnode hash -> replica index.
+  std::map<net::LineServer::ConnId, Client> clients_;
+  State state_ = State::kRunning;
+  std::deque<Held> held_;
+  std::deque<ReloadJob> reload_jobs_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Args args(argc, argv, 1);
+  if (!args.ok() || args.Has("help")) return Usage();
+  if (!tools::SetupObservability(args)) return 2;
+
+  std::string replicas_flag = args.Get("replicas");
+  std::string gaz_path = args.Get("gazetteer");
+  if (replicas_flag.empty() || gaz_path.empty()) return Usage();
+
+  std::vector<std::string> replica_addrs;
+  size_t start = 0;
+  while (start <= replicas_flag.size()) {
+    size_t comma = replicas_flag.find(',', start);
+    if (comma == std::string::npos) comma = replicas_flag.size();
+    if (comma > start) {
+      replica_addrs.push_back(replicas_flag.substr(start, comma - start));
+    }
+    start = comma + 1;
+  }
+  if (replica_addrs.empty()) return Usage();
+
+  Result<text::Gazetteer> gazetteer = tools::LoadGazetteer(gaz_path);
+  if (!gazetteer.ok()) {
+    std::fprintf(stderr, "bad gazetteer: %s\n",
+                 gazetteer.status().ToString().c_str());
+    return 1;
+  }
+
+  Router::Options options;
+  options.host = args.Get("host", "127.0.0.1");
+  long listen_port = args.GetInt("listen", 0);
+  if (listen_port < 0 || listen_port > 65535) {
+    std::fprintf(stderr, "--listen: port out of range\n");
+    return Usage();
+  }
+  options.port = static_cast<uint16_t>(listen_port);
+  long max_line_bytes = args.GetInt(
+      "max-line-bytes", static_cast<long>(net::LineFramer::kDefaultMaxLineBytes));
+  if (max_line_bytes < 64) {
+    std::fprintf(stderr, "--max-line-bytes: must be >= 64\n");
+    return Usage();
+  }
+  options.max_line_bytes = static_cast<size_t>(max_line_bytes);
+  options.max_in_flight = static_cast<size_t>(
+      args.GetInt("max-in-flight", static_cast<long>(options.max_in_flight)));
+  options.spill_threshold = static_cast<size_t>(args.GetInt(
+      "spill-threshold", static_cast<long>(options.spill_threshold)));
+  options.vnodes =
+      static_cast<size_t>(args.GetInt("vnodes", static_cast<long>(options.vnodes)));
+  options.probe_interval_ms =
+      args.GetDouble("probe-interval-ms", options.probe_interval_ms);
+  if (!args.ok()) return Usage();
+
+  Router router(std::move(gazetteer).value(), options);
+  Status started = router.Start(replica_addrs);
+  if (!started.ok()) {
+    std::fprintf(stderr, "edge_router: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "edge_router: listening on %s:%u (%zu replicas)\n",
+               options.host.c_str(), router.port(), replica_addrs.size());
+  std::fflush(stderr);
+
+#ifndef _WIN32
+  struct sigaction stop_action = {};
+  stop_action.sa_handler = HandleStop;
+  sigemptyset(&stop_action.sa_mask);
+  stop_action.sa_flags = 0;
+  sigaction(SIGINT, &stop_action, nullptr);
+  sigaction(SIGTERM, &stop_action, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+#else
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+#endif
+
+  router.Run();
+  tools::FlushObservability(args);
+  return 0;
+}

@@ -1,4 +1,5 @@
-/// edge_serve — line-delimited JSON inference server over stdin/stdout.
+/// edge_serve — line-delimited JSON inference server, over stdin/stdout or a
+/// TCP listen socket.
 ///
 /// Reads one request per line (raw tweet text, or a flat JSON object with
 /// "text" / optional "id" / optional "deadline_ms"), answers one JSON line
@@ -8,11 +9,22 @@
 ///
 ///   edge_cli train --tweets t.tsv --gazetteer g.tsv --model m.edge
 ///   echo "lunch at katz_deli" | edge_serve --model m.edge --gazetteer g.tsv
+///   edge_serve --model m.edge --gazetteer g.tsv --listen 7070   # TCP mode
 ///
 /// Flags:
 ///   --model m.edge          checkpoint, text EDGE-INFERENCE or binary
 ///                           edge-model.v1, sniffed by magic (required)
 ///   --gazetteer g.tsv       NER dictionary (required)
+///   --listen PORT           serve LDJSON over TCP instead of stdin/stdout;
+///                           PORT 0 binds an ephemeral port. The bound
+///                           address is announced on stderr as
+///                           "listening on HOST:PORT"
+///   --host H                listen address             (default 127.0.0.1)
+///   --canonical true|false  omit wall-clock fields (latency_ms, telemetry)
+///                           from responses so output is a deterministic
+///                           function of the request stream (default false)
+///   --max-line-bytes N      reject request lines longer than this (TCP
+///                           framing; default 1 MiB)
 ///   --store-verify full|fast  binary-store validation depth (default full;
 ///                           fast makes binary hot reload O(1) map-and-swap)
 ///   --max-batch N           micro-batch flush size            (default 16)
@@ -31,8 +43,9 @@
 /// plus the shared observability flags (--log-level, --metrics-out,
 /// --trace-out).
 ///
-/// Responses stream in input order; up to 4 x max-batch requests are kept in
-/// flight so micro-batches actually form while earlier answers print.
+/// Responses stream in input order per stream (the stdin pipe, or each TCP
+/// connection); up to 4 x max-batch requests per stream are kept in flight
+/// so micro-batches actually form while earlier answers print.
 ///
 /// Control verbs (DESIGN.md §14), answered in input order like any request:
 ///   - {"stats": true}: sliding-window stats + SLO burn rates.
@@ -40,30 +53,31 @@
 ///     state).
 ///   - {"reload": "new.edge"}: hot-reload from an arbitrary checkpoint;
 ///     answers {"reload":"ok",...} or {"reload":"failed",...}.
-/// Malformed lines (bad JSON, or an object with neither "text" nor a control
-/// verb) answer a structured {"error": "...", "line": N} line — they are
-/// never silently dropped.
+/// Malformed lines (bad JSON, an object with neither "text" nor a control
+/// verb, or a line over --max-line-bytes) answer a structured
+/// {"error": "...", "line": N} line — they are never silently dropped.
 ///
 /// Fault tolerance (DESIGN.md §12):
-///   - SIGINT / SIGTERM: stop reading, drain every in-flight request (each
-///     still gets its response line), flush, exit 0.
+///   - SIGINT / SIGTERM: stop reading/accepting, drain every in-flight
+///     request (each still gets its response line), flush, exit 0.
 ///   - SIGHUP: hot-reload the model from the --model path; serving continues
 ///     on the old model if the new checkpoint is rejected.
 
 #include <csignal>
 #include <cstdio>
-#include <deque>
-#include <fstream>
-#include <future>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "edge/core/model_store.h"
-#include "edge/obs/json_util.h"
+#include "edge/net/line_server.h"
 #include "edge/serve/geo_service.h"
 #include "edge/serve/json_codec.h"
+#include "edge/serve/session.h"
 #include "tool_args.h"
 
 namespace {
@@ -77,8 +91,8 @@ void HandleStop(int) { g_stop = 1; }
 void HandleReload(int) { g_reload = 1; }
 
 /// Installs handlers WITHOUT SA_RESTART: a signal must interrupt the
-/// blocking stdin read (EINTR -> getline fails) so the drain runs promptly
-/// instead of waiting for the next input line.
+/// blocking stdin read (EINTR -> getline fails) and the poll() wait so the
+/// drain runs promptly instead of waiting for the next input line.
 void InstallSignalHandlers() {
 #ifndef _WIN32
   struct sigaction stop_action = {};
@@ -101,6 +115,8 @@ void InstallSignalHandlers() {
 int Usage() {
   std::fprintf(stderr,
                "usage: edge_serve --model m.edge --gazetteer g.tsv\n"
+               "  [--listen PORT] [--host H] [--canonical true|false]\n"
+               "  [--max-line-bytes N]\n"
                "  [--max-batch N] [--max-delay-ms D] [--workers N]\n"
                "  [--queue-capacity N] [--cache-capacity N] [--deadline-ms D]\n"
                "  [--predict-threads N] [--telemetry true|false]\n"
@@ -108,66 +124,154 @@ int Usage() {
                "  [--slo-p99-ms D] [--slo-availability F]\n"
                "  [--metrics-export m.json] [--metrics-export-every S]\n"
                "  [--log-level L] [--metrics-out m.json] [--trace-out t.json]\n"
-               "reads one request per stdin line (raw text or\n"
-               "{\"text\":...,\"id\":...,\"deadline_ms\":...}), writes one JSON\n"
-               "response line per request in order;\n"
+               "reads one request per line (raw text or\n"
+               "{\"text\":...,\"id\":...,\"deadline_ms\":...}) from stdin — or,\n"
+               "with --listen, from many concurrent TCP connections — and\n"
+               "writes one JSON response line per request in order;\n"
                "{\"reload\":\"new.edge\"} hot-swaps the model; {\"stats\":true}\n"
                "and {\"health\":true} answer window stats / health; SIGHUP\n"
                "reloads --model; SIGINT/SIGTERM drain in-flight and exit 0\n");
   return 2;
 }
 
-/// One ordered output slot: either a pending prediction or an
-/// already-rendered literal line (reload acknowledgements), so control lines
-/// keep their place in the one-line-out-per-line-in contract.
-struct InFlight {
-  std::string id;
-  std::future<serve::ServeResponse> future;
-  bool is_literal = false;
-  std::string literal;
-};
+/// Checks the SIGHUP flag and reloads --model in place (both serving modes).
+void MaybeSignalReload(serve::GeoService* geo, const std::string& model_path) {
+  if (!g_reload) return;
+  g_reload = 0;
+  Status status = geo->ReloadFromFile(model_path);
+  std::fprintf(stderr, "SIGHUP reload of %s: %s\n", model_path.c_str(),
+               status.ok() ? "ok" : status.ToString().c_str());
+}
 
-/// Rendered acknowledgement for a reload attempt.
-std::string ReloadResultLine(const std::string& id, const Status& status,
-                             uint64_t generation) {
-  std::string out = "{";
-  if (!id.empty()) out += "\"id\":\"" + id + "\",";
-  if (status.ok()) {
-    out += "\"reload\":\"ok\",\"generation\":" + std::to_string(generation) + "}";
-  } else {
-    std::string message = status.ToString();
-    // The Status messages this renders (paths, parse errors) are ASCII; keep
-    // the line valid JSON anyway.
-    for (char& c : message) {
-      if (c == '"' || c == '\\') c = '\'';
+/// Classic pipe mode: stdin lines in, stdout lines out.
+int ServeStdio(serve::GeoService* geo, const std::string& model_path,
+               const serve::ServeSessionOptions& session_options) {
+  serve::ServeSession session(geo, session_options);
+  auto emit = [](std::vector<std::string>* lines) {
+    for (const std::string& out : *lines) {
+      std::fwrite(out.data(), 1, out.size(), stdout);
+      std::fputc('\n', stdout);
     }
-    out += "\"reload\":\"failed\",\"error\":\"" + message + "\"}";
+    lines->clear();
+  };
+
+  std::vector<std::string> ready;
+  std::string line;
+  while (!g_stop) {
+    MaybeSignalReload(geo, model_path);
+    if (!std::getline(std::cin, line)) {
+      if (g_stop || std::cin.eof()) break;
+      if (g_reload) {
+        // SIGHUP interrupted the blocking read (no SA_RESTART); retry.
+        std::cin.clear();
+        continue;
+      }
+      break;
+    }
+    session.HandleLine(line);
+    // Answers stream out as soon as they are ready (in order); the capacity
+    // valve blocks the reader when a full pipelining window is in flight.
+    session.DrainReady(&ready);
+    emit(&ready);
+    while (session.AtCapacity()) {
+      std::string out = session.PopFrontBlocking();
+      std::fwrite(out.data(), 1, out.size(), stdout);
+      std::fputc('\n', stdout);
+    }
   }
-  return out;
+  // Graceful drain: every accepted request still gets its response line,
+  // whether we stopped on EOF or on SIGINT/SIGTERM.
+  session.DrainAll(&ready);
+  emit(&ready);
+  std::fflush(stdout);
+  return session.bad_lines() == 0 ? 0 : 1;
 }
 
-/// Wraps an already-rendered JSON body as {"id":...,"<key>": <body>}.
-std::string ControlResultLine(const std::string& id, const char* key,
-                              const std::string& body) {
-  std::string out = "{";
-  if (!id.empty()) {
-    out += "\"id\":";
-    edge::obs::internal::AppendJsonString(&out, id);
-    out += ",";
-  }
-  out += "\"";
-  out += key;
-  out += "\":" + body + "}";
-  return out;
-}
+/// TCP mode: a poll event loop fans N concurrent connections into the one
+/// GeoService; each connection is an independent ordered LDJSON stream.
+int ServeTcp(serve::GeoService* geo, const std::string& model_path,
+             const serve::ServeSessionOptions& session_options,
+             const net::LineServer::Options& server_options) {
+  std::map<net::LineServer::ConnId, serve::ServeSession> sessions;
+  std::set<net::LineServer::ConnId> draining;  // EOF seen; finish, then close.
+  std::unique_ptr<net::LineServer> server;
 
-/// Structured rejection for a malformed request line: the parse error plus
-/// the 1-based input line number, always valid JSON.
-std::string BadRequestLine(const std::string& error, size_t line_number) {
-  std::string out = "{\"error\":";
-  edge::obs::internal::AppendJsonString(&out, error);
-  out += ",\"line\":" + std::to_string(line_number) + "}";
-  return out;
+  net::LineServer::Callbacks callbacks;
+  callbacks.on_open = [&](net::LineServer::ConnId id) {
+    sessions.emplace(id, serve::ServeSession(geo, session_options));
+  };
+  callbacks.on_line = [&](net::LineServer::ConnId id, std::string&& line) {
+    auto it = sessions.find(id);
+    if (it == sessions.end()) return;
+    it->second.HandleLine(line);
+    // Admission backpressure: a client with a full pipelining window stops
+    // being read until responses drain (TCP pushes back from here).
+    if (it->second.AtCapacity()) server->PauseReading(id);
+  };
+  callbacks.on_oversized = [&](net::LineServer::ConnId id) {
+    auto it = sessions.find(id);
+    if (it != sessions.end()) it->second.HandleOversized();
+  };
+  callbacks.on_eof = [&](net::LineServer::ConnId id) { draining.insert(id); };
+  callbacks.on_close = [&](net::LineServer::ConnId id) {
+    sessions.erase(id);
+    draining.erase(id);
+  };
+
+  auto listening = net::LineServer::Listen(server_options, std::move(callbacks));
+  if (!listening.ok()) {
+    std::fprintf(stderr, "cannot listen on %s:%u: %s\n",
+                 server_options.host.c_str(), server_options.port,
+                 listening.status().ToString().c_str());
+    return 1;
+  }
+  server = std::move(listening).value();
+  // Machine-parseable announcement (the router/smoke harnesses scrape it).
+  std::fprintf(stderr, "edge_serve: listening on %s:%u\n",
+               server_options.host.c_str(), server->port());
+  std::fflush(stderr);
+
+  std::vector<std::string> ready;
+  while (!g_stop) {
+    MaybeSignalReload(geo, model_path);
+    // Micro-batch futures complete on worker threads; poll briefly while
+    // responses are pending so they flush promptly, park longer when idle.
+    bool pending = false;
+    for (const auto& [id, session] : sessions) {
+      if (session.in_flight() > 0) {
+        pending = true;
+        break;
+      }
+    }
+    server->RunOnce(pending ? 1 : 200);
+
+    std::vector<net::LineServer::ConnId> finished;
+    for (auto& [id, session] : sessions) {
+      ready.clear();
+      session.DrainReady(&ready);
+      for (const std::string& out : ready) server->Send(id, out);
+      if (!session.AtCapacity()) server->ResumeReading(id);
+      if (draining.count(id) > 0 && session.in_flight() == 0) {
+        finished.push_back(id);
+      }
+    }
+    // Close() fires on_close synchronously when nothing is left to flush,
+    // which erases from `sessions` — so close outside the iteration.
+    for (net::LineServer::ConnId id : finished) server->Close(id);
+  }
+
+  // Graceful shutdown: no new connections or reads, but every accepted
+  // request still gets its response line, then writes flush.
+  server->StopAccepting();
+  for (auto& [id, session] : sessions) {
+    ready.clear();
+    session.DrainAll(&ready);
+    for (const std::string& out : ready) server->Send(id, out);
+  }
+  for (int spins = 0; spins < 1000 && !server->idle(); ++spins) {
+    server->RunOnce(10);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -220,6 +324,23 @@ int main(int argc, char** argv) {
                  verify_flag.c_str());
     return Usage();
   }
+  std::string canonical_flag = args.Get("canonical", "false");
+  if (canonical_flag != "true" && canonical_flag != "false") {
+    std::fprintf(stderr, "--canonical: '%s' is not true or false\n",
+                 canonical_flag.c_str());
+    return Usage();
+  }
+  long listen_port = args.GetInt("listen", -1);
+  if (args.Has("listen") && (listen_port < 0 || listen_port > 65535)) {
+    std::fprintf(stderr, "--listen: port out of range\n");
+    return Usage();
+  }
+  long max_line_bytes = args.GetInt(
+      "max-line-bytes", static_cast<long>(net::LineFramer::kDefaultMaxLineBytes));
+  if (max_line_bytes < 64) {
+    std::fprintf(stderr, "--max-line-bytes: must be >= 64\n");
+    return Usage();
+  }
   // Strict flag parsing: GetInt/GetDouble flag malformed values on the Args.
   if (!args.ok()) return Usage();
 
@@ -255,102 +376,23 @@ int main(int argc, char** argv) {
 
   InstallSignalHandlers();
 
-  // Keep several batches' worth of requests in flight; answer in order.
-  const size_t max_in_flight = 4 * options.max_batch;
-  std::deque<InFlight> in_flight;
-  size_t line_number = 0;
-  size_t bad_lines = 0;
+  serve::ServeSessionOptions session_options;
+  // Keep several batches' worth of requests in flight per stream; answer in
+  // order.
+  session_options.max_in_flight = 4 * options.max_batch;
+  session_options.include_latency = canonical_flag != "true";
 
-  auto drain_front = [&] {
-    InFlight request = std::move(in_flight.front());
-    in_flight.pop_front();
-    std::string out;
-    if (request.is_literal) {
-      out = std::move(request.literal);
-    } else {
-      serve::ServeResponse response = request.future.get();
-      // Render with the model that produced the prediction: a hot reload may
-      // have swapped geo.model() while this batch was in flight.
-      out = serve::ResponseToJsonLine(response, *response.model, request.id);
-    }
-    std::fwrite(out.data(), 1, out.size(), stdout);
-    std::fputc('\n', stdout);
-  };
-
-  std::string line;
-  while (!g_stop) {
-    if (g_reload) {
-      // SIGHUP: re-read the original --model checkpoint.
-      g_reload = 0;
-      Status status = geo.ReloadFromFile(model_path);
-      std::fprintf(stderr, "SIGHUP reload of %s: %s\n", model_path.c_str(),
-                   status.ok() ? "ok" : status.ToString().c_str());
-    }
-    if (!std::getline(std::cin, line)) {
-      if (g_stop || std::cin.eof()) break;
-      if (g_reload) {
-        // SIGHUP interrupted the blocking read (no SA_RESTART); retry.
-        std::cin.clear();
-        continue;
-      }
-      break;
-    }
-    ++line_number;
-    serve::ServeRequest request;
-    std::string error;
-    if (!serve::ParseRequestLine(line, &request, &error)) {
-      ++bad_lines;
-      std::fprintf(stderr, "line %zu: %s\n", line_number, error.c_str());
-      // Bad lines still answer in input order, through the same queue — with
-      // the actual parse error, so a misspelled control verb is debuggable
-      // from the response stream alone.
-      InFlight rejected;
-      rejected.is_literal = true;
-      rejected.literal = BadRequestLine(error, line_number);
-      in_flight.push_back(std::move(rejected));
-      while (in_flight.size() >= max_in_flight) drain_front();
-      continue;
-    }
-    if (request.stats || request.health) {
-      // Introspection verbs answer from the live instruments, keeping their
-      // slot in the one-line-out-per-line-in contract.
-      InFlight ack;
-      ack.id = std::move(request.id);
-      ack.is_literal = true;
-      ack.literal = request.stats
-                        ? ControlResultLine(ack.id, "stats", geo.StatsJson())
-                        : ControlResultLine(ack.id, "health", geo.HealthJson());
-      in_flight.push_back(std::move(ack));
-      while (in_flight.size() >= max_in_flight) drain_front();
-      continue;
-    }
-    if (!request.reload_path.empty()) {
-      // Control line: swap the served model. In-flight batches finish on the
-      // old model; the acknowledgement keeps its slot in the output order.
-      Status status = geo.ReloadFromFile(request.reload_path);
-      InFlight ack;
-      ack.id = std::move(request.id);
-      ack.is_literal = true;
-      ack.literal = ReloadResultLine(ack.id, status, geo.model_generation());
-      in_flight.push_back(std::move(ack));
-      while (in_flight.size() >= max_in_flight) drain_front();
-      continue;
-    }
-    std::future<serve::ServeResponse> future =
-        request.deadline_ms >= 0.0
-            ? geo.SubmitAsync(std::move(request.text), request.deadline_ms)
-            : geo.SubmitAsync(std::move(request.text));
-    InFlight pending;
-    pending.id = std::move(request.id);
-    pending.future = std::move(future);
-    in_flight.push_back(std::move(pending));
-    while (in_flight.size() >= max_in_flight) drain_front();
+  int exit_code;
+  if (args.Has("listen")) {
+    net::LineServer::Options server_options;
+    server_options.host = args.Get("host", "127.0.0.1");
+    server_options.port = static_cast<uint16_t>(listen_port);
+    server_options.max_line_bytes = static_cast<size_t>(max_line_bytes);
+    exit_code = ServeTcp(&geo, model_path, session_options, server_options);
+  } else {
+    exit_code = ServeStdio(&geo, model_path, session_options);
   }
-  // Graceful drain: every accepted request still gets its response line,
-  // whether we stopped on EOF or on SIGINT/SIGTERM.
-  while (!in_flight.empty()) drain_front();
-  std::fflush(stdout);
 
   tools::FlushObservability(args);
-  return bad_lines == 0 ? 0 : 1;
+  return exit_code;
 }

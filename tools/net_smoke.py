@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for the networked serving tier (CI: net-serve).
+
+Drives the same request stream three ways and requires bitwise-identical
+responses:
+
+  1. in-process: edge_serve reading stdin (the PR-4 path), canonical form;
+  2. over TCP:   one edge_serve --listen replica, raw socket client;
+  3. sharded:    edge_router in front of N replicas, N in --replica-counts.
+
+Then a coordinated-reload drill: a stream that hot-swaps the model halfway
+through must answer bitwise-identically to the in-process run of the same
+stream — predictions before the swap on the old model, after it on the new —
+with the router draining and reloading every replica in between.
+
+Everything runs with --canonical true and --cache-capacity 0 so responses
+are pure functions of (model, request stream) and byte comparison is exact.
+
+Usage:
+  python3 tools/net_smoke.py --serve build/tools/edge_serve \
+      --router build/tools/edge_router --model m1.edge --model2 m2.edge \
+      --gazetteer g.tsv --requests requests.txt --replica-counts 1,2,4
+"""
+
+import argparse
+import re
+import socket
+import subprocess
+import sys
+import time
+
+LISTEN_RE = re.compile(r"listening on (\S+):(\d+)")
+
+
+def wait_for_listen(proc, path, timeout=30.0):
+    """Polls a process's stderr file for the listen announcement."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"process exited early (rc={proc.returncode}): "
+                + open(path).read()
+            )
+        match = LISTEN_RE.search(open(path).read())
+        if match:
+            return match.group(1), int(match.group(2))
+        time.sleep(0.05)
+    raise RuntimeError("no listen announcement in " + open(path).read())
+
+
+def tcp_roundtrip(host, port, request_lines):
+    """Pipelines every request line, half-closes, returns response lines."""
+    expected = len(request_lines)
+    with socket.create_connection((host, port), timeout=60) as sock:
+        sock.sendall(b"".join(line + b"\n" for line in request_lines))
+        sock.shutdown(socket.SHUT_WR)
+        buf = b""
+        sock.settimeout(120)
+        while True:
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            buf += chunk
+    lines = buf.split(b"\n")
+    assert lines[-1] == b"", "response stream did not end in a newline"
+    lines = lines[:-1]
+    assert len(lines) == expected, f"expected {expected} responses, got {len(lines)}"
+    return lines
+
+
+class Fleet:
+    """N edge_serve replicas plus (for N>=1 with a router) an edge_router."""
+
+    def __init__(self, args, count, workdir_prefix):
+        self.procs = []
+        self.errs = []
+        self.replica_ports = []
+        self.router_addr = None
+        self.prefix = workdir_prefix
+        self.args = args
+        self.count = count
+
+    def __enter__(self):
+        for i in range(self.count):
+            err_path = f"{self.prefix}.replica{i}.err"
+            err = open(err_path, "w")
+            proc = subprocess.Popen(
+                [
+                    self.args.serve,
+                    "--model", self.args.model,
+                    "--gazetteer", self.args.gazetteer,
+                    "--canonical", "true",
+                    "--cache-capacity", "0",
+                    "--listen", "0",
+                ],
+                stderr=err,
+            )
+            self.procs.append(proc)
+            self.errs.append(err_path)
+            host, port = wait_for_listen(proc, err_path)
+            self.replica_ports.append((host, port))
+        replicas = ",".join(f"{h}:{p}" for h, p in self.replica_ports)
+        err_path = f"{self.prefix}.router.err"
+        err = open(err_path, "w")
+        proc = subprocess.Popen(
+            [
+                self.args.router,
+                "--gazetteer", self.args.gazetteer,
+                "--replicas", replicas,
+                "--listen", "0",
+            ],
+            stderr=err,
+        )
+        self.procs.append(proc)
+        self.errs.append(err_path)
+        self.router_addr = wait_for_listen(proc, err_path)
+        return self
+
+    def __exit__(self, *exc):
+        for proc in reversed(self.procs):
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.procs:
+            try:
+                rc = proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise RuntimeError("process did not exit on SIGTERM")
+            if rc != 0:
+                raise RuntimeError(
+                    f"process rc={rc}: " + open(self.errs[self.procs.index(proc)]).read()
+                )
+        return False
+
+
+def inprocess_responses(args, request_lines):
+    """The ground truth: the stdin/stdout pipe path."""
+    result = subprocess.run(
+        [
+            args.serve,
+            "--model", args.model,
+            "--gazetteer", args.gazetteer,
+            "--canonical", "true",
+            "--cache-capacity", "0",
+        ],
+        input=b"".join(line + b"\n" for line in request_lines),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        check=True,
+        timeout=300,
+    )
+    return result.stdout.splitlines()
+
+
+def diff_streams(name, expected, got, skip=()):
+    assert len(expected) == len(got), (
+        f"{name}: {len(expected)} expected vs {len(got)} received"
+    )
+    for i, (e, g) in enumerate(zip(expected, got)):
+        if i in skip:
+            continue
+        assert e == g, (
+            f"{name}: line {i} differs\n  expected: {e[:160]}\n  received: {g[:160]}"
+        )
+    print(f"{name}: {len(expected) - len(skip)} lines bitwise identical")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--serve", required=True)
+    parser.add_argument("--router", required=True)
+    parser.add_argument("--model", required=True)
+    parser.add_argument("--model2", required=True,
+                        help="second checkpoint for the reload drill")
+    parser.add_argument("--requests", required=True)
+    parser.add_argument("--gazetteer", required=True)
+    parser.add_argument("--replica-counts", default="1,2,4")
+    parser.add_argument("--workdir", default=".")
+    args = parser.parse_args()
+
+    requests = open(args.requests, "rb").read().splitlines()
+    assert len(requests) >= 20, "need a meaningful request stream"
+
+    # Parity: the same stream through 1/2/4-replica fleets must be bitwise
+    # identical to the in-process pipe.
+    expected = inprocess_responses(args, requests)
+    for count in [int(c) for c in args.replica_counts.split(",")]:
+        with Fleet(args, count, f"{args.workdir}/fleet{count}") as fleet:
+            got = tcp_roundtrip(*fleet.router_addr, requests)
+            diff_streams(f"parity x{count}", expected, got)
+
+    # Coordinated reload mid-stream: old model before the ack line, new model
+    # after it, across every replica at once. The ack formats differ between
+    # the single process (one generation) and the router (per-replica list),
+    # so only that one line is exempt from the byte diff.
+    half = len(requests) // 2
+    reload_line = ('{"reload": "%s", "id": "swap"}' % args.model2).encode()
+    reload_stream = requests[:half] + [reload_line] + requests[half:]
+    expected = inprocess_responses(args, reload_stream)
+    assert b'"reload":"ok"' in expected[half], expected[half][:200]
+    with Fleet(args, 2, f"{args.workdir}/fleetreload") as fleet:
+        got = tcp_roundtrip(*fleet.router_addr, reload_stream)
+        assert b'"reload":"ok"' in got[half], got[half][:200]
+        assert got[half].count(b'"reload":"ok"') >= 2, (
+            "router ack must carry every replica's ack: " + got[half][:200].decode()
+        )
+        diff_streams("reload parity x2", expected, got, skip={half})
+
+    print("net smoke: all parity and reload checks passed")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,9 +40,10 @@ LineServer::~LineServer() {
   CloseFd(listen_fd_);
 }
 
-LineServer::ConnId LineServer::Adopt(int fd) {
+LineServer::ConnId LineServer::Adopt(int fd, size_t max_line_bytes) {
   ConnId id = next_id_++;
-  conns_.emplace(id, Conn(fd, options_.max_line_bytes));
+  conns_.emplace(id, Conn(fd, max_line_bytes > 0 ? max_line_bytes
+                                                 : options_.max_line_bytes));
   return id;
 }
 

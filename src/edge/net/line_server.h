@@ -81,8 +81,10 @@ class LineServer {
 
   /// Adds an already-connected non-blocking descriptor (an outbound dial,
   /// e.g. a router's replica link) to the loop. It gets the same framing
-  /// and backpressure treatment as an accepted connection.
-  ConnId Adopt(int fd);
+  /// and backpressure treatment as an accepted connection. A nonzero
+  /// `max_line_bytes` overrides the server-wide cap for this connection
+  /// (replica replies dwarf client requests).
+  ConnId Adopt(int fd, size_t max_line_bytes = 0);
 
   /// Queues `line` + '\n' for delivery; returns false if the id is dead.
   bool Send(ConnId id, std::string_view line);

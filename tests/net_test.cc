@@ -318,5 +318,48 @@ TEST_F(LineServerTest, AdoptedSocketpairGetsFramedLikeAnAcceptedConn) {
   CloseFd(pair[1]);
 }
 
+TEST_F(LineServerTest, AdoptOverridesMaxLineBytesPerConnection) {
+  LineServer::Options options;
+  options.max_line_bytes = 16;  // Tight server-wide cap (client-facing).
+  StartEcho(options);
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  ASSERT_TRUE(SetNonBlocking(pair[0]).ok());
+  // An adopted link (a router's replica connection) with a larger cap frames
+  // a line the server-wide cap would reject.
+  LineServer::ConnId id = server_->Adopt(pair[0], 4096);
+  std::string big(100, 'y');
+  SendAll(pair[1], big + "\n");
+  std::vector<std::string> lines = ReadLines(pair[1], 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "echo:" + big);
+  server_->CloseNow(id);
+  CloseFd(pair[1]);
+}
+
+TEST_F(LineServerTest, SendToDeadPeerFiresOnCloseSynchronously) {
+  // Documents the reentrancy contract the serve/router loops defend against:
+  // a write error inside Send() tears the connection down and fires on_close
+  // before Send returns, so a caller iterating its own per-connection state
+  // must re-find by id after every Send.
+  StartEcho(LineServer::Options());
+  int fd = Dial();
+  for (int spins = 0; spins < 100 && opened_ == 0; ++spins) server_->RunOnce(1);
+  ASSERT_EQ(opened_, 1);
+  LineServer::ConnId id = last_opened_;
+  CloseFd(fd);  // Full close: further writes to the peer will fail.
+  // The first Send may land in the kernel buffer; keep sending until the
+  // failure surfaces. on_close must fire from inside a Send call.
+  bool closed_during_send = false;
+  for (int spins = 0; spins < 10000 && !closed_during_send; ++spins) {
+    int closed_before = closed_;
+    if (!server_->Send(id, std::string(64 << 10, 'z'))) break;
+    closed_during_send = closed_ > closed_before;
+    server_->RunOnce(1);
+  }
+  EXPECT_TRUE(closed_during_send || !server_->IsOpen(id));
+  EXPECT_EQ(closed_, 1);
+}
+
 }  // namespace
 }  // namespace edge::net

@@ -220,7 +220,12 @@ class Router {
       }
       Replica replica;
       replica.addr = addr;
-      replica.conn = server_->Adopt(fd.value());
+      // Replica replies (full mixtures, attention, stats payloads) dwarf
+      // client requests, so replica links get a much larger framing cap
+      // than the client-facing --max-line-bytes.
+      replica.conn = server_->Adopt(
+          fd.value(),
+          std::max<size_t>(options_.max_line_bytes * 16, 16u << 20));
       replica.up = true;
       replica_by_conn_[replica.conn] = replicas_.size();
       replicas_.push_back(std::move(replica));
@@ -300,14 +305,11 @@ class Router {
     if (!serve::ParseRequestLine(line, &request, &error)) {
       ++client.bad_lines;
       PushLiteral(id, serve::BadRequestLine(error, client.line_number));
-      return;
-    }
-    if (request.stats || request.health) {
+    } else if (request.stats || request.health) {
       uint64_t seq = PushPending(id);
-      StartBroadcast(request.stats ? "stats" : "health", id, seq, request.id);
-      return;
-    }
-    if (!request.reload_path.empty()) {
+      StartBroadcast(request.stats ? "stats" : "health", id, seq,
+                     std::move(request.id));
+    } else if (!request.reload_path.empty()) {
       uint64_t seq = PushPending(id);
       ReloadJob job;
       job.client = id;
@@ -316,31 +318,46 @@ class Router {
       job.path = std::move(request.reload_path);
       reload_jobs_.push_back(std::move(job));
       if (state_ == State::kRunning) state_ = State::kDraining;
-      return;
+    } else {
+      uint64_t seq = PushPending(id);
+      std::string key = EntityKey(request.text);
+      if (state_ != State::kRunning) {
+        // A coordinated reload is in flight: hold the request; its slot keeps
+        // its place in the client's output order.
+        Held held;
+        held.client = id;
+        held.seq = seq;
+        held.raw_line = std::move(line);
+        held.entity_key = std::move(key);
+        held_.push_back(std::move(held));
+      } else {
+        Dispatch(id, seq, line, key);
+      }
     }
-
-    uint64_t seq = PushPending(id);
-    std::string key = EntityKey(request.text);
-    if (state_ != State::kRunning) {
-      // A coordinated reload is in flight: hold the request; its slot keeps
-      // its place in the client's output order.
-      Held held;
-      held.client = id;
-      held.seq = seq;
-      held.raw_line = std::move(line);
-      held.entity_key = std::move(key);
-      held_.push_back(std::move(held));
-      return;
-    }
-    Dispatch(id, seq, line, key);
-    if (clients_.count(id) > 0 &&
-        clients_[id].slots.size() >= options_.max_in_flight) {
+    // Pipelining-window pause on every path that allocated a slot — a
+    // pipelining client must not grow its slot queue (or the reload hold
+    // list) without bound, whatever kind of line it sent.
+    auto tail = clients_.find(id);
+    if (tail != clients_.end() &&
+        tail->second.slots.size() >= options_.max_in_flight) {
       server_->PauseReading(id);
     }
   }
 
   void OnOversized(net::LineServer::ConnId id) {
-    if (replica_by_conn_.count(id) > 0) return;  // Replicas never send these.
+    auto replica_it = replica_by_conn_.find(id);
+    if (replica_it != replica_by_conn_.end()) {
+      // The framer already discarded the reply, so popping nothing would
+      // permanently desync positional reply routing on this link: every
+      // later reply would reach the wrong client/slot. Fatal for the
+      // replica — CloseNow fires OnClose -> OnReplicaDown, which answers
+      // every pending token with a structured error.
+      std::fprintf(stderr,
+                   "edge_router: replica %s sent an oversized reply line\n",
+                   replicas_[replica_it->second].addr.c_str());
+      server_->CloseNow(id);
+      return;
+    }
     auto it = clients_.find(id);
     if (it == clients_.end()) return;
     ++it->second.line_number;
@@ -400,19 +417,40 @@ class Router {
 
   /// Delivers every ready head slot, in order, per client; manages the
   /// per-client pipelining window and drain-close.
+  ///
+  /// Send() and ResumeReading() can synchronously tear the connection down
+  /// (write error / dispatched frame -> OnClose -> clients_.erase), so this
+  /// iterates a snapshot of ids and re-finds the client after every call
+  /// into the server.
   void FlushClients() {
+    std::vector<net::LineServer::ConnId> ids;
+    ids.reserve(clients_.size());
+    for (const auto& [id, client] : clients_) ids.push_back(id);
     std::vector<net::LineServer::ConnId> to_close;
-    for (auto& [id, client] : clients_) {
-      bool was_over = client.slots.size() >= options_.max_in_flight;
-      while (!client.slots.empty() && client.slots.front().ready) {
-        server_->Send(id, client.slots.front().line);
+    for (net::LineServer::ConnId id : ids) {
+      auto it = clients_.find(id);
+      if (it == clients_.end()) continue;
+      bool was_over = it->second.slots.size() >= options_.max_in_flight;
+      for (;;) {
+        it = clients_.find(id);
+        if (it == clients_.end()) break;
+        Client& client = it->second;
+        if (client.slots.empty() || !client.slots.front().ready) break;
+        // Pop before Send: a failed Send erases the client, and the slot
+        // must not be popped off a freed deque afterwards.
+        std::string line = std::move(client.slots.front().line);
         client.slots.pop_front();
         ++client.front_seq;
+        server_->Send(id, line);
       }
-      if (was_over && client.slots.size() < options_.max_in_flight) {
+      it = clients_.find(id);
+      if (it == clients_.end()) continue;
+      if (was_over && it->second.slots.size() < options_.max_in_flight) {
         server_->ResumeReading(id);
+        it = clients_.find(id);
+        if (it == clients_.end()) continue;
       }
-      if (client.draining && client.slots.empty()) to_close.push_back(id);
+      if (it->second.draining && it->second.slots.empty()) to_close.push_back(id);
     }
     for (net::LineServer::ConnId id : to_close) server_->Close(id);
   }
@@ -565,7 +603,9 @@ class Router {
     }
     std::string out = "{";
     if (!broadcast.client_id.empty()) {
-      out += "\"id\":\"" + broadcast.client_id + "\",";
+      out += "\"id\":";
+      obs::internal::AppendJsonString(&out, broadcast.client_id);
+      out += ",";
     }
     out += "\"" + broadcast.key + "\":{\"router\":{\"replicas\":" +
            std::to_string(replicas_.size()) +
@@ -633,7 +673,9 @@ class Router {
     }
     std::string out = "{";
     if (!broadcast.client_id.empty()) {
-      out += "\"id\":\"" + broadcast.client_id + "\",";
+      out += "\"id\":";
+      obs::internal::AppendJsonString(&out, broadcast.client_id);
+      out += ",";
     }
     out += std::string("\"reload\":\"") + (all_ok ? "ok" : "failed") + "\"";
     out += ",\"replicas\":[";

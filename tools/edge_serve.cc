@@ -245,13 +245,27 @@ int ServeTcp(serve::GeoService* geo, const std::string& model_path,
     }
     server->RunOnce(pending ? 1 : 200);
 
+    // Send() and ResumeReading() can synchronously tear a connection down
+    // (write error -> on_close -> sessions.erase), so iterate a snapshot of
+    // ids and re-find the session after every call into the server.
+    std::vector<net::LineServer::ConnId> ids;
+    ids.reserve(sessions.size());
+    for (const auto& [id, session] : sessions) ids.push_back(id);
     std::vector<net::LineServer::ConnId> finished;
-    for (auto& [id, session] : sessions) {
+    for (net::LineServer::ConnId id : ids) {
+      auto it = sessions.find(id);
+      if (it == sessions.end()) continue;
       ready.clear();
-      session.DrainReady(&ready);
-      for (const std::string& out : ready) server->Send(id, out);
-      if (!session.AtCapacity()) server->ResumeReading(id);
-      if (draining.count(id) > 0 && session.in_flight() == 0) {
+      it->second.DrainReady(&ready);
+      for (const std::string& out : ready) {
+        if (!server->Send(id, out)) break;  // Connection died mid-flush.
+      }
+      it = sessions.find(id);
+      if (it == sessions.end()) continue;
+      if (!it->second.AtCapacity()) server->ResumeReading(id);
+      it = sessions.find(id);
+      if (it == sessions.end()) continue;
+      if (draining.count(id) > 0 && it->second.in_flight() == 0) {
         finished.push_back(id);
       }
     }
@@ -263,10 +277,17 @@ int ServeTcp(serve::GeoService* geo, const std::string& model_path,
   // Graceful shutdown: no new connections or reads, but every accepted
   // request still gets its response line, then writes flush.
   server->StopAccepting();
-  for (auto& [id, session] : sessions) {
+  std::vector<net::LineServer::ConnId> drain_ids;
+  drain_ids.reserve(sessions.size());
+  for (const auto& [id, session] : sessions) drain_ids.push_back(id);
+  for (net::LineServer::ConnId id : drain_ids) {
+    auto it = sessions.find(id);
+    if (it == sessions.end()) continue;  // A failed Send erased it.
     ready.clear();
-    session.DrainAll(&ready);
-    for (const std::string& out : ready) server->Send(id, out);
+    it->second.DrainAll(&ready);
+    for (const std::string& out : ready) {
+      if (!server->Send(id, out)) break;
+    }
   }
   for (int spins = 0; spins < 1000 && !server->idle(); ++spins) {
     server->RunOnce(10);

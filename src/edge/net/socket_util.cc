@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -96,31 +97,89 @@ Result<int> ListenTcp(const std::string& host, uint16_t port,
   return fd;
 }
 
-Result<int> ConnectTcp(const std::string& host, uint16_t port) {
-  sockaddr_in addr;
-  Status status = MakeAddr(host.empty() ? "127.0.0.1" : host, port, &addr);
-  if (!status.ok()) return status;
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::Internal(Errno("socket"));
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
+namespace {
+
+/// Request lines are latency-sensitive and tiny; never Nagle-delay them.
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms) {
+  Result<int> started = StartConnectTcp(host, port);
+  if (!started.ok()) return started;
+  int fd = started.value();
+
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms < 0 ? -1 : timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0) {
+      Status error = Status::Internal(Errno("poll"));
+      CloseFd(fd);
+      return error;
+    }
+    if (rc == 0) {
+      CloseFd(fd);
+      return Status::Internal("connect " + host + ":" + std::to_string(port) +
+                              " timed out after " + std::to_string(timeout_ms) +
+                              "ms");
+    }
+    break;
+  }
+  if (CheckConnect(fd) != ConnectProgress::kConnected) {
     Status error = Status::Internal(
         Errno("connect " + host + ":" + std::to_string(port)));
     CloseFd(fd);
     return error;
   }
-  // Request lines are latency-sensitive and tiny; never Nagle-delay them.
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<int> StartConnectTcp(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  Status status = MakeAddr(host.empty() ? "127.0.0.1" : host, port, &addr);
+  if (!status.ok()) return status;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
   status = SetNonBlocking(fd);
   if (!status.ok()) {
     CloseFd(fd);
     return status;
   }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status error = Status::Internal(
+        Errno("connect " + host + ":" + std::to_string(port)));
+    CloseFd(fd);
+    return error;
+  }
   return fd;
+}
+
+ConnectProgress CheckConnect(int fd) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  int rc = ::poll(&pfd, 1, 0);
+  if (rc == 0) return ConnectProgress::kPending;
+  if (rc < 0) return errno == EINTR ? ConnectProgress::kPending
+                                    : ConnectProgress::kFailed;
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+    return ConnectProgress::kFailed;
+  }
+  SetNoDelay(fd);
+  return ConnectProgress::kConnected;
 }
 
 Status SetNonBlocking(int fd) {

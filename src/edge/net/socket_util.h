@@ -25,8 +25,27 @@ Status SplitHostPort(const std::string& address, std::string* host,
 Result<int> ListenTcp(const std::string& host, uint16_t port,
                       uint16_t* bound_port);
 
-/// Blocking connect to host:port; the returned fd is already non-blocking.
-Result<int> ConnectTcp(const std::string& host, uint16_t port);
+/// Connect to host:port; the returned fd is already non-blocking.
+/// `timeout_ms` bounds the connect itself: < 0 blocks indefinitely (legacy
+/// behaviour), >= 0 fails with Internal("connect ... timed out") once the
+/// deadline passes — an unroutable peer can no longer hang the caller.
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms = -1);
+
+/// Begins a non-blocking connect and returns the fd immediately — the
+/// connect is usually still in flight (EINPROGRESS). Poll the fd for
+/// writability, then call CheckConnect to learn the outcome. The event-loop
+/// counterpart of ConnectTcp: a redial never stalls the loop.
+Result<int> StartConnectTcp(const std::string& host, uint16_t port);
+
+/// Outcome of an in-flight StartConnectTcp dial: kPending while the connect
+/// has neither succeeded nor failed yet.
+enum class ConnectProgress { kPending, kConnected, kFailed };
+
+/// Non-blocking check on a StartConnectTcp fd (0-timeout poll + SO_ERROR).
+/// On kConnected the fd is ready for traffic (TCP_NODELAY applied); on
+/// kFailed the caller owns closing the fd.
+ConnectProgress CheckConnect(int fd);
 
 /// O_NONBLOCK on an existing descriptor.
 Status SetNonBlocking(int fd);

@@ -536,6 +536,8 @@ HealthSnapshot GeoService::Health() const {
   health.fault_armed = fault::Armed();
   health.telemetry_enabled = options_.telemetry;
   health.requests_total = requests_total_.load(std::memory_order_relaxed);
+  health.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - started_).count();
   return health;
 }
 
@@ -555,6 +557,8 @@ std::string GeoService::HealthJson() const {
   out += ", \"telemetry\": ";
   out += health.telemetry_enabled ? "true" : "false";
   out += ", \"requests_total\": " + std::to_string(health.requests_total);
+  out += ", \"uptime_seconds\": ";
+  AppendJsonDouble(&out, health.uptime_seconds);
   out += "}";
   return out;
 }

@@ -152,6 +152,10 @@ struct HealthSnapshot {
   bool fault_armed = false;
   bool telemetry_enabled = true;
   uint64_t requests_total = 0;  ///< Lifetime submits to this instance.
+  /// Seconds since this instance was constructed. A supervisor comparing
+  /// replicas uses this to tell a freshly respawned process (small uptime,
+  /// cold cache) from a long-lived survivor.
+  double uptime_seconds = 0.0;
 };
 
 /// Sliding-window serving statistics plus the SLO evaluations (see
@@ -308,6 +312,10 @@ class GeoService {
   std::atomic<uint64_t> next_request_id_{0};
   std::atomic<uint64_t> requests_total_{0};
   std::atomic<size_t> busy_workers_{0};
+  /// Instance creation time; Health() reports the derived uptime so a fleet
+  /// supervisor can distinguish a freshly respawned replica from a survivor.
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
   /// Configured objectives over the process-global windowed instruments;
   /// null when telemetry is off.
   std::unique_ptr<obs::SloMonitor> slo_;

@@ -816,13 +816,17 @@ TEST_F(GeoServiceTest, StatsAndHealthSnapshotsAndJson) {
   EXPECT_FALSE(health.fault_armed);
   EXPECT_TRUE(health.telemetry_enabled);
   EXPECT_EQ(health.requests_total, 1u);
+  EXPECT_GE(health.uptime_seconds, 0.0);
 
-  // A reload shows up as generation 2 / one reload.
+  // A reload shows up as generation 2 / one reload, and uptime keeps
+  // counting from construction (a reload is not a restart).
   std::stringstream fresh(*checkpoint2_);
   ASSERT_TRUE(service->ReloadCheckpoint(&fresh).ok());
-  health = service->Health();
-  EXPECT_EQ(health.model_generation, 2u);
-  EXPECT_EQ(health.reloads, 1u);
+  HealthSnapshot after = service->Health();
+  EXPECT_EQ(after.model_generation, 2u);
+  EXPECT_EQ(after.reloads, 1u);
+  EXPECT_GE(after.uptime_seconds, health.uptime_seconds);
+  health = after;
 
   for (const std::string& line : {service->StatsJson(), service->HealthJson()}) {
     EXPECT_EQ(std::count(line.begin(), line.end(), '{'),
@@ -837,6 +841,8 @@ TEST_F(GeoServiceTest, StatsAndHealthSnapshotsAndJson) {
   EXPECT_NE(service->HealthJson().find("\"model_generation\": 2"),
             std::string::npos);
   EXPECT_NE(service->HealthJson().find("\"fault_armed\": false"),
+            std::string::npos);
+  EXPECT_NE(service->HealthJson().find("\"uptime_seconds\""),
             std::string::npos);
 }
 

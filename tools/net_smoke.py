@@ -20,20 +20,44 @@ Usage:
   python3 tools/net_smoke.py --serve build/tools/edge_serve \
       --router build/tools/edge_router --model m1.edge --model2 m2.edge \
       --gazetteer g.tsv --requests requests.txt --replica-counts 1,2,4
+
+With --chaos, instead runs the self-healing drills (CI: net-chaos):
+
+  A. supervised fleet: edge_router --fleet spawns 4 replicas; one is
+     SIGKILLed mid-stream. Zero predict answers may be lost, every answer
+     must be byte-identical to the in-process pipe (orphaned predicts fail
+     over to surviving replicas), the victim must be respawned, probed and
+     readmitted within the backoff budget without a router restart, and the
+     router stats aggregate must validate against
+     tools/schemas/router_stats.schema.json.
+  B. unroutable replica: a router fronting one live replica plus an
+     address that never answers must keep serving (bounded connect), answer
+     a stats broadcast within its deadline reporting the bad replica down
+     (pre-fix regression: the aggregate hung forever), and stream with
+     full byte parity.
 """
 
 import argparse
+import json
+import os
 import re
+import signal
 import socket
 import subprocess
 import sys
 import time
 
 LISTEN_RE = re.compile(r"listening on (\S+):(\d+)")
+ROUTER_LISTEN_RE = re.compile(r"edge_router: listening on (\S+):(\d+)")
 
 
-def wait_for_listen(proc, path, timeout=30.0):
-    """Polls a process's stderr file for the listen announcement."""
+def wait_for_listen(proc, path, timeout=30.0, pattern=LISTEN_RE):
+    """Polls a process's stderr file for the listen announcement.
+
+    Fleet-mode replica children share the router's stderr, so callers that
+    spawn a fleet must pass ROUTER_LISTEN_RE to avoid matching a child's
+    announcement.
+    """
     deadline = time.time() + timeout
     while time.time() < deadline:
         if proc.poll() is not None:
@@ -41,7 +65,7 @@ def wait_for_listen(proc, path, timeout=30.0):
                 f"process exited early (rc={proc.returncode}): "
                 + open(path).read()
             )
-        match = LISTEN_RE.search(open(path).read())
+        match = pattern.search(open(path).read())
         if match:
             return match.group(1), int(match.group(2))
         time.sleep(0.05)
@@ -165,6 +189,259 @@ def diff_streams(name, expected, got, skip=()):
     print(f"{name}: {len(expected) - len(skip)} lines bitwise identical")
 
 
+def pick_free_ports(n):
+    """Reserves n distinct ephemeral ports (bind, record, close)."""
+    socks, ports = [], []
+    for _ in range(n):
+        s = socket.socket()
+        s.bind(("127.0.0.1", 0))
+        socks.append(s)
+        ports.append(s.getsockname()[1])
+    for s in socks:
+        s.close()
+    return ports
+
+
+def control_roundtrip(addr, verb, timeout=30.0):
+    """Sends one control line ({"stats"/"health": true}) and parses the reply."""
+    with socket.create_connection(addr, timeout=timeout) as sock:
+        sock.sendall((json.dumps({verb: True}) + "\n").encode())
+        sock.shutdown(socket.SHUT_WR)
+        sock.settimeout(timeout)
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)
+
+
+def wait_for_up(addr, want_up, timeout, why):
+    """Polls the router health aggregate until `want_up` replicas take traffic."""
+    deadline = time.time() + timeout
+    last = None
+    while time.time() < deadline:
+        last = control_roundtrip(addr, "health")["health"]["router"]
+        if last["up"] >= want_up:
+            return last
+        time.sleep(0.2)
+    raise RuntimeError(f"{why}: router never reached up={want_up}: {last}")
+
+
+def expand_stream(requests, n):
+    """Repeats the request stream to exactly n lines (ground truth repeats too)."""
+    out = []
+    while len(out) < n:
+        out.extend(requests)
+    return out[:n]
+
+
+def validate_router_stats(args, stats, workdir_tag):
+    """Schema-checks a router stats aggregate via validate_metrics.py."""
+    path = f"{args.workdir}/{workdir_tag}.router_stats.json"
+    with open(path, "w") as f:
+        json.dump(stats, f)
+    tools_dir = os.path.dirname(os.path.abspath(__file__))
+    subprocess.run(
+        [
+            sys.executable,
+            os.path.join(tools_dir, "validate_metrics.py"),
+            "--schema",
+            os.path.join(tools_dir, "schemas", "router_stats.schema.json"),
+            path,
+        ],
+        check=True,
+    )
+    print(f"chaos: router stats validated against schema ({path})")
+
+
+def chaos_fleet_drill(args):
+    """Drill A: SIGKILL a supervised replica mid-stream; nothing may be lost."""
+    requests = open(args.requests, "rb").read().splitlines()
+    stream = expand_stream(requests, 200)
+    expected = inprocess_responses(args, stream)
+
+    ports = pick_free_ports(4)
+    config_path = f"{args.workdir}/chaos.fleet.cfg"
+    with open(config_path, "w") as f:
+        for port in ports:
+            f.write(
+                f"replica 127.0.0.1:{port} {args.serve}"
+                f" --model {args.model} --gazetteer {args.gazetteer}"
+                f" --canonical true --cache-capacity 0"
+                f" --max-batch 4 --max-delay-ms 1"
+                f" --listen {port}\n"
+            )
+
+    err_path = f"{args.workdir}/chaos.router.err"
+    router = subprocess.Popen(
+        [
+            args.router,
+            "--gazetteer", args.gazetteer,
+            "--fleet", config_path,
+            "--listen", "0",
+            # Fast healing knobs so the whole drill fits a CI budget: redial
+            # from 50ms capped at 500ms, readmit after 2 clean probes at a
+            # 100ms probe cadence.
+            "--probe-interval-ms", "100",
+            "--connect-timeout-ms", "500",
+            "--request-timeout-ms", "15000",
+            "--broadcast-timeout-ms", "5000",
+            "--redial-base-ms", "50",
+            "--redial-max-ms", "500",
+            "--readmit-probes", "2",
+            "--flap-max-deaths", "0",
+        ],
+        stderr=open(err_path, "w"),
+        # Fleet children inherit the router's environment, so this arms
+        # deterministic +15ms latency on every replica's batch-drain path
+        # (the PR-5 fault layer; latency does not change predictions). A
+        # 50-request backlog then takes ~200ms per replica to drain, which
+        # guarantees the SIGKILL below lands on a non-empty FIFO and the
+        # drill actually exercises failover. The router itself has no
+        # serve.batch probe, and the ground-truth in-process run above was
+        # spawned without the variable.
+        env={**os.environ, "EDGE_FAULT_SPEC": "serve.batch=latency,ms=15"},
+    )
+    try:
+        addr = wait_for_listen(router, err_path, pattern=ROUTER_LISTEN_RE)
+        wait_for_up(addr, 4, 60, "fleet bring-up")
+
+        stats = control_roundtrip(addr, "stats")["stats"]["router"]
+        victims = [
+            r for r in stats["replica_states"]
+            if r["state"] == "up" and r.get("pid", -1) > 0
+        ]
+        assert victims, f"no killable replica in {stats}"
+        victim = victims[0]
+
+        with socket.create_connection(addr, timeout=60) as sock:
+            sock.sendall(b"".join(line + b"\n" for line in stream))
+            # The router pipelines a full --max-in-flight window onto the
+            # replica FIFOs at once and each replica drains its share over
+            # ~200ms (the injected batch latency above), so a kill just
+            # after dispatch lands on a FIFO still holding queued predicts.
+            time.sleep(0.05)
+            os.kill(victim["pid"], signal.SIGKILL)
+            print(f"chaos: SIGKILLed replica {victim['addr']} pid {victim['pid']}")
+            sock.shutdown(socket.SHUT_WR)
+            sock.settimeout(120)
+            buf = b""
+            while True:
+                chunk = sock.recv(1 << 16)
+                if not chunk:
+                    break
+                buf += chunk
+        got = buf.split(b"\n")
+        assert got[-1] == b"", "response stream did not end in a newline"
+        got = got[:-1]
+        # Zero lost answers, zero error lines, full byte parity: failed-over
+        # predictions are bitwise-identical because predictions are pure
+        # functions of the entity set.
+        for i, line in enumerate(got):
+            assert b'"error"' not in line, f"line {i} errored: {line[:200]}"
+        diff_streams("chaos fleet parity x4 (mid-stream SIGKILL)", expected, got)
+
+        # The victim must rejoin without a router restart: respawned by the
+        # supervisor, probed back to health, readmitted to the ring.
+        wait_for_up(addr, 4, 60, "post-kill reconvergence")
+        final = control_roundtrip(addr, "stats")
+        router_stats = final["stats"]["router"]
+        assert router_stats["respawns"] >= 1, router_stats
+        assert router_stats["redials"] >= 1, router_stats
+        assert router_stats["failovers"] >= 1, (
+            "SIGKILL mid-stream should orphan at least one in-flight predict: "
+            f"{router_stats}"
+        )
+        victim_state = next(
+            r for r in router_stats["replica_states"]
+            if r["addr"] == victim["addr"]
+        )
+        assert victim_state["state"] == "up", victim_state
+        assert victim_state["deaths"] >= 1, victim_state
+        validate_router_stats(args, final, "chaos")
+        print("chaos fleet drill: kill -> failover -> respawn -> readmission ok")
+    finally:
+        router.terminate()
+        rc = router.wait(timeout=30)
+    assert rc == 0, f"router rc={rc}: " + open(err_path).read()
+
+
+def chaos_unroutable_drill(args):
+    """Drill B: a dead address must never wedge the router or its broadcasts."""
+    requests = open(args.requests, "rb").read().splitlines()
+    expected = inprocess_responses(args, requests)
+    bad_addr = "203.0.113.1:9999"  # TEST-NET-3: no edge_serve ever answers.
+
+    err_path = f"{args.workdir}/chaos.replica0.err"
+    replica = subprocess.Popen(
+        [
+            args.serve,
+            "--model", args.model,
+            "--gazetteer", args.gazetteer,
+            "--canonical", "true",
+            "--cache-capacity", "0",
+            "--listen", "0",
+        ],
+        stderr=open(err_path, "w"),
+    )
+    router_err = f"{args.workdir}/chaos.router2.err"
+    router = None
+    try:
+        host, port = wait_for_listen(replica, err_path)
+        start = time.time()
+        router = subprocess.Popen(
+            [
+                args.router,
+                "--gazetteer", args.gazetteer,
+                "--replicas", f"{host}:{port},{bad_addr}",
+                "--listen", "0",
+                "--probe-interval-ms", "500",
+                "--connect-timeout-ms", "250",
+                "--request-timeout-ms", "1000",
+                "--broadcast-timeout-ms", "1000",
+                "--redial-base-ms", "100",
+                "--redial-max-ms", "500",
+            ],
+            stderr=open(router_err, "w"),
+        )
+        addr = wait_for_listen(router, router_err, pattern=ROUTER_LISTEN_RE)
+        startup_s = time.time() - start
+        assert startup_s < 20, (
+            f"startup took {startup_s:.1f}s: the dead replica dial is unbounded"
+        )
+
+        # Pre-fix regression: the stats aggregate waited forever on the dead
+        # replica. Now it must answer within the broadcast deadline and
+        # report the replica as a down entry.
+        start = time.time()
+        stats = control_roundtrip(addr, "stats", timeout=30)
+        stats_s = time.time() - start
+        assert stats_s < 10, f"stats took {stats_s:.1f}s despite 1s deadline"
+        entries = {r["addr"]: r for r in stats["stats"]["replicas"]}
+        assert bad_addr in entries, entries
+        assert "reply" not in entries[bad_addr], (
+            f"dead replica produced a reply? {entries[bad_addr]}"
+        )
+        assert entries[bad_addr].get("up") is False, entries[bad_addr]
+        validate_router_stats(args, stats, "chaos_unroutable")
+
+        # The stream must still reach full byte parity: anything the ring
+        # hashes onto the dead replica fails over to the live one.
+        got = tcp_roundtrip(*addr, requests)
+        diff_streams("chaos unroutable parity", expected, got)
+        print("chaos unroutable drill: bounded dials, bounded broadcasts ok")
+    finally:
+        for proc in (router, replica):
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+        if router is not None:
+            rc = router.wait(timeout=30)
+            assert rc == 0, f"router rc={rc}: " + open(router_err).read()
+        replica.wait(timeout=30)
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--serve", required=True)
@@ -176,10 +453,18 @@ def main():
     parser.add_argument("--gazetteer", required=True)
     parser.add_argument("--replica-counts", default="1,2,4")
     parser.add_argument("--workdir", default=".")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the self-healing drills instead of parity")
     args = parser.parse_args()
 
     requests = open(args.requests, "rb").read().splitlines()
     assert len(requests) >= 20, "need a meaningful request stream"
+
+    if args.chaos:
+        chaos_fleet_drill(args)
+        chaos_unroutable_drill(args)
+        print("net smoke: all chaos drills passed")
+        return
 
     # Parity: the same stream through 1/2/4-replica fleets must be bitwise
     # identical to the in-process pipe.
